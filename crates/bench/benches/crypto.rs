@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the cryptographic substrate: AES-128 block
+//! throughput, the three OTP strategies on a 512 B protected block, and
+//! the hash/MAC primitives. The B-AES vs T-AES gap here is the software
+//! analogue of Fig. 4's hardware gap: one AES evaluation plus XORs versus
+//! one evaluation per 16 B segment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seda::crypto::aes::Aes128;
+use seda::crypto::ctr::CounterSeed;
+use seda::crypto::mac::{BlockPosition, PositionBoundMac};
+use seda::crypto::otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp};
+use seda::crypto::sha256::{hmac_sha256, Sha256};
+use std::hint::black_box;
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new([7u8; 16]);
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box([0x5au8; 16])))
+    });
+    g.bench_function("decrypt_block", |b| {
+        b.iter(|| aes.decrypt_block(black_box([0x5au8; 16])))
+    });
+    g.finish();
+}
+
+fn bench_otp_strategies(c: &mut Criterion) {
+    let seed = CounterSeed::new(0x8000, 3);
+    let mut g = c.benchmark_group("otp_512B_block");
+    g.throughput(Throughput::Bytes(512));
+    let taes = TraditionalOtp::new([1u8; 16]);
+    let baes = BandwidthAwareOtp::new([1u8; 16]);
+    let shared = SharedOtp::new([1u8; 16]);
+    let mut buf = [0u8; 512];
+    g.bench_function("taes", |b| b.iter(|| taes.apply(seed, black_box(&mut buf))));
+    g.bench_function("baes", |b| b.iter(|| baes.apply(seed, black_box(&mut buf))));
+    g.bench_function("shared_insecure", |b| {
+        b.iter(|| shared.apply(seed, black_box(&mut buf)))
+    });
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    g.bench_function("hmac_4k", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_block_mac(c: &mut Criterion) {
+    let mac = PositionBoundMac::new([9u8; 16]);
+    let blk = [0x11u8; 64];
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("position_bound_64B", |b| {
+        b.iter(|| mac.tag(black_box(&blk), 0x40, 1, BlockPosition::new(3, 0, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_otp_strategies,
+    bench_hash,
+    bench_block_mac
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks that time the paper's figure regeneration on a
+//! reduced workload set — one bench per table/figure family, so `cargo
+//! bench` exercises every experiment path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seda::experiment::evaluate;
+use seda::hw::fig4_sweep;
+use seda::models::zoo;
+use seda::optblk::search_model;
+use seda::protect::paper_lineup;
+use seda::report::{figure5, figure6, table1, table2, table3};
+use seda::scalesim::NpuConfig;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(table1));
+    g.bench_function("table2", |b| {
+        b.iter(|| table2(&[NpuConfig::server(), NpuConfig::edge()]))
+    });
+    g.bench_function("table3", |b| {
+        b.iter(|| {
+            let infos: Vec<_> = paper_lineup().iter().map(|s| s.info()).collect();
+            table3(&infos)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_sweep_16x", |b| b.iter(|| fig4_sweep(black_box(16))));
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // A two-workload slice keeps the bench minutes-scale while running the
+    // identical code path the full fig5/fig6 binaries use.
+    let models = vec![zoo::lenet(), zoo::ncf()];
+    g.bench_function("fig5_fig6_slice_edge", |b| {
+        b.iter(|| {
+            let eval = evaluate(black_box(&NpuConfig::edge()), black_box(&models));
+            (figure5(&eval), figure6(&eval))
+        })
+    });
+    g.finish();
+}
+
+fn bench_optblk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optblk_search");
+    let cfg = NpuConfig::edge();
+    let m = zoo::resnet18();
+    g.bench_function("resnet18_edge", |b| {
+        b.iter(|| search_model(black_box(&cfg), black_box(&m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_fig4, bench_fig5_fig6, bench_optblk);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the simulation substrates: DRAM timing,
+//! accelerator trace generation, and protection-scheme trace rewriting.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seda::dram::{DramConfig, DramSim, Request};
+use seda::models::zoo;
+use seda::pipeline::run_model;
+use seda::protect::{BlockMacKind, BlockMacScheme, ProtectionScheme, SedaScheme};
+use seda::protect::{LayerMacStore, Unprotected, PROTECTED_BYTES};
+use seda::scalesim::{simulate_model, Burst, NpuConfig, TensorKind};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("sequential_stream_10k", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::server());
+            for i in 0..N {
+                sim.access(black_box(Request::read(i * 64)));
+            }
+            sim.elapsed_cycles()
+        })
+    });
+    g.bench_function("row_thrash_10k", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::server());
+            let row_span = 8192 * 4 * 16;
+            for i in 0..N {
+                sim.access(black_box(Request::read((i * 7919) % 512 * row_span)));
+            }
+            sim.elapsed_cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_scalesim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalesim");
+    let edge = NpuConfig::edge();
+    let resnet = zoo::resnet18();
+    g.bench_function("simulate_resnet18_edge", |b| {
+        b.iter(|| simulate_model(black_box(&edge), black_box(&resnet)))
+    });
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protection_transform");
+    // A representative mixed trace: strip reads, weight streams, writes.
+    let bursts: Vec<Burst> = (0..64u64)
+        .flat_map(|i| {
+            [
+                Burst::read(i * 8192, 3584, TensorKind::Ifmap, (i / 8) as u32),
+                Burst::read((1 << 30) + i * 4608, 4608, TensorKind::Filter, (i / 8) as u32),
+                Burst::write((1 << 31) + i * 3136, 3136, TensorKind::Ofmap, (i / 8) as u32),
+            ]
+        })
+        .collect();
+    let total: u64 = bursts.iter().map(|b| b.bytes).sum();
+    g.throughput(Throughput::Bytes(total));
+    let run = |scheme: &mut dyn ProtectionScheme| {
+        let mut n = 0u64;
+        for b in &bursts {
+            scheme.transform(b, &mut |_| n += 1);
+        }
+        scheme.finish(&mut |_| n += 1);
+        n
+    };
+    g.bench_function("baseline", |b| b.iter(|| run(&mut Unprotected::new())));
+    g.bench_function("sgx64", |b| {
+        b.iter(|| run(&mut BlockMacScheme::new(BlockMacKind::Sgx, 64, PROTECTED_BYTES)))
+    });
+    g.bench_function("mgx512", |b| {
+        b.iter(|| run(&mut BlockMacScheme::new(BlockMacKind::Mgx, 512, PROTECTED_BYTES)))
+    });
+    g.bench_function("seda", |b| {
+        b.iter(|| run(&mut SedaScheme::new(LayerMacStore::OffChip, PROTECTED_BYTES)))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    let edge = NpuConfig::edge();
+    let lenet = zoo::lenet();
+    g.bench_function("lenet_edge_seda", |b| {
+        b.iter(|| {
+            run_model(
+                black_box(&edge),
+                black_box(&lenet),
+                &mut SedaScheme::new(LayerMacStore::OffChip, PROTECTED_BYTES),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_scalesim, bench_schemes, bench_pipeline);
+criterion_main!(benches);

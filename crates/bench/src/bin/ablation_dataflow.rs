@@ -1,0 +1,48 @@
+//! Ablation: output-stationary vs weight-stationary dataflow.
+//!
+//! The Table II presets use an output-stationary mapping; this ablation
+//! re-runs a workload slice under weight-stationary to show the protection
+//! overheads are dataflow-robust (traffic structure, not the PE mapping,
+//! drives them).
+//!
+//! Usage: `cargo run --release -p seda-bench --bin ablation_dataflow`
+
+use seda::models::zoo;
+use seda::pipeline::run_model;
+use seda::protect::{BlockMacKind, BlockMacScheme, Unprotected, PROTECTED_BYTES};
+use seda::scalesim::{Dataflow, NpuConfig};
+
+fn main() {
+    println!("Ablation: dataflow sensitivity (edge NPU, SGX-64B overheads)");
+    println!(
+        "{:<10} {:<18} {:>12} {:>14} {:>10}",
+        "workload", "dataflow", "base cycles", "SGX-64B cycles", "slowdown"
+    );
+    for model in [zoo::resnet18(), zoo::dlrm(), zoo::yolo_tiny()] {
+        for (label, df) in [
+            ("output-stationary", Dataflow::OutputStationary),
+            ("weight-stationary", Dataflow::WeightStationary),
+        ] {
+            let mut npu = NpuConfig::edge();
+            npu.dataflow = df;
+            let base = run_model(&npu, &model, &mut Unprotected::new());
+            let sgx = run_model(
+                &npu,
+                &model,
+                &mut BlockMacScheme::new(BlockMacKind::Sgx, 64, PROTECTED_BYTES),
+            );
+            println!(
+                "{:<10} {:<18} {:>12} {:>14} {:>9.4}x",
+                model.name(),
+                label,
+                base.total_cycles,
+                sgx.total_cycles,
+                sgx.total_cycles as f64 / base.total_cycles as f64
+            );
+        }
+    }
+    println!();
+    println!("Compute cycles shift with the mapping, but the protection slowdown");
+    println!("is driven by the memory system: it stays in the same band under");
+    println!("either dataflow (shrinking only where compute becomes the bound).");
+}

@@ -1,0 +1,51 @@
+//! Ablation: on-chip SRAM capacity sweep.
+//!
+//! Grows the edge NPU's SRAM from 128 KB to 16 MB and reports baseline
+//! demand traffic (tiling pressure) and the SGX-512B overhead (which
+//! shrinks as larger tiles produce longer, better-aligned runs) — showing
+//! how the protection-granularity penalty is a *tiling* phenomenon, not a
+//! constant.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin ablation_sram`
+
+use seda::models::zoo;
+use seda::pipeline::run_model;
+use seda::protect::{BlockMacKind, BlockMacScheme, Unprotected, PROTECTED_BYTES};
+use seda::scalesim::NpuConfig;
+
+fn main() {
+    let model = zoo::resnet18();
+    println!("Ablation: SRAM capacity sweep (rest, edge-NPU array at 32x32)");
+    println!(
+        "{:>9} {:>14} {:>16} {:>16}",
+        "SRAM", "base bytes", "SGX-512B ovh", "MGX-512B ovh"
+    );
+    for kb in [128u64, 256, 480, 1024, 4096, 16384] {
+        let mut npu = NpuConfig::edge();
+        npu.sram_bytes = kb << 10;
+        let base = run_model(&npu, &model, &mut Unprotected::new());
+        let sgx = run_model(
+            &npu,
+            &model,
+            &mut BlockMacScheme::new(BlockMacKind::Sgx, 512, PROTECTED_BYTES),
+        );
+        let mgx = run_model(
+            &npu,
+            &model,
+            &mut BlockMacScheme::new(BlockMacKind::Mgx, 512, PROTECTED_BYTES),
+        );
+        let ovh = |t: u64| (t as f64 / base.traffic.total() as f64 - 1.0) * 100.0;
+        println!(
+            "{:>6} KB {:>14} {:>15.2}% {:>15.2}%",
+            kb,
+            base.traffic.total(),
+            ovh(sgx.traffic.total()),
+            ovh(mgx.traffic.total())
+        );
+    }
+    println!();
+    println!("More SRAM lowers demand traffic (fewer strips, less halo) and");
+    println!("softens the alignment part of the coarse-granularity penalty (the");
+    println!("MGX-512B column); SGX-512B's floor is its granularity-independent");
+    println!("per-64B version-number traffic, which SRAM cannot remove.");
+}

@@ -1,0 +1,41 @@
+//! Extension experiment: cold-start vs steady-state protection overheads.
+//!
+//! The paper's figures measure a single inference from cold metadata
+//! caches. Serving systems run back-to-back inferences: caches warm up on
+//! weight metadata but also accumulate dirty lines whose writebacks the
+//! cold run deferred. This binary runs eight consecutive inferences per
+//! scheme and reports per-inference slowdowns.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin ablation_steady_state`
+
+use seda::models::zoo;
+use seda::pipeline::run_model_repeated;
+use seda::protect::scheme_by_name;
+use seda::scalesim::NpuConfig;
+
+fn main() {
+    let npu = NpuConfig::edge();
+    let model = zoo::resnet18();
+    const N: u32 = 8;
+    println!("Extension: steady-state behaviour over {N} inferences (rest, edge)\n");
+    let mut base = scheme_by_name("baseline").expect("known");
+    let base_totals = run_model_repeated(&npu, &model, base.as_mut(), N);
+    let mut header = format!("{:<10}", "scheme");
+    for i in 0..N {
+        header.push_str(&format!("   inf{i}"));
+    }
+    println!("{header}");
+    for name in ["SGX-64B", "MGX-64B", "MGX-512B", "SeDA"] {
+        let mut scheme = scheme_by_name(name).expect("known");
+        let totals = run_model_repeated(&npu, &model, scheme.as_mut(), N);
+        let mut row = format!("{name:<10}");
+        for (t, b) in totals.iter().zip(base_totals.iter()) {
+            row.push_str(&format!(" {:>6.3}", *t as f64 / *b as f64));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("Cold inference 0 understates SGX/MGX cost slightly (deferred dirty");
+    println!("evictions); the overhead stabilizes within a couple of inferences.");
+    println!("SeDA is flat: it has no off-chip metadata state to warm or drain.");
+}

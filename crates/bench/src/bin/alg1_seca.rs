@@ -1,0 +1,41 @@
+//! Demonstrates Algorithm 1: the Single-Element Collision Attack against
+//! shared-OTP encryption, and the B-AES defense.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin alg1_seca`
+
+use seda::attacks::seca::{mount_seca, sparse_block};
+use seda::crypto::ctr::CounterSeed;
+use seda::crypto::otp::{BandwidthAwareOtp, SharedOtp, TraditionalOtp};
+
+fn main() {
+    let key = [0x2b; 16];
+    let seed = CounterSeed::new(0xA000_0000, 17);
+    println!("Algorithm 1: SECA attack on a 512 B block of sparse DNN weights");
+    println!("(60% of 16 B segments are zero — the attacker's guess)\n");
+    println!(
+        "{:<28} {:>12} {:>10}",
+        "pad strategy", "recovered", "broken?"
+    );
+    for sparsity in [0.3, 0.6, 0.9] {
+        let pt = sparse_block(32, sparsity, 7);
+        let shared = mount_seca(&SharedOtp::new(key), seed, &pt, [0u8; 16]);
+        let baes = mount_seca(&BandwidthAwareOtp::new(key), seed, &pt, [0u8; 16]);
+        let taes = mount_seca(&TraditionalOtp::new(key), seed, &pt, [0u8; 16]);
+        println!("-- sparsity {:.0}% --", sparsity * 100.0);
+        for (name, out) in [
+            ("shared OTP (strawman)", &shared),
+            ("B-AES (SeDA, Alg. 1 defense)", &baes),
+            ("T-AES (engine bank)", &taes),
+        ] {
+            println!(
+                "{:<28} {:>11.1}% {:>10}",
+                name,
+                out.accuracy * 100.0,
+                if out.success { "BROKEN" } else { "safe" }
+            );
+        }
+    }
+    println!("\nShared-OTP blocks are fully recovered; B-AES per-segment pads");
+    println!("(base OTP XOR key-schedule round keys) reduce the attack to the");
+    println!("attacker's own guess, matching T-AES security at ~1/N the engines.");
+}

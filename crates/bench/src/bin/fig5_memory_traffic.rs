@@ -1,0 +1,44 @@
+//! Regenerates Fig. 5: normalized memory traffic of the five protection
+//! schemes over the 13 workloads, on both NPUs.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin fig5_memory_traffic`
+//! Pass a path as the first argument to also dump the raw evaluation JSON.
+
+use seda::experiment::evaluate_paper_suite;
+use seda::report::figure5;
+use seda::scalesim::NpuConfig;
+
+fn main() {
+    let json_path = std::env::args().nth(1);
+    let mut dumps = Vec::new();
+    for npu in [NpuConfig::server(), NpuConfig::edge()] {
+        let eval = evaluate_paper_suite(&npu);
+        print!("{}", figure5(&eval));
+        println!();
+        print!(
+            "{}",
+            seda::report::bar_chart(
+                &format!("mean normalized traffic — {} NPU", npu.name),
+                &eval.mean_traffic(),
+                48
+            )
+        );
+        println!();
+        for (scheme, t) in eval.mean_traffic() {
+            if scheme != "baseline" {
+                println!(
+                    "  {} NPU {scheme}: traffic overhead {:+.2}%",
+                    npu.name,
+                    (t - 1.0) * 100.0
+                );
+            }
+        }
+        println!();
+        dumps.push(eval);
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&dumps).expect("serializable");
+        std::fs::write(&path, json).expect("writable path");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Fig. 6(a)/(b): normalized runtime of the five protection
+//! schemes over the 13 workloads, on the server and edge NPUs.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin fig6_performance`
+
+use seda::experiment::evaluate_paper_suite;
+use seda::report::figure6;
+use seda::scalesim::NpuConfig;
+
+fn main() {
+    for (panel, npu) in [("(a)", NpuConfig::server()), ("(b)", NpuConfig::edge())] {
+        let eval = evaluate_paper_suite(&npu);
+        println!("Fig. 6{panel}");
+        print!("{}", figure6(&eval));
+        println!();
+        print!(
+            "{}",
+            seda::report::bar_chart(
+                &format!("mean normalized runtime — {} NPU", npu.name),
+                &eval.mean_perf(),
+                48
+            )
+        );
+        println!();
+        for (scheme, p) in eval.mean_perf() {
+            if scheme != "baseline" {
+                println!(
+                    "  {} NPU {scheme}: slowdown {:+.2}%",
+                    npu.name,
+                    (p - 1.0) * 100.0
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,112 @@
+//! Umbrella CLI: one entry point that lists and dispatches every
+//! experiment, table, figure, ablation, and validation binary.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p seda-bench --bin seda_cli -- list
+//! cargo run --release -p seda-bench --bin seda_cli -- table 3
+//! cargo run --release -p seda-bench --bin seda_cli -- fig 4
+//! cargo run --release -p seda-bench --bin seda_cli -- run rest edge SeDA
+//! ```
+
+use seda::models::zoo;
+use seda::pipeline::run_model;
+use seda::protect::{paper_lineup, scheme_by_name};
+use seda::report::{table1, table2, table3};
+use seda::scalesim::NpuConfig;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1_granularity", "Table I: multi-level MAC granularity comparison"),
+    ("table2_configs", "Table II: server/edge NPU configurations"),
+    ("table3_schemes", "Table III: protection-scheme feature matrix"),
+    ("fig4_area_power", "Fig. 4: T-AES vs B-AES area/power scaling"),
+    ("fig5_memory_traffic", "Fig. 5: normalized traffic, 13 workloads x 2 NPUs"),
+    ("fig6_performance", "Fig. 6: normalized runtime, 13 workloads x 2 NPUs"),
+    ("alg1_seca", "Algorithm 1: SECA attack and B-AES defense"),
+    ("alg2_repa", "Algorithm 2: RePA attack and position-bound defense"),
+    ("ablation_granularity", "protection-block granularity U-curve"),
+    ("ablation_optblk", "per-layer optBlk search"),
+    ("ablation_caches", "SGX metadata-cache size sensitivity"),
+    ("ablation_layer_mac", "SeDA layer MACs on-chip vs off-chip"),
+    ("ablation_securator", "redundant hash work of layer-XOR checks"),
+    ("ablation_energy", "DRAM energy per scheme"),
+    ("ablation_sram", "SRAM capacity sweep"),
+    ("ablation_dataflow", "OS vs WS dataflow"),
+    ("ablation_hash_engine", "verifier throughput sizing cliff"),
+    ("ablation_steady_state", "cold-start vs steady-state overheads"),
+    ("layer_report", "per-layer schedule/traffic/cycle drill-down"),
+    ("workloads_report", "13-workload census"),
+    ("gen_trace / replay_trace", "burst-trace export and standalone replay"),
+    ("custom_topology", "run a user CSV topology"),
+    ("validate_sim", "fast models vs cycle/command-level cross-check"),
+    ("experiments_md", "regenerate EXPERIMENTS.md"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: seda_cli <command>");
+    eprintln!("  list                 enumerate all experiment binaries");
+    eprintln!("  table <1|2|3>        print a paper table");
+    eprintln!("  run <wl> <npu> <scheme>   one secure-inference run");
+    eprintln!("  workloads            list workload names");
+    eprintln!("  schemes              list scheme names");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("experiment binaries (run with `cargo run --release -p seda-bench --bin <name>`):\n");
+            for (name, what) in EXPERIMENTS {
+                println!("  {name:<24} {what}");
+            }
+        }
+        Some("table") => match args.get(1).map(String::as_str) {
+            Some("1") => print!("{}", table1()),
+            Some("2") => print!("{}", table2(&[NpuConfig::server(), NpuConfig::edge()])),
+            Some("3") => {
+                let infos: Vec<_> = paper_lineup().iter().map(|s| s.info()).collect();
+                print!("{}", table3(&infos));
+            }
+            _ => usage(),
+        },
+        Some("run") => {
+            let workload = args.get(1).map(String::as_str).unwrap_or("rest");
+            let npu = match args.get(2).map(String::as_str) {
+                Some("server") => NpuConfig::server(),
+                _ => NpuConfig::edge(),
+            };
+            let scheme_name = args.get(3).map(String::as_str).unwrap_or("SeDA");
+            let Some(model) = zoo::by_name(workload) else {
+                eprintln!("unknown workload {workload:?} (try `seda_cli workloads`)");
+                std::process::exit(1);
+            };
+            let Some(mut scheme) = scheme_by_name(scheme_name) else {
+                eprintln!("unknown scheme {scheme_name:?} (try `seda_cli schemes`)");
+                std::process::exit(1);
+            };
+            let r = run_model(&npu, &model, scheme.as_mut());
+            println!(
+                "{} on {} under {}: {} bytes of traffic, {} cycles ({:.3} ms)",
+                r.model,
+                r.npu,
+                r.scheme,
+                r.traffic.total(),
+                r.total_cycles,
+                r.seconds(&npu) * 1e3
+            );
+        }
+        Some("workloads") => {
+            for m in zoo::all_models() {
+                println!("{:<6} {} layers", m.name(), m.layers().len());
+            }
+        }
+        Some("schemes") => {
+            for s in paper_lineup() {
+                println!("{}", s.name());
+            }
+            println!("Securator");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I: the qualitative comparison of SeDA's multi-level
+//! integrity-verification granularities.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin table1_granularity`
+
+fn main() {
+    print!("{}", seda::report::table1());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table II: the server (Google TPU v1) and edge (Samsung
+//! Exynos 990) NPU simulation configurations.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin table2_configs`
+
+use seda::scalesim::NpuConfig;
+
+fn main() {
+    print!(
+        "{}",
+        seda::report::table2(&[NpuConfig::server(), NpuConfig::edge()])
+    );
+}

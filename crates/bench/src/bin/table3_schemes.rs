@@ -1,0 +1,18 @@
+//! Regenerates Table III: the qualitative comparison of the five memory
+//! protection schemes.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin table3_schemes`
+
+use seda::protect::{paper_lineup, scheme_by_name};
+
+fn main() {
+    let mut infos: Vec<_> = paper_lineup()
+        .iter()
+        .map(|s| s.info())
+        .filter(|i| i.name != "baseline")
+        .collect();
+    // The paper's Table III covers the five headline schemes; append the
+    // Securator row as implemented for the ablations.
+    infos.push(scheme_by_name("Securator").expect("known").info());
+    print!("{}", seda::report::table3(&infos));
+}

@@ -1,0 +1,33 @@
+//! Workload census: the 13 benchmark models' shapes, parameter counts,
+//! compute, and per-NPU traffic — the context behind every figure's
+//! x-axis.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin workloads_report`
+
+use seda::models::zoo;
+use seda::scalesim::{simulate_model, NpuConfig};
+
+fn main() {
+    println!("Workload census (paper §IV-A benchmarks)");
+    println!(
+        "{:<10} {:>7} {:>12} {:>13} {:>15} {:>15}",
+        "workload", "layers", "weights", "MACs", "server traffic", "edge traffic"
+    );
+    let (server, edge) = (NpuConfig::server(), NpuConfig::edge());
+    for model in zoo::all_models() {
+        let s = simulate_model(&server, &model);
+        let e = simulate_model(&edge, &model);
+        println!(
+            "{:<10} {:>7} {:>11}K {:>12}M {:>14}K {:>14}K",
+            model.name(),
+            model.layers().len(),
+            model.weight_bytes() / 1000,
+            model.total_macs() / 1_000_000,
+            s.total_demand_bytes() / 1000,
+            e.total_demand_bytes() / 1000,
+        );
+    }
+    println!();
+    println!("Traffic exceeds tensor footprints on the edge NPU wherever 480 KB");
+    println!("of SRAM forces strip/chunk tiling with halo re-reads.");
+}

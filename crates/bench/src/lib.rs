@@ -1,0 +1,1 @@
+//! SeDA benchmark harness (see bins and benches).

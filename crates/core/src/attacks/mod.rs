@@ -1,0 +1,12 @@
+//! Attack/defense demonstrations from the paper's algorithms.
+//!
+//! * [`seca`] — Algorithm 1: the Single-Element Collision Attack on
+//!   shared one-time pads, defeated by B-AES per-segment pads.
+//! * [`repa`] — Algorithm 2: the Re-Permutation Attack on XOR-folded
+//!   layer MACs, defeated by position-bound block MACs.
+//! * [`vn_replay`] — the two-time-pad break that version-number reuse
+//!   causes, defeated by monotone on-chip VN generation.
+
+pub mod repa;
+pub mod seca;
+pub mod vn_replay;

@@ -1,0 +1,213 @@
+//! The Re-Permutation Attack (RePA) on XOR-folded layer MACs and SeDA's
+//! position-binding defense (paper Algorithm 2).
+//!
+//! XOR-MACs are commutative: a layer MAC built by XOR-folding per-block
+//! MACs is invariant under any reordering of the blocks. An attacker who
+//! shuffles a layer's ciphertext blocks (together with their stored block
+//! MACs) passes a layer-level check whose block MACs hash only the
+//! ciphertext — while CTR decryption, which is address-bound, now produces
+//! garbage activations. Binding `layer_id`, `fmap_idx`, and `blk_idx` into
+//! each block MAC (Algorithm 2 lines 7-8) makes the fold order-sensitive
+//! in effect, because a moved block's recomputed MAC no longer matches the
+//! stored one.
+
+use seda_crypto::ctr::{AesCtr, CounterSeed};
+use seda_crypto::mac::{xor_fold, BlockPosition, MacTag, PositionBoundMac, PositionlessMac};
+
+/// How block MACs are keyed to their location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacBinding {
+    /// Hash of the ciphertext only — vulnerable to RePA.
+    CiphertextOnly,
+    /// SeDA's defense: ciphertext, address, version, and position fields.
+    PositionBound,
+}
+
+/// A protected layer image: encrypted blocks plus the stored layer MAC.
+#[derive(Debug, Clone)]
+pub struct ProtectedLayer {
+    /// Block size in bytes.
+    pub block_bytes: usize,
+    /// Encrypted blocks in order.
+    pub blocks: Vec<Vec<u8>>,
+    /// XOR-fold of all block MACs at write time.
+    pub layer_mac: MacTag,
+    binding: MacBinding,
+    layer_id: u32,
+    base_pa: u64,
+}
+
+const ENC_KEY: [u8; 16] = [0x5e; 16];
+const MAC_KEY: [u8; 16] = [0xda; 16];
+
+fn block_tag(binding: MacBinding, blk: &[u8], pa: u64, layer_id: u32, idx: u32) -> MacTag {
+    match binding {
+        MacBinding::CiphertextOnly => PositionlessMac::new(MAC_KEY).tag(blk, 0, 0),
+        MacBinding::PositionBound => {
+            PositionBoundMac::new(MAC_KEY).tag(blk, pa, 0, BlockPosition::new(layer_id, 0, idx))
+        }
+    }
+}
+
+impl ProtectedLayer {
+    /// Encrypts `plaintext` into `block_bytes` blocks at base address
+    /// `base_pa` and stores the XOR-folded layer MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plaintext` is not a non-empty multiple of `block_bytes`.
+    pub fn seal(
+        plaintext: &[u8],
+        block_bytes: usize,
+        base_pa: u64,
+        layer_id: u32,
+        binding: MacBinding,
+    ) -> Self {
+        assert!(
+            block_bytes > 0 && !plaintext.is_empty() && plaintext.len().is_multiple_of(block_bytes),
+            "plaintext must be whole blocks"
+        );
+        let ctr = AesCtr::new(ENC_KEY);
+        let mut blocks = Vec::new();
+        let mut tags = Vec::new();
+        for (i, chunk) in plaintext.chunks(block_bytes).enumerate() {
+            let pa = base_pa + (i * block_bytes) as u64;
+            let mut blk = chunk.to_vec();
+            ctr.encrypt(CounterSeed::new(pa, 0), &mut blk);
+            tags.push(block_tag(binding, &blk, pa, layer_id, i as u32));
+            blocks.push(blk);
+        }
+        Self {
+            block_bytes,
+            blocks,
+            layer_mac: xor_fold(tags),
+            binding,
+            layer_id,
+            base_pa,
+        }
+    }
+
+    /// Verifier's read path: recompute each resident block's MAC from its
+    /// *current* location, XOR-fold, and compare with the stored layer MAC.
+    pub fn verify(&self) -> bool {
+        let tags = self.blocks.iter().enumerate().map(|(i, blk)| {
+            let pa = self.base_pa + (i * self.block_bytes) as u64;
+            block_tag(self.binding, blk, pa, self.layer_id, i as u32)
+        });
+        xor_fold(tags) == self.layer_mac
+    }
+
+    /// Decrypts the resident blocks with the address-bound CTR pads.
+    pub fn decrypt(&self) -> Vec<u8> {
+        let ctr = AesCtr::new(ENC_KEY);
+        let mut out = Vec::with_capacity(self.blocks.len() * self.block_bytes);
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let pa = self.base_pa + (i * self.block_bytes) as u64;
+            let mut plain = blk.clone();
+            ctr.decrypt(CounterSeed::new(pa, 0), &mut plain);
+            out.extend_from_slice(&plain);
+        }
+        out
+    }
+}
+
+/// Outcome of mounting RePA against a protected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepaOutcome {
+    /// Whether the shuffled layer still passes integrity verification.
+    pub verification_passed: bool,
+    /// Fraction of decrypted bytes that still match the original data.
+    pub decryption_accuracy: f64,
+    /// The attack succeeds if tampering passes verification while
+    /// corrupting the decrypted data.
+    pub success: bool,
+}
+
+/// Algorithm 2 lines 1-6: SHUFFLEORDER the layer's blocks and test whether
+/// the XOR-folded layer MAC still verifies.
+///
+/// `swap` picks the deterministic permutation: pairs `(2i, 2i+1)` are
+/// exchanged, which reorders every block while keeping the multiset.
+pub fn mount_repa(layer: &mut ProtectedLayer, original_plaintext: &[u8]) -> RepaOutcome {
+    for pair in layer.blocks.chunks_mut(2) {
+        if pair.len() == 2 {
+            pair.swap(0, 1);
+        }
+    }
+    let verification_passed = layer.verify();
+    let decrypted = layer.decrypt();
+    let correct = decrypted
+        .iter()
+        .zip(original_plaintext.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    let decryption_accuracy = correct as f64 / original_plaintext.len() as f64;
+    RepaOutcome {
+        verification_passed,
+        decryption_accuracy,
+        success: verification_passed && decryption_accuracy < 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plaintext(blocks: usize, block_bytes: usize) -> Vec<u8> {
+        (0..blocks * block_bytes)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+            .collect()
+    }
+
+    #[test]
+    fn sealed_layer_verifies_and_decrypts() {
+        for binding in [MacBinding::CiphertextOnly, MacBinding::PositionBound] {
+            let pt = plaintext(8, 64);
+            let layer = ProtectedLayer::seal(&pt, 64, 0x4000, 3, binding);
+            assert!(layer.verify());
+            assert_eq!(layer.decrypt(), pt);
+        }
+    }
+
+    #[test]
+    fn repa_breaks_ciphertext_only_macs() {
+        let pt = plaintext(8, 64);
+        let mut layer = ProtectedLayer::seal(&pt, 64, 0x4000, 3, MacBinding::CiphertextOnly);
+        let out = mount_repa(&mut layer, &pt);
+        assert!(out.verification_passed, "XOR fold is order-insensitive");
+        assert!(out.decryption_accuracy < 0.2, "CTR pads are address-bound");
+        assert!(out.success);
+    }
+
+    #[test]
+    fn position_binding_defeats_repa() {
+        let pt = plaintext(8, 64);
+        let mut layer = ProtectedLayer::seal(&pt, 64, 0x4000, 3, MacBinding::PositionBound);
+        let out = mount_repa(&mut layer, &pt);
+        assert!(!out.verification_passed, "moved blocks must be detected");
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn untampered_position_bound_layer_still_passes() {
+        let pt = plaintext(6, 128);
+        let layer = ProtectedLayer::seal(&pt, 128, 0x8000, 1, MacBinding::PositionBound);
+        assert!(layer.verify(), "defense must not break honest reads");
+    }
+
+    #[test]
+    fn single_block_layer_is_trivially_shuffle_proof() {
+        let pt = plaintext(1, 64);
+        let mut layer = ProtectedLayer::seal(&pt, 64, 0, 0, MacBinding::CiphertextOnly);
+        let out = mount_repa(&mut layer, &pt);
+        assert!(out.verification_passed);
+        assert!((out.decryption_accuracy - 1.0).abs() < 1e-9);
+        assert!(!out.success, "nothing moved, nothing broken");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn ragged_layer_rejected() {
+        let _ = ProtectedLayer::seal(&[0u8; 100], 64, 0, 0, MacBinding::PositionBound);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's headline experiments: normalized memory traffic (Fig. 5)
+//! and normalized performance (Fig. 6) across the 13 workloads and the
+//! five protection schemes, on both NPUs.
+
+use crate::pipeline::{run_model, RunResult};
+use seda_models::{zoo, Model};
+use seda_protect::ProtectionScheme;
+use seda_scalesim::NpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// The scheme lineup of Figs. 5-6, baseline first.
+pub fn scheme_names() -> Vec<&'static str> {
+    vec!["baseline", "SGX-64B", "SGX-512B", "MGX-64B", "MGX-512B", "SeDA"]
+}
+
+fn make_scheme(name: &str) -> Box<dyn ProtectionScheme> {
+    seda_protect::scheme_by_name(name).unwrap_or_else(|| panic!("unknown scheme {name}"))
+}
+
+/// One scheme's outcome on one workload, normalized to the baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeOutcome {
+    /// Scheme label.
+    pub scheme: String,
+    /// Total traffic relative to the unprotected baseline (Fig. 5 y-axis).
+    pub traffic_norm: f64,
+    /// Runtime relative to the unprotected baseline (Fig. 6 y-axis,
+    /// expressed as slowdown: 1.0 = baseline speed).
+    pub perf_norm: f64,
+    /// Raw run result.
+    pub run: RunResult,
+}
+
+/// All schemes' outcomes on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadEval {
+    /// Workload label (paper's short name).
+    pub workload: String,
+    /// Outcomes in lineup order (baseline first).
+    pub outcomes: Vec<SchemeOutcome>,
+}
+
+/// A full Fig. 5/6 evaluation on one NPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// NPU configuration name.
+    pub npu: String,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadEval>,
+}
+
+impl Evaluation {
+    /// Arithmetic-mean normalized traffic per scheme (the "avg" bar group
+    /// of Fig. 5).
+    pub fn mean_traffic(&self) -> Vec<(String, f64)> {
+        self.mean_of(|o| o.traffic_norm)
+    }
+
+    /// Arithmetic-mean normalized runtime per scheme (Fig. 6's average).
+    pub fn mean_perf(&self) -> Vec<(String, f64)> {
+        self.mean_of(|o| o.perf_norm)
+    }
+
+    fn mean_of(&self, f: impl Fn(&SchemeOutcome) -> f64) -> Vec<(String, f64)> {
+        let n = self.workloads.len() as f64;
+        scheme_names()
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let sum: f64 = self.workloads.iter().map(|w| f(&w.outcomes[i])).sum();
+                ((*name).to_owned(), sum / n)
+            })
+            .collect()
+    }
+}
+
+/// Evaluates `models` under the full scheme lineup on `npu`.
+pub fn evaluate(npu: &NpuConfig, models: &[Model]) -> Evaluation {
+    let mut workloads = Vec::with_capacity(models.len());
+    for model in models {
+        let mut outcomes = Vec::new();
+        let mut baseline: Option<RunResult> = None;
+        for name in scheme_names() {
+            let mut scheme = make_scheme(name);
+            let run = run_model(npu, model, scheme.as_mut());
+            let (t0, c0) = match &baseline {
+                Some(b) => (b.traffic.total() as f64, b.total_cycles as f64),
+                None => (run.traffic.total() as f64, run.total_cycles as f64),
+            };
+            outcomes.push(SchemeOutcome {
+                scheme: name.to_owned(),
+                traffic_norm: run.traffic.total() as f64 / t0,
+                perf_norm: run.total_cycles as f64 / c0,
+                run: run.clone(),
+            });
+            if baseline.is_none() {
+                baseline = Some(run);
+            }
+        }
+        workloads.push(WorkloadEval {
+            workload: model.name().to_owned(),
+            outcomes,
+        });
+    }
+    Evaluation {
+        npu: npu.name.clone(),
+        workloads,
+    }
+}
+
+/// Evaluates the paper's full 13-workload suite on `npu` (Figs. 5-6).
+pub fn evaluate_paper_suite(npu: &NpuConfig) -> Evaluation {
+    evaluate(npu, &zoo::all_models())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_orders_schemes_correctly() {
+        // LeNet + DLRM keep the test fast while exercising conv and GEMM.
+        let models = vec![zoo::lenet(), zoo::dlrm()];
+        let eval = evaluate(&NpuConfig::edge(), &models);
+        for w in &eval.workloads {
+            let get = |name: &str| {
+                w.outcomes
+                    .iter()
+                    .find(|o| o.scheme == name)
+                    .map(|o| o.traffic_norm)
+                    .expect("scheme present")
+            };
+            assert_eq!(get("baseline"), 1.0);
+            assert!(get("SGX-64B") > get("MGX-64B"), "{}", w.workload);
+            assert!(get("MGX-64B") > get("SeDA"), "{}", w.workload);
+            assert!(get("SeDA") < 1.01, "{}", w.workload);
+        }
+    }
+
+    #[test]
+    fn means_cover_all_schemes() {
+        let eval = evaluate(&NpuConfig::edge(), &[zoo::lenet()]);
+        assert_eq!(eval.mean_traffic().len(), 6);
+        assert_eq!(eval.mean_perf().len(), 6);
+    }
+}

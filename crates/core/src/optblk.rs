@@ -1,0 +1,221 @@
+//! SecureLoop-style search for the optimal authentication-block size
+//! (*optBlk*, paper §III-C).
+//!
+//! For each layer the search scores candidate granularities against the
+//! layer's tile geometry:
+//!
+//! * **redundant authentication** — halo rows shared by neighbouring
+//!   strips are re-verified on each strip; coarse blocks round that halo
+//!   up to whole blocks (intra-layer tiling overlap cost);
+//! * **alignment overfetch** — runs that start or end inside a block drag
+//!   the rest of the block through the verifier (inter-layer pattern
+//!   cost); and
+//! * **tag bookkeeping** — one tag fold per block, so tiny blocks cost
+//!   hash-engine work.
+//!
+//! The granularity minimizing the sum is the layer's optBlk. SeDA's layer
+//! MAC then folds those block tags, so the choice never adds off-chip
+//! traffic; the cost function measures on-chip verifier work plus the
+//! bytes a block-granular verifier would have to touch.
+
+use seda_models::Layer;
+use seda_protect::layout::MAC_BYTES;
+use seda_scalesim::{plan_layer, LayerGeometry, NpuConfig, TilePlan};
+use serde::{Deserialize, Serialize};
+
+/// Candidate granularities the search sweeps.
+pub const CANDIDATES: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Cost decomposition of one candidate granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GranularityCost {
+    /// Candidate block size in bytes.
+    pub granularity: u64,
+    /// Bytes re-verified due to strip-halo overlap.
+    pub redundant_auth: u64,
+    /// Bytes dragged in by run/block misalignment.
+    pub overfetch: u64,
+    /// Tag bookkeeping bytes (8 B per block hashed).
+    pub tag_cost: u64,
+}
+
+impl GranularityCost {
+    /// Total cost in byte-equivalents.
+    pub fn total(&self) -> u64 {
+        self.redundant_auth + self.overfetch + self.tag_cost
+    }
+}
+
+/// The search result for one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptBlkChoice {
+    /// Layer name.
+    pub layer: String,
+    /// The winning granularity.
+    pub granularity: u64,
+    /// Cost of every candidate, in sweep order.
+    pub candidates: Vec<GranularityCost>,
+}
+
+impl OptBlkChoice {
+    /// Cost of the winning candidate.
+    pub fn best_cost(&self) -> u64 {
+        self.candidates
+            .iter()
+            .find(|c| c.granularity == self.granularity)
+            .map(GranularityCost::total)
+            .expect("winner is among candidates")
+    }
+}
+
+/// Average extra bytes a run of `len` drags in at granularity `g`, with
+/// the run's phase uniform on the 64 B grid (`g − 64` in expectation).
+fn run_overfetch(g: u64) -> u64 {
+    g.saturating_sub(64)
+}
+
+/// Scores one candidate granularity against a layer's tile plan.
+pub fn score(geometry: &LayerGeometry, plan: &TilePlan, g: u64) -> GranularityCost {
+    // Halo bytes shared between consecutive strips, re-verified per strip.
+    let halo_rows = geometry
+        .in_rows_for(plan.out_rows_per_strip)
+        .saturating_sub(plan.out_rows_per_strip * geometry.stride);
+    let halo_bytes = halo_rows * geometry.in_row_bytes;
+    let redundant_auth = plan.strips.saturating_sub(1) * halo_bytes.div_ceil(g) * g;
+
+    // Run census: ifmap strips, filter chunks, ofmap runs.
+    let ifmap_runs = plan.strips
+        * match plan.schedule {
+            seda_scalesim::Schedule::IfmapResident => 1,
+            _ => plan.chunks,
+        };
+    let filter_runs = plan.chunks
+        * match plan.schedule {
+            seda_scalesim::Schedule::IfmapResident | seda_scalesim::Schedule::OutputResident => {
+                plan.strips
+            }
+            seda_scalesim::Schedule::FilterResident => 1,
+        };
+    let ofmap_runs = if plan.chunk_channels == geometry.out_channels {
+        plan.strips
+    } else {
+        geometry.out_rows * geometry.out_row_pixels * plan.chunks
+    };
+    let runs = ifmap_runs + filter_runs + ofmap_runs;
+    let overfetch = runs * run_overfetch(g);
+
+    // Hash-engine bookkeeping: one 8 B tag folded per block of traffic.
+    let traffic = plan.traffic.total();
+    let tag_cost = traffic.div_ceil(g) * MAC_BYTES;
+
+    GranularityCost {
+        granularity: g,
+        redundant_auth,
+        overfetch,
+        tag_cost,
+    }
+}
+
+/// Runs the optBlk search for one layer on `cfg`.
+pub fn search_layer(cfg: &NpuConfig, layer: &Layer) -> OptBlkChoice {
+    let plan = plan_layer(cfg, layer);
+    let geometry = LayerGeometry::of(layer);
+    let candidates: Vec<GranularityCost> = CANDIDATES
+        .iter()
+        .map(|&g| score(&geometry, &plan, g))
+        .collect();
+    let granularity = candidates
+        .iter()
+        .min_by_key(|c| (c.total(), c.granularity))
+        .expect("non-empty candidates")
+        .granularity;
+    OptBlkChoice {
+        layer: layer.name.clone(),
+        granularity,
+        candidates,
+    }
+}
+
+/// Runs the search for every layer of a model.
+pub fn search_model(cfg: &NpuConfig, model: &seda_models::Model) -> Vec<OptBlkChoice> {
+    model
+        .layers()
+        .iter()
+        .map(|l| search_layer(cfg, l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_models::zoo;
+
+    #[test]
+    fn search_explores_all_candidates() {
+        let cfg = NpuConfig::edge();
+        let layer = &zoo::alexnet().layers()[0].clone();
+        let choice = search_layer(&cfg, layer);
+        assert_eq!(choice.candidates.len(), CANDIDATES.len());
+        assert!(CANDIDATES.contains(&choice.granularity));
+    }
+
+    #[test]
+    fn winner_minimizes_total_cost() {
+        let cfg = NpuConfig::edge();
+        for layer in zoo::resnet18().layers() {
+            let choice = search_layer(&cfg, layer);
+            let best = choice.best_cost();
+            for c in &choice.candidates {
+                assert!(best <= c.total(), "{}: {:?}", layer.name, c);
+            }
+        }
+    }
+
+    #[test]
+    fn tag_cost_decreases_with_granularity() {
+        let cfg = NpuConfig::edge();
+        let layer = &zoo::yolo_tiny().layers()[1].clone();
+        let choice = search_layer(&cfg, layer);
+        for w in choice.candidates.windows(2) {
+            assert!(w[1].tag_cost <= w[0].tag_cost);
+            assert!(w[1].overfetch >= w[0].overfetch);
+        }
+    }
+
+    #[test]
+    fn streaming_layers_prefer_coarse_blocks() {
+        // AlexNet's fc6 weights stream as a handful of giant runs: the tag
+        // bookkeeping dominates and coarse blocks win.
+        let cfg = NpuConfig::server();
+        let layer = zoo::alexnet()
+            .layers()
+            .iter()
+            .find(|l| l.name == "fc6")
+            .cloned()
+            .expect("fc6 exists");
+        let choice = search_layer(&cfg, &layer);
+        assert!(
+            choice.granularity >= 512,
+            "streaming layer picked {}",
+            choice.granularity
+        );
+    }
+
+    #[test]
+    fn tiny_layers_prefer_fine_blocks() {
+        // LeNet's first conv moves a few KB in three runs: overfetch
+        // dominates and the finest candidate wins.
+        let cfg = NpuConfig::server();
+        let layer = &zoo::lenet().layers()[0].clone();
+        let choice = search_layer(&cfg, layer);
+        assert!(choice.granularity <= 128, "picked {}", choice.granularity);
+    }
+
+    #[test]
+    fn model_search_covers_every_layer() {
+        let cfg = NpuConfig::edge();
+        let m = zoo::mobilenet();
+        let choices = search_model(&cfg, &m);
+        assert_eq!(choices.len(), m.layers().len());
+    }
+}

@@ -1,0 +1,145 @@
+//! Timing model of AES engine micro-architectures.
+//!
+//! Fig. 4's x-axis is "bandwidth required, in multiples of one engine's" —
+//! this module pins down what one engine supplies. Two classic
+//! organizations are modelled:
+//!
+//! * **Iterative** (round-based): one round per cycle, a new 16 B block
+//!   every [`AES_ROUNDS`] cycles. The cheap organization Fig. 4's area
+//!   constants assume.
+//! * **Pipelined** (unrolled): one 16 B block per cycle after an
+//!   [`AES_ROUNDS`]-cycle fill, at roughly `AES_ROUNDS`× the area.
+//!
+//! The model answers the sizing questions the paper's Fig. 4 sweep and the
+//! `design_space` example ask: how many engine-equivalents of pad
+//! bandwidth does an NPU need, and what latency does OTP generation add
+//! before it is hidden by precomputation.
+
+use serde::{Deserialize, Serialize};
+
+/// AES-128 round count (plus the initial AddRoundKey, folded in).
+pub const AES_ROUNDS: u64 = 11;
+
+/// Bytes produced per AES evaluation.
+pub const PAD_BYTES: u64 = 16;
+
+/// AES engine micro-architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Round-iterative: one block per [`AES_ROUNDS`] cycles, small area.
+    Iterative,
+    /// Fully unrolled and pipelined: one block per cycle after fill.
+    Pipelined,
+}
+
+/// Timing model of one AES engine at a given clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineTiming {
+    /// Micro-architecture.
+    pub kind: EngineKind,
+    /// Engine clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl EngineTiming {
+    /// Creates a timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive.
+    pub fn new(kind: EngineKind, clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        Self { kind, clock_hz }
+    }
+
+    /// Cycles between successive pad outputs (initiation interval).
+    pub fn initiation_interval(&self) -> u64 {
+        match self.kind {
+            EngineKind::Iterative => AES_ROUNDS,
+            EngineKind::Pipelined => 1,
+        }
+    }
+
+    /// Latency in cycles from counter to pad.
+    pub fn latency_cycles(&self) -> u64 {
+        AES_ROUNDS
+    }
+
+    /// Sustained pad bandwidth in bytes/second.
+    pub fn pad_bandwidth(&self) -> f64 {
+        PAD_BYTES as f64 * self.clock_hz / self.initiation_interval() as f64
+    }
+
+    /// Engine instances needed to keep up with `memory_bandwidth`
+    /// (bytes/second) under T-AES, where every 16 B segment pays a full
+    /// evaluation.
+    pub fn taes_engines_for(&self, memory_bandwidth: f64) -> u32 {
+        (memory_bandwidth / self.pad_bandwidth()).ceil().max(1.0) as u32
+    }
+
+    /// Engine instances needed under B-AES, where one evaluation covers
+    /// [`crate::otp::PADS_PER_SCHEDULE`] segments via round-key XORs.
+    pub fn baes_engines_for(&self, memory_bandwidth: f64) -> u32 {
+        let effective = self.pad_bandwidth() * crate::otp::PADS_PER_SCHEDULE as f64;
+        (memory_bandwidth / effective).ceil().max(1.0) as u32
+    }
+
+    /// Bandwidth multiple (Fig. 4's x-axis) an accelerator with
+    /// `memory_bandwidth` demands of this engine.
+    pub fn bandwidth_multiple(&self, memory_bandwidth: f64) -> u32 {
+        self.taes_engines_for(memory_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterative_engine_bandwidth() {
+        // 1 GHz iterative: 16 B / 11 cycles ≈ 1.45 GB/s.
+        let e = EngineTiming::new(EngineKind::Iterative, 1.0e9);
+        let bw = e.pad_bandwidth();
+        assert!((bw - 16.0e9 / 11.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pipelined_is_rounds_times_faster() {
+        let it = EngineTiming::new(EngineKind::Iterative, 2.0e9);
+        let pl = EngineTiming::new(EngineKind::Pipelined, 2.0e9);
+        assert!((pl.pad_bandwidth() / it.pad_bandwidth() - AES_ROUNDS as f64).abs() < 1e-9);
+        assert_eq!(it.latency_cycles(), pl.latency_cycles());
+    }
+
+    #[test]
+    fn tpu_v1_needs_many_iterative_engines() {
+        // Server NPU: 20 GB/s at 1 GHz → 14 iterative engines for T-AES,
+        // but only 2 for B-AES.
+        let e = EngineTiming::new(EngineKind::Iterative, 1.0e9);
+        assert_eq!(e.taes_engines_for(20.0e9), 14);
+        assert_eq!(e.baes_engines_for(20.0e9), 2);
+    }
+
+    #[test]
+    fn edge_npu_needs_fewer() {
+        // Edge: 10 GB/s at 2.75 GHz.
+        let e = EngineTiming::new(EngineKind::Iterative, 2.75e9);
+        assert_eq!(e.taes_engines_for(10.0e9), 3);
+        assert_eq!(e.baes_engines_for(10.0e9), 1);
+    }
+
+    #[test]
+    fn baes_never_needs_more_engines_than_taes() {
+        let e = EngineTiming::new(EngineKind::Iterative, 1.5e9);
+        for gbps in [1.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+            let bw = gbps * 1e9;
+            assert!(e.baes_engines_for(bw) <= e.taes_engines_for(bw));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rejected() {
+        let _ = EngineTiming::new(EngineKind::Iterative, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Message authentication codes for protected data blocks, and the XOR-MAC
+//! layer folding that SeDA's multi-level integrity verification uses.
+//!
+//! Two MAC constructions are provided:
+//!
+//! * [`PositionlessMac`] — hashes only the ciphertext (plus `PA || VN`), the
+//!   construction Securator-style layer checks implicitly rely on. XOR-folding
+//!   these is vulnerable to the Re-Permutation Attack (RePA, Algorithm 2).
+//! * [`PositionBoundMac`] — SeDA's defense: binds `layer_id`, `fmap_idx` and
+//!   `blk_idx` into each optBlk MAC (Algorithm 2 lines 7-8), so a shuffled
+//!   layer no longer XOR-folds to the same layer MAC.
+
+use crate::sha256::hmac_sha256;
+
+/// MAC width assumed throughout the evaluation (8 B MAC per block).
+pub const MAC_BYTES: usize = 8;
+
+/// A truncated 64-bit MAC tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacTag(pub u64);
+
+impl MacTag {
+    /// XOR-combines two tags (the XOR-MAC fold of Bellare et al.).
+    pub fn xor(self, other: MacTag) -> MacTag {
+        MacTag(self.0 ^ other.0)
+    }
+}
+
+impl core::fmt::Display for MacTag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Position metadata bound into a SeDA optBlk MAC (Algorithm 2, line 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockPosition {
+    /// Index of the layer the block belongs to.
+    pub layer_id: u32,
+    /// Index of the feature map (or weight tensor) within the layer.
+    pub fmap_idx: u32,
+    /// Index of the block within the feature map.
+    pub blk_idx: u32,
+}
+
+impl BlockPosition {
+    /// Creates a position triple.
+    pub fn new(layer_id: u32, fmap_idx: u32, blk_idx: u32) -> Self {
+        Self {
+            layer_id,
+            fmap_idx,
+            blk_idx,
+        }
+    }
+}
+
+fn truncate(digest: &[u8; 32]) -> MacTag {
+    MacTag(u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix")))
+}
+
+/// The naive block MAC: `HMAC_K(blk || PA || VN)`.
+///
+/// Freshness per block is sound, but XOR-folding these into a layer MAC is
+/// order-insensitive — see [`crate::mac::xor_fold`] and the RePA attack.
+#[derive(Debug, Clone)]
+pub struct PositionlessMac {
+    key: [u8; 16],
+}
+
+impl PositionlessMac {
+    /// Creates a MAC engine under `key`.
+    pub fn new(key: [u8; 16]) -> Self {
+        Self { key }
+    }
+
+    /// MACs a ciphertext block bound to its address and version.
+    pub fn tag(&self, blk: &[u8], pa: u64, vn: u64) -> MacTag {
+        let mut msg = Vec::with_capacity(blk.len() + 16);
+        msg.extend_from_slice(blk);
+        msg.extend_from_slice(&pa.to_be_bytes());
+        msg.extend_from_slice(&vn.to_be_bytes());
+        truncate(&hmac_sha256(&self.key, &msg))
+    }
+}
+
+/// SeDA's position-bound optBlk MAC:
+/// `HMAC_K(blk || PA || VN || layer_id || fmap_idx || blk_idx)`.
+///
+/// # Examples
+///
+/// ```
+/// use seda_crypto::mac::{BlockPosition, PositionBoundMac};
+///
+/// let mac = PositionBoundMac::new([1u8; 16]);
+/// let a = mac.tag(b"block-a", 0x100, 0, BlockPosition::new(3, 0, 7));
+/// let b = mac.tag(b"block-a", 0x100, 0, BlockPosition::new(3, 0, 8));
+/// assert_ne!(a, b, "same data at a different block index must not collide");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionBoundMac {
+    key: [u8; 16],
+}
+
+impl PositionBoundMac {
+    /// Creates a MAC engine under `key`.
+    pub fn new(key: [u8; 16]) -> Self {
+        Self { key }
+    }
+
+    /// MACs a ciphertext block bound to address, version, and position.
+    pub fn tag(&self, blk: &[u8], pa: u64, vn: u64, pos: BlockPosition) -> MacTag {
+        let mut msg = Vec::with_capacity(blk.len() + 28);
+        msg.extend_from_slice(blk);
+        msg.extend_from_slice(&pa.to_be_bytes());
+        msg.extend_from_slice(&vn.to_be_bytes());
+        msg.extend_from_slice(&pos.layer_id.to_be_bytes());
+        msg.extend_from_slice(&pos.fmap_idx.to_be_bytes());
+        msg.extend_from_slice(&pos.blk_idx.to_be_bytes());
+        truncate(&hmac_sha256(&self.key, &msg))
+    }
+}
+
+/// XOR-folds a sequence of block tags into a single aggregate tag.
+///
+/// This is the layer-MAC fold of SeDA (and the Securator layer check). The
+/// fold is *commutative*: order does not affect the result, which is exactly
+/// why position binding inside each tag is required for security.
+pub fn xor_fold<I: IntoIterator<Item = MacTag>>(tags: I) -> MacTag {
+    tags.into_iter().fold(MacTag(0), MacTag::xor)
+}
+
+/// Incremental XOR-MAC accumulator for a layer (or whole model).
+///
+/// Supports the incrementality property of XOR-MACs: re-writing one block
+/// updates the aggregate by XORing out the old tag and XORing in the new one,
+/// without touching any other block.
+///
+/// # Examples
+///
+/// ```
+/// use seda_crypto::mac::{MacTag, XorAccumulator};
+///
+/// let mut acc = XorAccumulator::new();
+/// acc.add(MacTag(0xaaaa));
+/// acc.add(MacTag(0x5555));
+/// acc.replace(MacTag(0x5555), MacTag(0x1111));
+/// assert_eq!(acc.value(), MacTag(0xaaaa ^ 0x1111));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorAccumulator {
+    value: MacTag,
+    blocks: u64,
+}
+
+impl XorAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block tag to the aggregate.
+    pub fn add(&mut self, tag: MacTag) {
+        self.value = self.value.xor(tag);
+        self.blocks += 1;
+    }
+
+    /// Replaces a block's tag after a write (incremental update).
+    pub fn replace(&mut self, old: MacTag, new: MacTag) {
+        self.value = self.value.xor(old).xor(new);
+    }
+
+    /// Removes a block tag (e.g. when a buffer is freed).
+    pub fn remove(&mut self, tag: MacTag) {
+        self.value = self.value.xor(tag);
+        self.blocks = self.blocks.saturating_sub(1);
+    }
+
+    /// Current aggregate tag.
+    pub fn value(&self) -> MacTag {
+        self.value
+    }
+
+    /// Number of live blocks folded in.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Verifies the aggregate against an expected value.
+    pub fn verify(&self, expected: MacTag) -> bool {
+        self.value == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_depend_on_every_input() {
+        let mac = PositionBoundMac::new([9u8; 16]);
+        let base = mac.tag(b"data", 1, 2, BlockPosition::new(3, 4, 5));
+        assert_ne!(base, mac.tag(b"datA", 1, 2, BlockPosition::new(3, 4, 5)));
+        assert_ne!(base, mac.tag(b"data", 9, 2, BlockPosition::new(3, 4, 5)));
+        assert_ne!(base, mac.tag(b"data", 1, 9, BlockPosition::new(3, 4, 5)));
+        assert_ne!(base, mac.tag(b"data", 1, 2, BlockPosition::new(9, 4, 5)));
+        assert_ne!(base, mac.tag(b"data", 1, 2, BlockPosition::new(3, 9, 5)));
+        assert_ne!(base, mac.tag(b"data", 1, 2, BlockPosition::new(3, 4, 9)));
+    }
+
+    #[test]
+    fn xor_fold_is_order_insensitive() {
+        let tags = [MacTag(1), MacTag(2), MacTag(4), MacTag(8)];
+        let mut rev = tags;
+        rev.reverse();
+        assert_eq!(xor_fold(tags), xor_fold(rev));
+    }
+
+    #[test]
+    fn accumulator_matches_fold() {
+        let tags = [MacTag(0xdead), MacTag(0xbeef), MacTag(0xf00d)];
+        let mut acc = XorAccumulator::new();
+        for t in tags {
+            acc.add(t);
+        }
+        assert_eq!(acc.value(), xor_fold(tags));
+        assert_eq!(acc.blocks(), 3);
+    }
+
+    #[test]
+    fn incremental_replace_equals_rebuild() {
+        let mac = PositionlessMac::new([2u8; 16]);
+        let old = mac.tag(b"old", 0x40, 0);
+        let new = mac.tag(b"new", 0x40, 1);
+        let other = mac.tag(b"other", 0x80, 0);
+        let mut acc = XorAccumulator::new();
+        acc.add(old);
+        acc.add(other);
+        acc.replace(old, new);
+        assert_eq!(acc.value(), xor_fold([new, other]));
+    }
+
+    #[test]
+    fn verify_detects_tamper() {
+        let mac = PositionBoundMac::new([5u8; 16]);
+        let good = mac.tag(b"payload", 0, 0, BlockPosition::default());
+        let bad = mac.tag(b"Payload", 0, 0, BlockPosition::default());
+        let mut acc = XorAccumulator::new();
+        acc.add(good);
+        assert!(acc.verify(good));
+        assert!(!acc.verify(bad));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+use seda_crypto::aes::{expand_key, Aes128, ROUND_KEYS};
+use seda_crypto::ctr::{AesCtr, CounterSeed};
+use seda_crypto::mac::{xor_fold, BlockPosition, MacTag, PositionBoundMac, XorAccumulator};
+use seda_crypto::otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp, PADS_PER_SCHEDULE};
+use seda_crypto::sha256::{hmac_sha256, Sha256};
+
+proptest! {
+    #[test]
+    fn aes_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(key);
+        prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+    }
+
+    #[test]
+    fn key_schedule_is_deterministic_and_distinct(key in any::<[u8; 16]>()) {
+        let k1 = expand_key(key);
+        let k2 = expand_key(key);
+        prop_assert_eq!(k1, k2);
+        for i in 0..ROUND_KEYS {
+            for j in i + 1..ROUND_KEYS {
+                prop_assert_ne!(k1[i], k1[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ctr_is_an_involution(key in any::<[u8; 16]>(), pa in any::<u64>(), vn in any::<u64>(),
+                            data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let ctr = AesCtr::new(key);
+        let mut buf = data.clone();
+        ctr.apply_keystream(CounterSeed::new(pa, vn), &mut buf);
+        ctr.apply_keystream(CounterSeed::new(pa, vn), &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn ctr_keystreams_differ_across_seeds(key in any::<[u8; 16]>(),
+                                          pa1 in any::<u64>(), vn1 in 0u64..(1 << 32),
+                                          pa2 in any::<u64>(), vn2 in 0u64..(1 << 32)) {
+        prop_assume!((pa1, vn1) != (pa2, vn2));
+        let ctr = AesCtr::new(key);
+        prop_assert_ne!(ctr.otp(CounterSeed::new(pa1, vn1)), ctr.otp(CounterSeed::new(pa2, vn2)));
+    }
+
+    #[test]
+    fn all_strategies_are_involutions(key in any::<[u8; 16]>(), pa in any::<u64>(),
+                                      vn in 0u64..(1 << 32),
+                                      data in prop::collection::vec(any::<u8>(), 1..600)) {
+        let seed = CounterSeed::new(pa, vn);
+        let t = TraditionalOtp::new(key);
+        let b = BandwidthAwareOtp::new(key);
+        let s = SharedOtp::new(key);
+        for strategy in [&t as &dyn OtpStrategy, &b, &s] {
+            let mut buf = data.clone();
+            strategy.apply(seed, &mut buf);
+            strategy.apply(seed, &mut buf);
+            prop_assert_eq!(&buf, &data);
+        }
+    }
+
+    #[test]
+    fn baes_pads_distinct_within_block(key in any::<[u8; 16]>(), pa in any::<u64>(), vn in any::<u64>(),
+                                       i in 0usize..40, j in 0usize..40) {
+        prop_assume!(i != j);
+        let b = BandwidthAwareOtp::new(key);
+        let seed = CounterSeed::new(pa, vn);
+        prop_assert_ne!(b.segment_otp(seed, i), b.segment_otp(seed, j));
+    }
+
+    #[test]
+    fn baes_engine_cost_is_sublinear(segments in 1usize..200) {
+        let b = BandwidthAwareOtp::new([0u8; 16]);
+        let evals = b.aes_evaluations(segments);
+        prop_assert!(evals <= 1 + segments / PADS_PER_SCHEDULE);
+        prop_assert!(evals >= 1);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_length_sensitive(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let d1 = Sha256::digest(&data);
+        let d2 = Sha256::digest(&data);
+        prop_assert_eq!(d1, d2);
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(Sha256::digest(&extended), d1);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..400),
+                                         split in 0usize..400) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_differs_under_different_keys(k1 in any::<[u8; 16]>(), k2 in any::<[u8; 16]>(),
+                                         data in prop::collection::vec(any::<u8>(), 0..100)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &data), hmac_sha256(&k2, &data));
+    }
+
+    #[test]
+    fn xor_fold_is_commutative_and_self_cancelling(tags in prop::collection::vec(any::<u64>(), 0..40)) {
+        let tags: Vec<MacTag> = tags.into_iter().map(MacTag).collect();
+        let mut shuffled = tags.clone();
+        shuffled.reverse();
+        prop_assert_eq!(xor_fold(tags.iter().copied()), xor_fold(shuffled));
+        // Folding every tag twice cancels to zero.
+        let doubled = tags.iter().chain(tags.iter()).copied();
+        prop_assert_eq!(xor_fold(doubled), MacTag(0));
+    }
+
+    #[test]
+    fn accumulator_replace_is_consistent(tags in prop::collection::vec(any::<u64>(), 1..20),
+                                         new_tag in any::<u64>(), idx in 0usize..20) {
+        let tags: Vec<MacTag> = tags.into_iter().map(MacTag).collect();
+        let idx = idx % tags.len();
+        let mut acc = XorAccumulator::new();
+        for t in &tags {
+            acc.add(*t);
+        }
+        acc.replace(tags[idx], MacTag(new_tag));
+        let mut rebuilt = tags.clone();
+        rebuilt[idx] = MacTag(new_tag);
+        prop_assert_eq!(acc.value(), xor_fold(rebuilt));
+    }
+
+    #[test]
+    fn position_bound_macs_separate_positions(data in prop::collection::vec(any::<u8>(), 1..128),
+                                              l1 in any::<u32>(), b1 in any::<u32>(),
+                                              l2 in any::<u32>(), b2 in any::<u32>()) {
+        prop_assume!((l1, b1) != (l2, b2));
+        let mac = PositionBoundMac::new([0x33; 16]);
+        let t1 = mac.tag(&data, 0, 0, BlockPosition::new(l1, 0, b1));
+        let t2 = mac.tag(&data, 0, 0, BlockPosition::new(l2, 0, b2));
+        prop_assert_ne!(t1, t2);
+    }
+}

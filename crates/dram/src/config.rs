@@ -1,0 +1,128 @@
+//! DRAM organization and timing configuration.
+//!
+//! Timing parameters are expressed in memory-controller clock cycles of a
+//! DDR4-style device. The evaluation (Table II) attaches four 64-bit DDR
+//! channels to both NPUs; per-channel peak bandwidth is
+//! `8 B × 2 × f_mem`, so the memory clock is derived from the paper's
+//! aggregate bandwidth figure.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one DRAM access (a burst of eight 64-bit beats) in bytes.
+pub const ACCESS_BYTES: u64 = 64;
+
+/// DRAM organization and timing, DDR4-flavoured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Memory-controller clock in Hz (command clock; data moves at 2×).
+    pub clock_hz: f64,
+    /// ACT-to-column command delay (tRCD), cycles.
+    pub t_rcd: u64,
+    /// Precharge delay (tRP), cycles.
+    pub t_rp: u64,
+    /// Read column-access latency (CL), cycles.
+    pub t_cl: u64,
+    /// Write column-access latency (CWL), cycles.
+    pub t_cwl: u64,
+    /// Minimum ACT-to-PRE interval (tRAS), cycles.
+    pub t_ras: u64,
+    /// Burst length on the data bus (BL8 on a DDR bus = 4 clock cycles).
+    pub t_bl: u64,
+    /// Write recovery time (tWR), cycles.
+    pub t_wr: u64,
+    /// Average refresh interval (tREFI), cycles. Zero disables refresh.
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC), cycles the channel is blocked per refresh.
+    pub t_rfc: u64,
+}
+
+impl DramConfig {
+    /// A DDR4-2400-class device behind four channels delivering the
+    /// requested aggregate peak bandwidth in bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or `peak_bandwidth` is not positive.
+    pub fn ddr4_with_bandwidth(channels: u32, peak_bandwidth: f64) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        assert!(peak_bandwidth > 0.0, "bandwidth must be positive");
+        // Per channel: 8 B bus × 2 transfers/clock.
+        let clock_hz = peak_bandwidth / f64::from(channels) / 16.0;
+        Self {
+            channels,
+            ranks: 1,
+            banks: 16,
+            row_bytes: 8192,
+            clock_hz,
+            t_rcd: 16,
+            t_rp: 16,
+            t_cl: 16,
+            t_cwl: 12,
+            t_ras: 39,
+            t_bl: 4,
+            t_wr: 18,
+            // 7.8 µs tREFI / 350 ns tRFC at the derived clock.
+            t_refi: (7.8e-6 * clock_hz) as u64,
+            t_rfc: (350.0e-9 * clock_hz) as u64,
+        }
+    }
+
+    /// Table II server NPU memory system: 20 GB/s over 4 channels.
+    pub fn server() -> Self {
+        Self::ddr4_with_bandwidth(4, 20.0e9)
+    }
+
+    /// Table II edge NPU memory system: 10 GB/s over 4 channels.
+    pub fn edge() -> Self {
+        Self::ddr4_with_bandwidth(4, 10.0e9)
+    }
+
+    /// Aggregate peak bandwidth in bytes/second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        f64::from(self.channels) * 16.0 * self.clock_hz
+    }
+
+    /// Number of 64 B column slots in one row.
+    pub fn columns_per_row(&self) -> u64 {
+        self.row_bytes / ACCESS_BYTES
+    }
+
+    /// Converts memory-controller cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_round_trips() {
+        let c = DramConfig::server();
+        assert!((c.peak_bandwidth() - 20.0e9).abs() < 1.0);
+        let e = DramConfig::edge();
+        assert!((e.peak_bandwidth() - 10.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn row_holds_power_of_two_columns() {
+        let c = DramConfig::server();
+        assert_eq!(c.columns_per_row(), 128);
+        assert!(c.columns_per_row().is_power_of_two());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = DramConfig::ddr4_with_bandwidth(0, 1.0e9);
+    }
+}

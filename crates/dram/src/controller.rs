@@ -1,0 +1,346 @@
+//! Per-channel memory controller with bank state tracking.
+//!
+//! The model is an open-page policy with in-order issue per channel and
+//! bank-level parallelism: a request's column command waits for its bank
+//! (activate/precharge latency on a row miss) while other banks' transfers
+//! keep the data bus busy. This captures the first-order behaviour that
+//! differentiates protection schemes — metadata accesses break row locality
+//! and add serialized activates — without a full command-level replay.
+
+use crate::config::DramConfig;
+use crate::mapping::{AddressMapping, DramCoord};
+use crate::request::{Request, RowOutcome};
+use crate::stats::DramStats;
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank can accept its next column command
+    /// (enforces column-to-column spacing, tCCD).
+    next_col: u64,
+    /// Cycle after which the bank may be precharged (in-flight data plus
+    /// write recovery must drain first).
+    busy_until: u64,
+    /// Cycle of the last activate (for tRAS enforcement on precharge).
+    activated: u64,
+}
+
+impl BankState {
+    fn new() -> Self {
+        Self {
+            open_row: None,
+            next_col: 0,
+            busy_until: 0,
+            activated: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<BankState>,
+    /// Cycle after which the data bus is free.
+    bus_free: u64,
+    /// Clock of the most recent command issue (monotonic per channel).
+    now: u64,
+}
+
+impl Channel {
+    fn new(bank_count: usize) -> Self {
+        Self {
+            banks: vec![BankState::new(); bank_count],
+            bus_free: 0,
+            now: 0,
+        }
+    }
+}
+
+/// A multi-channel DRAM timing simulator.
+///
+/// Feed it a request stream with [`DramSim::access`] (or in bulk with
+/// [`DramSim::run`]) and read aggregate timing from [`DramSim::stats`].
+/// Bank and bus state persist across calls, so a whole inference can be
+/// simulated layer by layer.
+///
+/// # Examples
+///
+/// ```
+/// use seda_dram::{DramConfig, DramSim, Request};
+///
+/// let mut sim = DramSim::new(DramConfig::edge());
+/// for i in 0..1024u64 {
+///     sim.access(Request::read(i * 64));
+/// }
+/// let stats = sim.stats();
+/// assert_eq!(stats.reads, 1024);
+/// assert!(stats.row_hits > stats.row_conflicts, "streaming should hit rows");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    config: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl DramSim {
+    /// Creates a simulator with all banks precharged at cycle zero.
+    pub fn new(config: DramConfig) -> Self {
+        let mapping = AddressMapping::new(&config);
+        let channels = (0..config.channels)
+            .map(|_| Channel::new((config.banks * config.ranks) as usize))
+            .collect();
+        Self {
+            config,
+            mapping,
+            channels,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Simulates one 64 B access and returns its row-buffer outcome.
+    pub fn access(&mut self, req: Request) -> RowOutcome {
+        let coord = self.mapping.decode(req.addr);
+        let outcome = self.access_decoded(req, coord);
+        self.stats.record(req, outcome);
+        outcome
+    }
+
+    fn access_decoded(&mut self, req: Request, coord: DramCoord) -> RowOutcome {
+        let cfg = &self.config;
+        let ch = &mut self.channels[coord.channel as usize];
+        let bank_idx = (coord.rank * cfg.banks + coord.bank) as usize;
+        let bank = &mut ch.banks[bank_idx];
+
+        // FR-FCFS-style front end: a request to a ready bank may issue
+        // while another bank resolves a row conflict; only the data bus
+        // and per-bank state serialize. `now` advances with the stream so
+        // requests cannot issue before they arrive.
+        let arrival = ch.now;
+        let outcome;
+        // Cycle at which the column command can be issued to this bank.
+        let col_ready = match bank.open_row {
+            Some(row) if row == coord.row => {
+                outcome = RowOutcome::Hit;
+                arrival.max(bank.next_col)
+            }
+            Some(_) => {
+                outcome = RowOutcome::Conflict;
+                // Precharge (after in-flight data drains and tRAS elapses),
+                // then activate, then the column command after tRCD.
+                let pre_at = arrival
+                    .max(bank.busy_until)
+                    .max(bank.activated + cfg.t_ras);
+                let act_at = pre_at + cfg.t_rp;
+                bank.activated = act_at;
+                act_at + cfg.t_rcd
+            }
+            None => {
+                outcome = RowOutcome::Empty;
+                let act_at = arrival.max(bank.next_col);
+                bank.activated = act_at;
+                act_at + cfg.t_rcd
+            }
+        };
+        bank.open_row = Some(coord.row);
+
+        let cas = if req.is_write { cfg.t_cwl } else { cfg.t_cl };
+        // Data occupies the bus for t_bl cycles after CAS latency; column
+        // commands to the same bank pipeline at tCCD (= burst) spacing.
+        // All-bank refresh blocks the channel for tRFC every tREFI: a
+        // transfer landing inside a refresh window slips past it.
+        let mut data_start = (col_ready + cas).max(ch.bus_free);
+        if cfg.t_refi > 0 {
+            let phase = data_start % cfg.t_refi;
+            if phase < cfg.t_rfc {
+                data_start += cfg.t_rfc - phase;
+            }
+        }
+        let data_end = data_start + cfg.t_bl;
+        ch.bus_free = data_end;
+        // Arrival time advances with the bus, not with stalled banks: a
+        // conflicted request does not block younger requests to other banks.
+        ch.now = ch.now.max(data_start.saturating_sub(cas + cfg.t_rcd));
+        bank.next_col = data_start - cas + cfg.t_bl;
+        bank.busy_until = if req.is_write {
+            data_end + cfg.t_wr
+        } else {
+            data_end
+        };
+        outcome
+    }
+
+    /// Simulates a request stream.
+    pub fn run<I: IntoIterator<Item = Request>>(&mut self, requests: I) {
+        for r in requests {
+            self.access(r);
+        }
+    }
+
+    /// Total elapsed memory-controller cycles (the slowest channel's clock).
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.bus_free).max().unwrap_or(0)
+    }
+
+    /// Elapsed time in seconds at the configured memory clock.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.config.cycles_to_seconds(self.elapsed_cycles())
+    }
+
+    /// Aggregate access statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Achieved bandwidth in bytes/second over the elapsed window.
+    pub fn achieved_bandwidth(&self) -> f64 {
+        let secs = self.elapsed_seconds();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.stats.bytes() as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ACCESS_BYTES;
+
+    fn sim() -> DramSim {
+        DramSim::new(DramConfig::server())
+    }
+
+    #[test]
+    fn sequential_stream_approaches_peak_bandwidth() {
+        let mut s = sim();
+        for i in 0..100_000u64 {
+            s.access(Request::read(i * ACCESS_BYTES));
+        }
+        let eff = s.achieved_bandwidth() / s.config().peak_bandwidth();
+        assert!(eff > 0.85, "streaming efficiency too low: {eff:.3}");
+    }
+
+    #[test]
+    fn random_rows_are_much_slower() {
+        let mut seq = sim();
+        let mut rnd = sim();
+        let n = 20_000u64;
+        for i in 0..n {
+            seq.access(Request::read(i * ACCESS_BYTES));
+            // Jump a whole row per access within one bank's address space.
+            let row_span = 8192 * 4; // row_bytes * channels
+            rnd.access(Request::read((i * 7919) % 4096 * row_span));
+        }
+        assert!(
+            rnd.elapsed_cycles() > 2 * seq.elapsed_cycles(),
+            "row conflicts should cost: rnd={} seq={}",
+            rnd.elapsed_cycles(),
+            seq.elapsed_cycles()
+        );
+    }
+
+    #[test]
+    fn first_access_is_an_empty_row() {
+        let mut s = sim();
+        assert_eq!(s.access(Request::read(0)), RowOutcome::Empty);
+        assert_eq!(s.access(Request::read(0)), RowOutcome::Hit);
+    }
+
+    #[test]
+    fn conflict_detected_on_row_change() {
+        let cfg = DramConfig::server();
+        // Same channel, same bank, next row: skip over all columns, banks,
+        // and ranks of the interleaving.
+        let row_span = cfg.columns_per_row()
+            * u64::from(cfg.channels)
+            * u64::from(cfg.banks)
+            * u64::from(cfg.ranks)
+            * ACCESS_BYTES;
+        let mut s = DramSim::new(cfg);
+        s.access(Request::read(0));
+        assert_eq!(s.access(Request::read(row_span)), RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes() {
+        let mut s = sim();
+        s.access(Request::read(0));
+        s.access(Request::write(64));
+        s.access(Request::write(128));
+        assert_eq!(s.stats().reads, 1);
+        assert_eq!(s.stats().writes, 2);
+        assert_eq!(s.stats().bytes(), 3 * ACCESS_BYTES);
+    }
+
+    #[test]
+    fn elapsed_cycles_monotone() {
+        let mut s = sim();
+        let mut last = 0;
+        for i in 0..100 {
+            s.access(Request::read(i * 64));
+            let e = s.elapsed_cycles();
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn channels_share_load_for_striped_streams() {
+        let mut s = sim();
+        for i in 0..4096u64 {
+            s.access(Request::read(i * ACCESS_BYTES));
+        }
+        // A striped stream of N accesses at 4 channels and tBL=4 should take
+        // roughly N/4 * tBL cycles, far below serial N * tBL.
+        let cycles = s.elapsed_cycles();
+        assert!(cycles < 4096 * 4 / 2, "no channel parallelism: {cycles}");
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+    use crate::config::ACCESS_BYTES;
+
+    #[test]
+    fn refresh_steals_a_bounded_fraction_of_bandwidth() {
+        let cfg = DramConfig::server();
+        let mut with = DramSim::new(cfg.clone());
+        let mut without = DramSim::new(DramConfig {
+            t_refi: 0,
+            ..cfg
+        });
+        for i in 0..2_000_000u64 {
+            with.access(Request::read(i * ACCESS_BYTES));
+            without.access(Request::read(i * ACCESS_BYTES));
+        }
+        let ratio = with.elapsed_cycles() as f64 / without.elapsed_cycles() as f64;
+        assert!(ratio > 1.0, "refresh must cost something: {ratio}");
+        // tRFC/tREFI = 350ns/7.8us ≈ 4.5%.
+        assert!(ratio < 1.08, "refresh overhead too large: {ratio}");
+    }
+
+    #[test]
+    fn no_transfer_lands_inside_a_refresh_window() {
+        let cfg = DramConfig::server();
+        let (refi, rfc) = (cfg.t_refi, cfg.t_rfc);
+        assert!(refi > rfc && rfc > 0);
+        let mut sim = DramSim::new(cfg);
+        for i in 0..100_000u64 {
+            sim.access(Request::read(i * ACCESS_BYTES));
+            // bus_free marks the end of the last transfer; its start must
+            // not be inside [k*tREFI, k*tREFI + tRFC).
+            let end = sim.elapsed_cycles();
+            let start = end - 4; // t_bl
+            assert!(start % refi >= rfc || start.is_multiple_of(refi) || start < rfc,
+                "transfer started inside refresh at {start}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! DRAM energy model.
+//!
+//! An extension beyond the paper's figures: protection metadata costs not
+//! just time but DRAM energy (extra activates for scattered metadata rows,
+//! extra bursts for MAC/VN lines). The model uses DDR4-class per-operation
+//! energies so scheme comparisons can be made in millijoules as well as
+//! cycles; constants follow the widely used DRAMPower/Micron datasheet
+//! methodology at 1.2 V.
+
+use crate::stats::DramStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation DRAM energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one activate+precharge pair (row open/close).
+    pub act_pre_pj: f64,
+    /// Energy of one 64 B read burst (column access + I/O).
+    pub read_pj: f64,
+    /// Energy of one 64 B write burst.
+    pub write_pj: f64,
+    /// Background power in milliwatts (standby + refresh), charged per
+    /// second of elapsed time.
+    pub background_mw: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::ddr4()
+    }
+}
+
+impl EnergyParams {
+    /// DDR4-2400-class energies (x64 channel, 1.2 V).
+    pub fn ddr4() -> Self {
+        Self {
+            act_pre_pj: 1700.0,
+            read_pj: 2100.0,
+            write_pj: 2300.0,
+            background_mw: 110.0,
+        }
+    }
+
+    /// LPDDR4-class energies for the edge NPU (lower I/O swing).
+    pub fn lpddr4() -> Self {
+        Self {
+            act_pre_pj: 900.0,
+            read_pj: 1100.0,
+            write_pj: 1250.0,
+            background_mw: 45.0,
+        }
+    }
+}
+
+/// An energy estimate decomposed by source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Activate/precharge energy in millijoules.
+    pub activate_mj: f64,
+    /// Read burst energy in millijoules.
+    pub read_mj: f64,
+    /// Write burst energy in millijoules.
+    pub write_mj: f64,
+    /// Background (standby + refresh) energy in millijoules.
+    pub background_mj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.activate_mj + self.read_mj + self.write_mj + self.background_mj
+    }
+}
+
+/// Estimates the energy of a simulated access stream.
+///
+/// `elapsed_seconds` should come from [`crate::DramSim::elapsed_seconds`];
+/// activations are the non-hit accesses (empty + conflict outcomes both
+/// open a row; conflicts additionally precharged one, folded into the
+/// act/pre pair energy).
+pub fn estimate(params: &EnergyParams, stats: &DramStats, elapsed_seconds: f64) -> EnergyEstimate {
+    let activations = stats.row_empties + stats.row_conflicts;
+    EnergyEstimate {
+        activate_mj: activations as f64 * params.act_pre_pj * 1e-9,
+        read_mj: stats.reads as f64 * params.read_pj * 1e-9,
+        write_mj: stats.writes as f64 * params.write_pj * 1e-9,
+        background_mj: params.background_mw * elapsed_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DramConfig, DramSim, Request, ACCESS_BYTES};
+
+    #[test]
+    fn streaming_energy_is_read_dominated() {
+        let mut sim = DramSim::new(DramConfig::server());
+        for i in 0..100_000u64 {
+            sim.access(Request::read(i * ACCESS_BYTES));
+        }
+        let e = estimate(&EnergyParams::ddr4(), sim.stats(), sim.elapsed_seconds());
+        assert!(e.read_mj > e.activate_mj, "streaming rarely activates");
+        assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn row_thrashing_inflates_activate_energy() {
+        let cfg = DramConfig::server();
+        let row_span = cfg.columns_per_row()
+            * u64::from(cfg.channels)
+            * u64::from(cfg.banks)
+            * ACCESS_BYTES;
+        let mut seq = DramSim::new(cfg.clone());
+        let mut rnd = DramSim::new(cfg);
+        for i in 0..20_000u64 {
+            seq.access(Request::read(i * ACCESS_BYTES));
+            rnd.access(Request::read((i % 997) * row_span + (i * 64) % 4096));
+        }
+        let p = EnergyParams::ddr4();
+        let e_seq = estimate(&p, seq.stats(), seq.elapsed_seconds());
+        let e_rnd = estimate(&p, rnd.stats(), rnd.elapsed_seconds());
+        assert!(e_rnd.activate_mj > 10.0 * e_seq.activate_mj);
+    }
+
+    #[test]
+    fn lpddr4_is_cheaper_than_ddr4() {
+        let mut sim = DramSim::new(DramConfig::edge());
+        for i in 0..10_000u64 {
+            sim.access(Request::write(i * ACCESS_BYTES));
+        }
+        let secs = sim.elapsed_seconds();
+        let ddr = estimate(&EnergyParams::ddr4(), sim.stats(), secs);
+        let lp = estimate(&EnergyParams::lpddr4(), sim.stats(), secs);
+        assert!(lp.total_mj() < ddr.total_mj());
+    }
+
+    #[test]
+    fn empty_stream_costs_only_background() {
+        let e = estimate(&EnergyParams::ddr4(), &DramStats::default(), 1.0e-3);
+        assert_eq!(e.activate_mj + e.read_mj + e.write_mj, 0.0);
+        assert!((e.background_mj - 0.11).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Physical-address to DRAM-coordinate mapping.
+//!
+//! The interleaving order, from least-significant block bits upward, is
+//! `channel : column : bank : rank : row` — 64 B blocks stripe across
+//! channels first (maximizing channel parallelism for streaming tensors),
+//! then walk a row's columns, then rotate banks. This matches the
+//! bandwidth-balanced mapping DNN accelerator studies assume.
+
+use crate::config::{DramConfig, ACCESS_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// A decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (64 B slot) index within the row.
+    pub column: u64,
+}
+
+/// Maps byte addresses to DRAM coordinates for a given organization.
+#[derive(Debug, Clone)]
+pub struct AddressMapping {
+    channels: u64,
+    ranks: u64,
+    banks: u64,
+    columns: u64,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel, rank, bank, or column counts are not powers of
+    /// two (required for bit-sliced decoding).
+    pub fn new(config: &DramConfig) -> Self {
+        let m = Self {
+            channels: u64::from(config.channels),
+            ranks: u64::from(config.ranks),
+            banks: u64::from(config.banks),
+            columns: config.columns_per_row(),
+        };
+        assert!(
+            m.channels.is_power_of_two()
+                && m.ranks.is_power_of_two()
+                && m.banks.is_power_of_two()
+                && m.columns.is_power_of_two(),
+            "DRAM organization dims must be powers of two"
+        );
+        m
+    }
+
+    /// Decodes a byte address into its DRAM coordinate.
+    pub fn decode(&self, addr: u64) -> DramCoord {
+        let mut block = addr / ACCESS_BYTES;
+        let channel = block % self.channels;
+        block /= self.channels;
+        let column = block % self.columns;
+        block /= self.columns;
+        let bank = block % self.banks;
+        block /= self.banks;
+        let rank = block % self.ranks;
+        block /= self.ranks;
+        DramCoord {
+            channel: channel as u32,
+            rank: rank as u32,
+            bank: bank as u32,
+            row: block,
+            column,
+        }
+    }
+
+    /// Re-encodes a coordinate into the base byte address of its 64 B slot.
+    pub fn encode(&self, coord: DramCoord) -> u64 {
+        let mut block = coord.row;
+        block = block * self.ranks + u64::from(coord.rank);
+        block = block * self.banks + u64::from(coord.bank);
+        block = block * self.columns + coord.column;
+        block = block * self.channels + u64::from(coord.channel);
+        block * ACCESS_BYTES
+    }
+
+    /// Number of channels the mapping stripes over.
+    pub fn channels(&self) -> u32 {
+        self.channels as u32
+    }
+
+    /// Number of banks per rank.
+    pub fn banks(&self) -> u32 {
+        self.banks as u32
+    }
+
+    /// Number of ranks per channel.
+    pub fn ranks(&self) -> u32 {
+        self.ranks as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let m = AddressMapping::new(&DramConfig::server());
+        for addr in [0u64, 64, 4096, 1 << 20, (1 << 34) + 8 * 64] {
+            let coord = m.decode(addr);
+            assert_eq!(m.encode(coord), addr & !(ACCESS_BYTES - 1));
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_stripe_channels() {
+        let m = AddressMapping::new(&DramConfig::server());
+        let c0 = m.decode(0);
+        let c1 = m.decode(64);
+        let c2 = m.decode(128);
+        assert_eq!(c0.channel, 0);
+        assert_eq!(c1.channel, 1);
+        assert_eq!(c2.channel, 2);
+        assert_eq!(c0.row, c1.row);
+    }
+
+    #[test]
+    fn same_slot_bytes_share_coordinate() {
+        let m = AddressMapping::new(&DramConfig::edge());
+        assert_eq!(m.decode(100), m.decode(64));
+        assert_ne!(m.decode(100), m.decode(128));
+    }
+
+    #[test]
+    fn row_changes_after_walking_columns() {
+        let cfg = DramConfig::server();
+        let m = AddressMapping::new(&cfg);
+        // One full row per channel spans columns*channels blocks.
+        let row_span = cfg.columns_per_row() * u64::from(cfg.channels) * ACCESS_BYTES;
+        let a = m.decode(0);
+        let b = m.decode(row_span);
+        assert_eq!(b.channel, a.channel);
+        assert_ne!((b.bank, b.row), (a.bank, a.row));
+    }
+}

@@ -1,0 +1,52 @@
+//! Memory request and row-buffer outcome types.
+
+use serde::{Deserialize, Serialize};
+
+/// A single 64 B DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Byte address (aligned down to the 64 B slot internally).
+    pub addr: u64,
+    /// Whether this access is a write.
+    pub is_write: bool,
+}
+
+impl Request {
+    /// A read of the 64 B slot containing `addr`.
+    pub fn read(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: false,
+        }
+    }
+
+    /// A write of the 64 B slot containing `addr`.
+    pub fn write(addr: u64) -> Self {
+        Self {
+            addr,
+            is_write: true,
+        }
+    }
+}
+
+/// Row-buffer outcome of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The bank already had the target row open.
+    Hit,
+    /// The bank was precharged; only an activate was needed.
+    Empty,
+    /// A different row was open; precharge + activate required.
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        assert!(!Request::read(0).is_write);
+        assert!(Request::write(0).is_write);
+    }
+}

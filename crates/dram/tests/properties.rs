@@ -1,0 +1,83 @@
+//! Property-based tests for the DRAM simulator.
+
+use proptest::prelude::*;
+use seda_dram::{AddressMapping, DramConfig, DramSim, Request, ACCESS_BYTES};
+
+fn configs() -> Vec<DramConfig> {
+    vec![DramConfig::server(), DramConfig::edge()]
+}
+
+proptest! {
+    #[test]
+    fn mapping_is_a_bijection_on_slots(addr in 0u64..(1 << 42)) {
+        for cfg in configs() {
+            let m = AddressMapping::new(&cfg);
+            let coord = m.decode(addr);
+            prop_assert_eq!(m.encode(coord), addr / ACCESS_BYTES * ACCESS_BYTES);
+        }
+    }
+
+    #[test]
+    fn distinct_slots_decode_distinctly(a in 0u64..(1 << 30), b in 0u64..(1 << 30)) {
+        prop_assume!(a / ACCESS_BYTES != b / ACCESS_BYTES);
+        let m = AddressMapping::new(&DramConfig::server());
+        prop_assert_ne!(m.decode(a), m.decode(b));
+    }
+
+    #[test]
+    fn elapsed_time_is_monotone(addrs in prop::collection::vec((0u64..(1 << 28), any::<bool>()), 1..200)) {
+        let mut sim = DramSim::new(DramConfig::edge());
+        let mut last = 0;
+        for (addr, is_write) in addrs {
+            sim.access(Request { addr, is_write });
+            let now = sim.elapsed_cycles();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn every_access_is_counted(addrs in prop::collection::vec((0u64..(1 << 28), any::<bool>()), 0..200)) {
+        let mut sim = DramSim::new(DramConfig::server());
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (addr, is_write) in addrs {
+            sim.access(Request { addr, is_write });
+            if is_write { writes += 1 } else { reads += 1 }
+        }
+        prop_assert_eq!(sim.stats().reads, reads);
+        prop_assert_eq!(sim.stats().writes, writes);
+        let s = sim.stats();
+        prop_assert_eq!(s.row_hits + s.row_empties + s.row_conflicts, reads + writes);
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_peak(addrs in prop::collection::vec(0u64..(1 << 28), 50..400)) {
+        let mut sim = DramSim::new(DramConfig::server());
+        for addr in addrs {
+            sim.access(Request::read(addr));
+        }
+        prop_assert!(sim.achieved_bandwidth() <= sim.config().peak_bandwidth() * 1.0001);
+    }
+
+    #[test]
+    fn repeating_one_slot_always_hits_after_first(addr in 0u64..(1 << 28), n in 2usize..50) {
+        let mut sim = DramSim::new(DramConfig::edge());
+        sim.access(Request::read(addr));
+        for _ in 1..n {
+            let outcome = sim.access(Request::read(addr));
+            prop_assert_eq!(outcome, seda_dram::RowOutcome::Hit);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(addrs in prop::collection::vec((0u64..(1 << 28), any::<bool>()), 1..150)) {
+        let run = || {
+            let mut sim = DramSim::new(DramConfig::server());
+            for (addr, is_write) in &addrs {
+                sim.access(Request { addr: *addr, is_write: *is_write });
+            }
+            (sim.elapsed_cycles(), *sim.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,230 @@
+//! SCALE-Sim-style CSV topology parsing.
+//!
+//! SCALE-Sim describes networks as CSV files with one layer per row:
+//!
+//! ```csv
+//! Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
+//! Channels, Num Filter, Strides,
+//! Conv1, 224, 224, 7, 7, 3, 64, 2,
+//! FC6, 1, 9216, 1, 1, 1, 4096, 1,
+//! ```
+//!
+//! This module reads that format (header optional, trailing commas
+//! tolerated, `#` comments skipped) so user topologies drop straight into
+//! the simulator. Rows with a 1×1 ifmap and 1×1 filter lower to GEMM
+//! layers, matching SCALE-Sim's fully-connected convention; a `DW` suffix
+//! on the layer name marks a depthwise convolution.
+
+use crate::layer::Layer;
+use crate::model::Model;
+
+/// Error produced when parsing a topology CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "topology line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+/// Parses a SCALE-Sim-style topology CSV into a model named `name`.
+///
+/// # Errors
+///
+/// Returns [`ParseTopologyError`] for malformed rows, zero dimensions,
+/// filters larger than their input, or an empty topology.
+pub fn parse_topology(name: &str, text: &str) -> Result<Model, ParseTopologyError> {
+    let mut layers = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseTopologyError {
+            line: i + 1,
+            message,
+        };
+        let fields: Vec<&str> = line
+            .split(',')
+            .map(str::trim)
+            .take_while(|f| !f.is_empty())
+            .collect();
+        if fields.is_empty() {
+            continue;
+        }
+        // Header row: second field is not numeric.
+        if fields.len() > 1 && fields[1].parse::<u32>().is_err() {
+            continue;
+        }
+        if fields.len() < 8 {
+            return Err(err(format!("expected 8 fields, found {}", fields.len())));
+        }
+        let layer_name = fields[0];
+        let mut nums = [0u32; 7];
+        for (k, f) in fields[1..8].iter().enumerate() {
+            nums[k] = f
+                .parse()
+                .map_err(|e| err(format!("field {}: {e}", k + 2)))?;
+        }
+        let [ih, iw, r, s, c, m, stride] = nums;
+        if ih == 0 || iw == 0 || r == 0 || s == 0 || c == 0 || m == 0 || stride == 0 {
+            return Err(err("dimensions must be positive".to_owned()));
+        }
+        if r > ih || s > iw {
+            return Err(err(format!("{r}x{s} filter exceeds {ih}x{iw} input")));
+        }
+        let layer = if layer_name.to_ascii_uppercase().ends_with("DW") {
+            Layer::depthwise(layer_name, ih, iw, r, s, c, stride)
+        } else if ih == 1 && r == 1 && s == 1 && stride == 1 {
+            // SCALE-Sim writes FC layers as 1 x K ifmap with 1x1 filters.
+            Layer::gemm(layer_name, 1, iw * c, m)
+        } else {
+            Layer::conv(layer_name, ih, iw, r, s, c, m, stride)
+        };
+        layers.push(layer);
+    }
+    if layers.is_empty() {
+        return Err(ParseTopologyError {
+            line: 0,
+            message: "topology has no layers".to_owned(),
+        });
+    }
+    // Model::new panics on duplicate names; surface that as an error.
+    let mut seen = std::collections::HashSet::new();
+    for l in &layers {
+        if !seen.insert(l.name.clone()) {
+            return Err(ParseTopologyError {
+                line: 0,
+                message: format!("duplicate layer name {:?}", l.name),
+            });
+        }
+    }
+    Ok(Model::new(name, layers))
+}
+
+/// Serializes a model back to the CSV topology format.
+pub fn write_topology(model: &Model) -> String {
+    use crate::layer::LayerKind;
+    let mut out = String::from(
+        "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n",
+    );
+    for l in model.layers() {
+        let row = match l.kind {
+            LayerKind::Conv {
+                ih,
+                iw,
+                r,
+                s,
+                c,
+                m,
+                stride,
+            } => format!("{}, {ih}, {iw}, {r}, {s}, {c}, {m}, {stride},", l.name),
+            LayerKind::DepthwiseConv {
+                ih,
+                iw,
+                r,
+                s,
+                c,
+                stride,
+            } => format!("{}, {ih}, {iw}, {r}, {s}, {c}, 1, {stride},", l.name),
+            LayerKind::Gemm { m, k, n } => {
+                // Batch folds into the ifmap height, matching parse rules
+                // only for m == 1 (SCALE-Sim's FC convention).
+                format!("{}, {m}, {k}, 1, 1, 1, {n}, 1,", l.name)
+            }
+        };
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    const SAMPLE: &str = "\
+Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+Conv1, 224, 224, 7, 7, 3, 64, 2,
+Conv2_DW, 112, 112, 3, 3, 64, 1, 1,
+FC6, 1, 9216, 1, 1, 1, 4096, 1,
+";
+
+    #[test]
+    fn parses_the_three_layer_kinds() {
+        let m = parse_topology("sample", SAMPLE).expect("valid");
+        assert_eq!(m.layers().len(), 3);
+        assert!(matches!(m.layers()[0].kind, LayerKind::Conv { m: 64, .. }));
+        assert!(matches!(
+            m.layers()[1].kind,
+            LayerKind::DepthwiseConv { c: 64, .. }
+        ));
+        assert!(matches!(
+            m.layers()[2].kind,
+            LayerKind::Gemm { m: 1, k: 9216, n: 4096 }
+        ));
+    }
+
+    #[test]
+    fn header_comments_and_blanks_are_skipped() {
+        let text = "# my net\n\nConv1, 8, 8, 3, 3, 1, 4, 1,\n";
+        let m = parse_topology("t", text).expect("valid");
+        assert_eq!(m.layers().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "Conv1, 8, 8, 3, 3, 1, 4, 1,\nConv2, 8, 8, 0, 3, 1, 4, 1,\n";
+        let err = parse_topology("t", text).expect_err("zero dim");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn oversized_filter_rejected() {
+        let err = parse_topology("t", "C, 2, 2, 3, 3, 1, 1, 1,").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let err = parse_topology("t", "C, 2, 2, 1,").unwrap_err();
+        assert!(err.message.contains("8 fields"));
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert!(parse_topology("t", "# nothing\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let text = "C, 8, 8, 3, 3, 1, 4, 1,\nC, 8, 8, 3, 3, 1, 4, 1,\n";
+        let err = parse_topology("t", text).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let m = parse_topology("sample", SAMPLE).expect("valid");
+        let text = write_topology(&m);
+        let again = parse_topology("sample", &text).expect("own output parses");
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn parsed_model_simulates() {
+        let m = parse_topology("sample", SAMPLE).expect("valid");
+        assert!(m.total_macs() > 0);
+        assert!(m.weight_bytes() > 0);
+    }
+}

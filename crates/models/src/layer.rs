@@ -1,0 +1,323 @@
+//! DNN layer shape algebra.
+//!
+//! Layers are described by the same shape tuple SCALE-Sim topology files use
+//! (ifmap H/W, filter R/S, channels C, filter count M, stride) and lower to
+//! the GEMM the systolic array actually executes. All tensor sizes assume
+//! the paper's Table II precision of one byte per element.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per tensor element (Table II: 1 B per element on both NPUs).
+pub const ELEMENT_BYTES: u64 = 1;
+
+/// The computational shape of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution over an `ih × iw × c` input with `m` filters of
+    /// `r × s × c` weights.
+    Conv {
+        /// Input feature-map height.
+        ih: u32,
+        /// Input feature-map width.
+        iw: u32,
+        /// Filter height.
+        r: u32,
+        /// Filter width.
+        s: u32,
+        /// Input channels.
+        c: u32,
+        /// Number of filters (output channels).
+        m: u32,
+        /// Stride (same in both dimensions).
+        stride: u32,
+    },
+    /// Depthwise convolution: one `r × s` filter per channel, no
+    /// cross-channel reduction.
+    DepthwiseConv {
+        /// Input feature-map height.
+        ih: u32,
+        /// Input feature-map width.
+        iw: u32,
+        /// Filter height.
+        r: u32,
+        /// Filter width.
+        s: u32,
+        /// Channels (input == output).
+        c: u32,
+        /// Stride (same in both dimensions).
+        stride: u32,
+    },
+    /// A general matrix multiply `M×K · K×N`, covering fully-connected
+    /// layers, attention projections, and recommendation-model MLPs.
+    Gemm {
+        /// Output rows (batch × sequence positions).
+        m: u32,
+        /// Inner (reduction) dimension.
+        k: u32,
+        /// Output columns.
+        n: u32,
+    },
+}
+
+/// The GEMM a layer lowers to on a systolic array (SCALE-Sim's im2col view).
+///
+/// `sr` rows (output pixels), `t` reduction length, `sc` columns (filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Number of independent output rows (spatial positions × batch).
+    pub sr: u64,
+    /// Reduction (dot-product) length.
+    pub t: u64,
+    /// Number of output columns (filters / output features).
+    pub sc: u64,
+    /// How many such GEMMs the layer comprises (1 except depthwise, which
+    /// runs one small GEMM per channel).
+    pub folds: u64,
+}
+
+impl GemmShape {
+    /// Total multiply-accumulate operations in the layer.
+    pub fn macs(&self) -> u64 {
+        self.sr * self.t * self.sc * self.folds
+    }
+}
+
+/// A named DNN layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (unique within a model).
+    pub name: String,
+    /// Shape of the computation.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero, or if the filter is
+    /// larger than the (implicitly padded) input.
+    #[allow(clippy::too_many_arguments)] // mirrors the SCALE-Sim CSV row
+    pub fn conv(name: &str, ih: u32, iw: u32, r: u32, s: u32, c: u32, m: u32, stride: u32) -> Self {
+        assert!(
+            ih > 0 && iw > 0 && r > 0 && s > 0 && c > 0 && m > 0 && stride > 0,
+            "conv dims must be positive: {name}"
+        );
+        assert!(r <= ih && s <= iw, "filter exceeds input: {name}");
+        Self {
+            name: name.to_owned(),
+            kind: LayerKind::Conv {
+                ih,
+                iw,
+                r,
+                s,
+                c,
+                m,
+                stride,
+            },
+        }
+    }
+
+    /// Creates a depthwise-convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    pub fn depthwise(name: &str, ih: u32, iw: u32, r: u32, s: u32, c: u32, stride: u32) -> Self {
+        assert!(
+            ih > 0 && iw > 0 && r > 0 && s > 0 && c > 0 && stride > 0,
+            "depthwise dims must be positive: {name}"
+        );
+        Self {
+            name: name.to_owned(),
+            kind: LayerKind::DepthwiseConv {
+                ih,
+                iw,
+                r,
+                s,
+                c,
+                stride,
+            },
+        }
+    }
+
+    /// Creates a GEMM (fully-connected / projection) layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn gemm(name: &str, m: u32, k: u32, n: u32) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "gemm dims must be positive: {name}");
+        Self {
+            name: name.to_owned(),
+            kind: LayerKind::Gemm { m, k, n },
+        }
+    }
+
+    /// Output feature-map height and width (1×1 for GEMM layers).
+    ///
+    /// Convolutions use "valid" sizing on an input assumed pre-padded, the
+    /// same convention SCALE-Sim's topology files follow.
+    pub fn ofmap_dims(&self) -> (u64, u64) {
+        match self.kind {
+            LayerKind::Conv {
+                ih,
+                iw,
+                r,
+                s,
+                stride,
+                ..
+            }
+            | LayerKind::DepthwiseConv {
+                ih,
+                iw,
+                r,
+                s,
+                stride,
+                ..
+            } => {
+                let oh = (u64::from(ih) - u64::from(r)) / u64::from(stride) + 1;
+                let ow = (u64::from(iw) - u64::from(s)) / u64::from(stride) + 1;
+                (oh, ow)
+            }
+            LayerKind::Gemm { m, .. } => (u64::from(m), 1),
+        }
+    }
+
+    /// Input feature-map footprint in bytes.
+    pub fn ifmap_bytes(&self) -> u64 {
+        ELEMENT_BYTES
+            * match self.kind {
+                LayerKind::Conv { ih, iw, c, .. } | LayerKind::DepthwiseConv { ih, iw, c, .. } => {
+                    u64::from(ih) * u64::from(iw) * u64::from(c)
+                }
+                LayerKind::Gemm { m, k, .. } => u64::from(m) * u64::from(k),
+            }
+    }
+
+    /// Weight (filter) footprint in bytes.
+    pub fn filter_bytes(&self) -> u64 {
+        ELEMENT_BYTES
+            * match self.kind {
+                LayerKind::Conv { r, s, c, m, .. } => {
+                    u64::from(r) * u64::from(s) * u64::from(c) * u64::from(m)
+                }
+                LayerKind::DepthwiseConv { r, s, c, .. } => {
+                    u64::from(r) * u64::from(s) * u64::from(c)
+                }
+                LayerKind::Gemm { k, n, .. } => u64::from(k) * u64::from(n),
+            }
+    }
+
+    /// Output feature-map footprint in bytes.
+    pub fn ofmap_bytes(&self) -> u64 {
+        let (oh, ow) = self.ofmap_dims();
+        ELEMENT_BYTES
+            * match self.kind {
+                LayerKind::Conv { m, .. } => oh * ow * u64::from(m),
+                LayerKind::DepthwiseConv { c, .. } => oh * ow * u64::from(c),
+                LayerKind::Gemm { m, n, .. } => u64::from(m) * u64::from(n),
+            }
+    }
+
+    /// The GEMM this layer lowers to (im2col for convolutions).
+    pub fn gemm_shape(&self) -> GemmShape {
+        match self.kind {
+            LayerKind::Conv { r, s, c, m, .. } => {
+                let (oh, ow) = self.ofmap_dims();
+                GemmShape {
+                    sr: oh * ow,
+                    t: u64::from(r) * u64::from(s) * u64::from(c),
+                    sc: u64::from(m),
+                    folds: 1,
+                }
+            }
+            LayerKind::DepthwiseConv { r, s, c, .. } => {
+                let (oh, ow) = self.ofmap_dims();
+                GemmShape {
+                    sr: oh * ow,
+                    t: u64::from(r) * u64::from(s),
+                    sc: 1,
+                    folds: u64::from(c),
+                }
+            }
+            LayerKind::Gemm { m, k, n } => GemmShape {
+                sr: u64::from(m),
+                t: u64::from(k),
+                sc: u64::from(n),
+                folds: 1,
+            },
+        }
+    }
+
+    /// Total multiply-accumulates in the layer.
+    pub fn macs(&self) -> u64 {
+        self.gemm_shape().macs()
+    }
+
+    /// Total bytes of all three tensors (the lower bound on DRAM traffic if
+    /// nothing is resident and everything is moved exactly once).
+    pub fn total_bytes(&self) -> u64 {
+        self.ifmap_bytes() + self.filter_bytes() + self.ofmap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_ofmap_dims() {
+        // AlexNet conv1: 227x227x3, 11x11, 96 filters, stride 4 → 55x55.
+        let l = Layer::conv("conv1", 227, 227, 11, 11, 3, 96, 4);
+        assert_eq!(l.ofmap_dims(), (55, 55));
+        assert_eq!(l.ofmap_bytes(), 55 * 55 * 96);
+        assert_eq!(l.filter_bytes(), 11 * 11 * 3 * 96);
+    }
+
+    #[test]
+    fn conv_gemm_lowering() {
+        let l = Layer::conv("c", 8, 8, 3, 3, 4, 16, 1);
+        let g = l.gemm_shape();
+        assert_eq!(g.sr, 36); // 6x6 output
+        assert_eq!(g.t, 36); // 3*3*4
+        assert_eq!(g.sc, 16);
+        assert_eq!(g.macs(), 36 * 36 * 16);
+    }
+
+    #[test]
+    fn depthwise_folds_per_channel() {
+        let l = Layer::depthwise("dw", 16, 16, 3, 3, 32, 1);
+        let g = l.gemm_shape();
+        assert_eq!(g.folds, 32);
+        assert_eq!(g.sc, 1);
+        assert_eq!(l.macs(), 14 * 14 * 9 * 32);
+    }
+
+    #[test]
+    fn gemm_layer_tensors() {
+        let l = Layer::gemm("fc", 4, 256, 100);
+        assert_eq!(l.ifmap_bytes(), 4 * 256);
+        assert_eq!(l.filter_bytes(), 256 * 100);
+        assert_eq!(l.ofmap_bytes(), 4 * 100);
+    }
+
+    #[test]
+    fn strided_dims_round_down() {
+        let l = Layer::conv("c", 7, 7, 3, 3, 1, 1, 2);
+        assert_eq!(l.ofmap_dims(), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Layer::conv("bad", 0, 8, 3, 3, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter exceeds input")]
+    fn oversized_filter_rejected() {
+        let _ = Layer::conv("bad", 2, 2, 3, 3, 1, 1, 1);
+    }
+}

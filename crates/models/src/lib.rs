@@ -1,0 +1,37 @@
+//! DNN workload descriptions for the SeDA secure-accelerator evaluation.
+//!
+//! The crate provides:
+//!
+//! * [`layer`] — shape algebra for convolution, depthwise-convolution, and
+//!   GEMM layers, including lowering to the systolic-array GEMM view
+//!   (SCALE-Sim's im2col convention) and tensor footprints at the paper's
+//!   1 B/element precision.
+//! * [`model`] — ordered layer lists with summary statistics.
+//! * [`zoo`] — the thirteen benchmark workloads of §IV-A, from LeNet to
+//!   Tiny-YOLO.
+//!
+//! # Examples
+//!
+//! ```
+//! use seda_models::zoo;
+//!
+//! let resnet = zoo::resnet18();
+//! println!(
+//!     "{}: {} layers, {:.1} M weights",
+//!     resnet.name(),
+//!     resnet.layers().len(),
+//!     resnet.weight_bytes() as f64 / 1e6
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod layer;
+pub mod model;
+pub mod zoo;
+
+pub use csv::{parse_topology, write_topology, ParseTopologyError};
+pub use layer::{GemmShape, Layer, LayerKind, ELEMENT_BYTES};
+pub use model::Model;

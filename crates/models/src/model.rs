@@ -1,0 +1,110 @@
+//! Whole-model topology: an ordered list of layers plus summary statistics.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A DNN model as an ordered sequence of layers.
+///
+/// # Examples
+///
+/// ```
+/// use seda_models::{Layer, Model};
+///
+/// let model = Model::new(
+///     "toy",
+///     vec![
+///         Layer::conv("conv1", 28, 28, 5, 5, 1, 8, 1),
+///         Layer::gemm("fc", 1, 4608, 10),
+///     ],
+/// );
+/// assert_eq!(model.layers().len(), 2);
+/// assert!(model.weight_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates a model from named layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or two layers share a name.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "model {name} has no layers");
+        for i in 0..layers.len() {
+            for j in i + 1..layers.len() {
+                assert_ne!(
+                    layers[i].name, layers[j].name,
+                    "duplicate layer name in {name}"
+                );
+            }
+        }
+        Self {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// The model's short name (the paper's workload label, e.g. `"rest"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total weight bytes across all layers.
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::filter_bytes).sum()
+    }
+
+    /// Total multiply-accumulate operations for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Sum of all per-layer tensor footprints (a traffic lower bound).
+    pub fn total_tensor_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::total_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    #[test]
+    fn summary_statistics_accumulate() {
+        let m = Model::new(
+            "t",
+            vec![
+                Layer::conv("a", 8, 8, 3, 3, 1, 2, 1),
+                Layer::gemm("b", 1, 72, 10),
+            ],
+        );
+        assert_eq!(m.weight_bytes(), 3 * 3 * 2 + 72 * 10);
+        assert_eq!(
+            m.total_macs(),
+            m.layers()[0].macs() + m.layers()[1].macs()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no layers")]
+    fn empty_model_rejected() {
+        let _ = Model::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_names_rejected() {
+        let l = Layer::gemm("x", 1, 2, 3);
+        let _ = Model::new("dup", vec![l.clone(), l]);
+    }
+}

@@ -1,0 +1,529 @@
+//! The thirteen benchmark workloads of the SeDA evaluation (§IV-A).
+//!
+//! Topologies are transcribed after SCALE-Sim's public topology files and
+//! the original model publications: LeNet-5, AlexNet, MobileNet-v1,
+//! ResNet-18, GoogLeNet, DLRM, AlphaGoZero, DeepSpeech2, Faster R-CNN
+//! (VGG-16 backbone), NCF, a sentiment sequence-CNN, a Transformer forward
+//! pass, and Tiny-YOLO. Convolutions use SCALE-Sim's valid-convolution
+//! convention; where a network pads to preserve spatial dims, the listed
+//! ifmap includes the padding so output shapes stay canonical.
+
+use crate::layer::Layer;
+use crate::model::Model;
+
+/// Returns the padded input extent that makes a valid convolution with
+/// filter `r` and `stride` produce `ceil(h / stride)` outputs ("same" pad).
+fn same(h: u32, r: u32, stride: u32) -> u32 {
+    let out = h.div_ceil(stride);
+    (out - 1) * stride + r
+}
+
+/// LeNet-5 (`let`): the classic 32×32 digit classifier.
+pub fn lenet() -> Model {
+    Model::new(
+        "let",
+        vec![
+            Layer::conv("conv1", 32, 32, 5, 5, 1, 6, 1),
+            Layer::conv("conv2", 14, 14, 5, 5, 6, 16, 1),
+            Layer::conv("conv3", 5, 5, 5, 5, 16, 120, 1),
+            Layer::gemm("fc1", 1, 120, 84),
+            Layer::gemm("fc2", 1, 84, 10),
+        ],
+    )
+}
+
+/// AlexNet (`alex`): 227×227 ImageNet classifier.
+pub fn alexnet() -> Model {
+    Model::new(
+        "alex",
+        vec![
+            Layer::conv("conv1", 227, 227, 11, 11, 3, 96, 4),
+            Layer::conv("conv2", same(27, 5, 1), same(27, 5, 1), 5, 5, 96, 256, 1),
+            Layer::conv("conv3", same(13, 3, 1), same(13, 3, 1), 3, 3, 256, 384, 1),
+            Layer::conv("conv4", same(13, 3, 1), same(13, 3, 1), 3, 3, 384, 384, 1),
+            Layer::conv("conv5", same(13, 3, 1), same(13, 3, 1), 3, 3, 384, 256, 1),
+            Layer::gemm("fc6", 1, 9216, 4096),
+            Layer::gemm("fc7", 1, 4096, 4096),
+            Layer::gemm("fc8", 1, 4096, 1000),
+        ],
+    )
+}
+
+/// MobileNet-v1 (`mob`): depthwise-separable 224×224 classifier.
+pub fn mobilenet() -> Model {
+    let mut layers = vec![Layer::conv(
+        "conv1",
+        same(224, 3, 2),
+        same(224, 3, 2),
+        3,
+        3,
+        3,
+        32,
+        2,
+    )];
+    // (spatial in, channels in, channels out, stride of the depthwise stage)
+    let blocks: [(u32, u32, u32, u32); 13] = [
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+    for (i, (h, cin, cout, stride)) in blocks.into_iter().enumerate() {
+        let p = same(h, 3, stride);
+        layers.push(Layer::depthwise(&format!("dw{}", i + 1), p, p, 3, 3, cin, stride));
+        let q = h / stride;
+        layers.push(Layer::conv(&format!("pw{}", i + 1), q, q, 1, 1, cin, cout, 1));
+    }
+    layers.push(Layer::gemm("fc", 1, 1024, 1000));
+    Model::new("mob", layers)
+}
+
+/// ResNet-18 (`rest`): 224×224 residual classifier.
+pub fn resnet18() -> Model {
+    let mut layers = vec![Layer::conv(
+        "conv1",
+        same(224, 7, 2),
+        same(224, 7, 2),
+        7,
+        7,
+        3,
+        64,
+        2,
+    )];
+    // Four stages of two basic blocks each; first conv of stages 2-4 halves
+    // the spatial dims and doubles channels (downsample 1x1 skipped — its
+    // traffic is negligible next to the 3x3 pairs).
+    let stages: [(u32, u32, u32); 4] = [(56, 64, 64), (56, 64, 128), (28, 128, 256), (14, 256, 512)];
+    for (s, (h_in, cin, cout)) in stages.into_iter().enumerate() {
+        let stride = if s == 0 { 1 } else { 2 };
+        let h_out = h_in / stride;
+        let p_first = same(h_in, 3, stride);
+        let p = same(h_out, 3, 1);
+        layers.push(Layer::conv(
+            &format!("conv{}_1a", s + 2),
+            p_first,
+            p_first,
+            3,
+            3,
+            cin,
+            cout,
+            stride,
+        ));
+        for (b, suffix) in [(1, "1b"), (2, "2a"), (3, "2b")] {
+            let _ = b;
+            layers.push(Layer::conv(
+                &format!("conv{}_{}", s + 2, suffix),
+                p,
+                p,
+                3,
+                3,
+                cout,
+                cout,
+                1,
+            ));
+        }
+    }
+    layers.push(Layer::gemm("fc", 1, 512, 1000));
+    Model::new("rest", layers)
+}
+
+/// GoogLeNet (`goo`): Inception-v1 with nine inception modules.
+pub fn googlenet() -> Model {
+    let mut layers = vec![
+        Layer::conv("conv1", same(224, 7, 2), same(224, 7, 2), 7, 7, 3, 64, 2),
+        Layer::conv("conv2", 56, 56, 1, 1, 64, 64, 1),
+        Layer::conv("conv3", same(56, 3, 1), same(56, 3, 1), 3, 3, 64, 192, 1),
+    ];
+    // (name, spatial, cin, n1x1, n3r, n3, n5r, n5, pool-proj)
+    #[allow(clippy::type_complexity)] // transcribed straight from the GoogLeNet table
+    let modules: [(&str, u32, u32, u32, u32, u32, u32, u32, u32); 9] = [
+        ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+        ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+        ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+        ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+        ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+        ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+        ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+        ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+        ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+    ];
+    for (name, h, cin, n1, n3r, n3, n5r, n5, pp) in modules {
+        let p3 = same(h, 3, 1);
+        let p5 = same(h, 5, 1);
+        layers.push(Layer::conv(&format!("inc{name}_1x1"), h, h, 1, 1, cin, n1, 1));
+        layers.push(Layer::conv(&format!("inc{name}_3x3r"), h, h, 1, 1, cin, n3r, 1));
+        layers.push(Layer::conv(&format!("inc{name}_3x3"), p3, p3, 3, 3, n3r, n3, 1));
+        layers.push(Layer::conv(&format!("inc{name}_5x5r"), h, h, 1, 1, cin, n5r, 1));
+        layers.push(Layer::conv(&format!("inc{name}_5x5"), p5, p5, 5, 5, n5r, n5, 1));
+        layers.push(Layer::conv(&format!("inc{name}_pp"), h, h, 1, 1, cin, pp, 1));
+    }
+    layers.push(Layer::gemm("fc", 1, 1024, 1000));
+    Model::new("goo", layers)
+}
+
+/// DLRM (`dlrm`): MLPerf recommendation model (bottom + top MLP, batch 128).
+pub fn dlrm() -> Model {
+    const BATCH: u32 = 128;
+    Model::new(
+        "dlrm",
+        vec![
+            Layer::gemm("bot1", BATCH, 13, 512),
+            Layer::gemm("bot2", BATCH, 512, 256),
+            Layer::gemm("bot3", BATCH, 256, 64),
+            Layer::gemm("top1", BATCH, 479, 1024),
+            Layer::gemm("top2", BATCH, 1024, 1024),
+            Layer::gemm("top3", BATCH, 1024, 512),
+            Layer::gemm("top4", BATCH, 512, 256),
+            Layer::gemm("top5", BATCH, 256, 1),
+        ],
+    )
+}
+
+/// AlphaGoZero (`algo`): 19×19 board, 17 input planes, residual tower.
+pub fn alphagozero() -> Model {
+    let p = same(19, 3, 1);
+    let mut layers = vec![Layer::conv("conv1", p, p, 3, 3, 17, 256, 1)];
+    for i in 0..18 {
+        layers.push(Layer::conv(&format!("res{}", i + 1), p, p, 3, 3, 256, 256, 1));
+    }
+    layers.push(Layer::conv("policy", 19, 19, 1, 1, 256, 2, 1));
+    layers.push(Layer::conv("value", 19, 19, 1, 1, 256, 1, 1));
+    Model::new("algo", layers)
+}
+
+/// DeepSpeech2 (`ds2`): spectrogram front-end convs + recurrent GEMMs.
+pub fn deepspeech2() -> Model {
+    Model::new(
+        "ds2",
+        vec![
+            Layer::conv("conv1", 161, 700, 41, 11, 1, 32, 2),
+            Layer::conv("conv2", 61, 345, 21, 11, 32, 32, 2),
+            // Four bidirectional GRU layers, lowered to per-sequence GEMMs:
+            // 168 time steps, 3 gates × 1760 hidden units.
+            Layer::gemm("gru1", 168, 1312, 5280),
+            Layer::gemm("gru2", 168, 3520, 5280),
+            Layer::gemm("gru3", 168, 3520, 5280),
+            Layer::gemm("gru4", 168, 3520, 5280),
+            Layer::gemm("fc", 168, 1760, 29),
+        ],
+    )
+}
+
+/// Faster R-CNN (`fast`): VGG-16 backbone at 300×300 plus the RPN head.
+pub fn fasterrcnn() -> Model {
+    let mut layers = Vec::new();
+    // (name, spatial, cin, cout) for the VGG-16 conv stack.
+    let convs: [(&str, u32, u32, u32); 13] = [
+        ("conv1_1", 300, 3, 64),
+        ("conv1_2", 300, 64, 64),
+        ("conv2_1", 150, 64, 128),
+        ("conv2_2", 150, 128, 128),
+        ("conv3_1", 75, 128, 256),
+        ("conv3_2", 75, 256, 256),
+        ("conv3_3", 75, 256, 256),
+        ("conv4_1", 38, 256, 512),
+        ("conv4_2", 38, 512, 512),
+        ("conv4_3", 38, 512, 512),
+        ("conv5_1", 19, 512, 512),
+        ("conv5_2", 19, 512, 512),
+        ("conv5_3", 19, 512, 512),
+    ];
+    for (name, h, cin, cout) in convs {
+        let p = same(h, 3, 1);
+        layers.push(Layer::conv(name, p, p, 3, 3, cin, cout, 1));
+    }
+    let p = same(19, 3, 1);
+    layers.push(Layer::conv("rpn_conv", p, p, 3, 3, 512, 512, 1));
+    layers.push(Layer::conv("rpn_cls", 19, 19, 1, 1, 512, 18, 1));
+    layers.push(Layer::conv("rpn_bbox", 19, 19, 1, 1, 512, 36, 1));
+    // Detection head over 128 proposals.
+    layers.push(Layer::gemm("fc6", 128, 25088, 4096));
+    layers.push(Layer::gemm("fc7", 128, 4096, 4096));
+    layers.push(Layer::gemm("cls_score", 128, 4096, 21));
+    layers.push(Layer::gemm("bbox_pred", 128, 4096, 84));
+    Model::new("fast", layers)
+}
+
+/// NCF (`ncf`): neural collaborative filtering MLP, batch 256.
+pub fn ncf() -> Model {
+    const BATCH: u32 = 256;
+    Model::new(
+        "ncf",
+        vec![
+            Layer::gemm("mlp1", BATCH, 128, 256),
+            Layer::gemm("mlp2", BATCH, 256, 256),
+            Layer::gemm("mlp3", BATCH, 256, 128),
+            Layer::gemm("mlp4", BATCH, 128, 64),
+            Layer::gemm("predict", BATCH, 128, 1),
+        ],
+    )
+}
+
+/// Sentiment sequence-CNN (`sent`): text CNN over 56×300 embeddings.
+pub fn sentimental_seqcnn() -> Model {
+    Model::new(
+        "sent",
+        vec![
+            Layer::conv("conv3", 56, 300, 3, 300, 1, 100, 1),
+            Layer::conv("conv4", 56, 300, 4, 300, 1, 100, 1),
+            Layer::conv("conv5", 56, 300, 5, 300, 1, 100, 1),
+            Layer::gemm("fc", 1, 300, 2),
+        ],
+    )
+}
+
+/// Transformer forward pass (`trf`): 6 encoder blocks, seq 512, d_model 512.
+pub fn transformer_fwd() -> Model {
+    const SEQ: u32 = 512;
+    const D: u32 = 512;
+    const FF: u32 = 2048;
+    let mut layers = Vec::new();
+    for b in 0..6 {
+        layers.push(Layer::gemm(&format!("b{b}_qkv"), SEQ, D, 3 * D));
+        layers.push(Layer::gemm(&format!("b{b}_scores"), SEQ, D, SEQ));
+        layers.push(Layer::gemm(&format!("b{b}_context"), SEQ, SEQ, D));
+        layers.push(Layer::gemm(&format!("b{b}_out"), SEQ, D, D));
+        layers.push(Layer::gemm(&format!("b{b}_ff1"), SEQ, D, FF));
+        layers.push(Layer::gemm(&format!("b{b}_ff2"), SEQ, FF, D));
+    }
+    layers.push(Layer::gemm("logits", SEQ, D, 32000));
+    Model::new("trf", layers)
+}
+
+/// Tiny-YOLO v2 (`yolo`): 416×416 detector.
+pub fn yolo_tiny() -> Model {
+    let mut layers = Vec::new();
+    let convs: [(&str, u32, u32, u32); 8] = [
+        ("conv1", 416, 3, 16),
+        ("conv2", 208, 16, 32),
+        ("conv3", 104, 32, 64),
+        ("conv4", 52, 64, 128),
+        ("conv5", 26, 128, 256),
+        ("conv6", 13, 256, 512),
+        ("conv7", 13, 512, 1024),
+        ("conv8", 13, 1024, 1024),
+    ];
+    for (name, h, cin, cout) in convs {
+        let p = same(h, 3, 1);
+        layers.push(Layer::conv(name, p, p, 3, 3, cin, cout, 1));
+    }
+    layers.push(Layer::conv("conv9", 13, 13, 1, 1, 1024, 125, 1));
+    Model::new("yolo", layers)
+}
+
+/// All thirteen workloads in the paper's presentation order.
+pub fn all_models() -> Vec<Model> {
+    vec![
+        lenet(),
+        alexnet(),
+        mobilenet(),
+        resnet18(),
+        googlenet(),
+        dlrm(),
+        alphagozero(),
+        deepspeech2(),
+        fasterrcnn(),
+        ncf(),
+        sentimental_seqcnn(),
+        transformer_fwd(),
+        yolo_tiny(),
+    ]
+}
+
+/// Looks a workload up by its paper label (e.g. `"rest"` for ResNet-18).
+pub fn by_name(name: &str) -> Option<Model> {
+    all_models().into_iter().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_workloads() {
+        let models = all_models();
+        assert_eq!(models.len(), 13);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "let", "alex", "mob", "rest", "goo", "dlrm", "algo", "ds2", "fast", "ncf",
+                "sent", "trf", "yolo"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("rest").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn same_padding_preserves_extent() {
+        assert_eq!(same(56, 3, 1), 58);
+        assert_eq!(same(224, 3, 2), 225);
+        assert_eq!(same(224, 7, 2), 229);
+        // ofmap of a valid conv over the padded extent is ceil(h/stride)
+        let l = Layer::conv("t", same(56, 3, 1), same(56, 3, 1), 3, 3, 1, 1, 1);
+        assert_eq!(l.ofmap_dims(), (56, 56));
+    }
+
+    #[test]
+    fn alexnet_canonical_shapes() {
+        let m = alexnet();
+        assert_eq!(m.layers()[0].ofmap_dims(), (55, 55));
+        assert_eq!(m.layers()[1].ofmap_dims(), (27, 27));
+        assert_eq!(m.layers()[4].ofmap_dims(), (13, 13));
+        // ~60M parameters, dominated by fc6.
+        let w = m.weight_bytes();
+        assert!(w > 55_000_000 && w < 65_000_000, "alexnet weights: {w}");
+    }
+
+    #[test]
+    fn mobilenet_structure() {
+        let m = mobilenet();
+        // 1 stem + 13 × (dw + pw) + 1 fc = 28 layers.
+        assert_eq!(m.layers().len(), 28);
+        // ~4.2M parameters.
+        let w = m.weight_bytes();
+        assert!(w > 3_000_000 && w < 5_000_000, "mobilenet weights: {w}");
+    }
+
+    #[test]
+    fn resnet18_canonical_weight_count() {
+        let m = resnet18();
+        // ~11M parameters (downsample convs omitted → slightly below 11.7M).
+        let w = m.weight_bytes();
+        assert!(w > 9_000_000 && w < 12_500_000, "resnet18 weights: {w}");
+    }
+
+    #[test]
+    fn googlenet_module_count() {
+        let m = googlenet();
+        // 3 stem + 9 modules × 6 convs + 1 fc.
+        assert_eq!(m.layers().len(), 3 + 54 + 1);
+    }
+
+    #[test]
+    fn all_models_have_positive_work() {
+        for m in all_models() {
+            assert!(m.total_macs() > 0, "{} has zero MACs", m.name());
+            assert!(m.weight_bytes() > 0, "{} has zero weights", m.name());
+        }
+    }
+
+    #[test]
+    fn transformer_is_gemm_dominated() {
+        let m = transformer_fwd();
+        assert!(m.total_macs() > 10_000_000_000, "trf should be >10 GMAC");
+    }
+}
+
+#[cfg(test)]
+mod canonical_shape_tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn resnet18_stage_dims() {
+        let m = resnet18();
+        let dims: Vec<(u64, u64)> = m.layers().iter().map(|l| l.ofmap_dims()).collect();
+        assert_eq!(dims[0], (112, 112), "conv1");
+        assert_eq!(dims[1], (56, 56), "conv2_1a");
+        assert_eq!(dims[5], (28, 28), "conv3_1a");
+        assert_eq!(dims[9], (14, 14), "conv4_1a");
+        assert_eq!(dims[13], (7, 7), "conv5_1a");
+    }
+
+    #[test]
+    fn mobilenet_spatial_pyramid() {
+        let m = mobilenet();
+        // Stem halves 224 -> 112; stage strides land on 7x7 by dw13.
+        assert_eq!(m.layers()[0].ofmap_dims(), (112, 112));
+        let dw13 = m.layers().iter().find(|l| l.name == "dw13").expect("dw13");
+        assert_eq!(dw13.ofmap_dims(), (7, 7));
+    }
+
+    #[test]
+    fn yolo_tiny_detector_grid() {
+        let m = yolo_tiny();
+        let last = m.layers().last().expect("conv9");
+        assert_eq!(last.ofmap_dims(), (13, 13), "13x13 detection grid");
+        assert_eq!(last.ofmap_bytes(), 13 * 13 * 125);
+    }
+
+    #[test]
+    fn googlenet_inception_output_depths() {
+        // Each module's branch filter counts sum to the next module's cin.
+        let m = googlenet();
+        let find = |name: &str| {
+            m.layers()
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        for (mod_a, next_in) in [("3a", 256u64), ("3b", 480), ("4a", 512)] {
+            let depth: u64 = [
+                format!("inc{mod_a}_1x1"),
+                format!("inc{mod_a}_3x3"),
+                format!("inc{mod_a}_5x5"),
+                format!("inc{mod_a}_pp"),
+            ]
+            .iter()
+            .map(|n| {
+                let l = find(n);
+                l.ofmap_bytes() / (l.ofmap_dims().0 * l.ofmap_dims().1)
+            })
+            .sum();
+            assert_eq!(depth, next_in, "module {mod_a} concat depth");
+        }
+    }
+
+    #[test]
+    fn alphagozero_board_geometry() {
+        let m = alphagozero();
+        for l in m.layers() {
+            assert_eq!(l.ofmap_dims(), (19, 19), "{} stays on the board", l.name);
+        }
+    }
+
+    #[test]
+    fn transformer_block_shapes_chain() {
+        let m = transformer_fwd();
+        let qkv = &m.layers()[0];
+        assert_eq!(qkv.ofmap_bytes(), 512 * 1536);
+        let scores = &m.layers()[1];
+        assert_eq!(scores.ofmap_bytes(), 512 * 512, "seq x seq attention");
+    }
+
+    #[test]
+    fn deepspeech2_front_end_shrinks_time() {
+        let m = deepspeech2();
+        let (h1, w1) = m.layers()[0].ofmap_dims();
+        assert!(h1 < 161 && w1 < 700, "stride-2 conv shrinks the spectrogram");
+    }
+
+    #[test]
+    fn dlrm_and_ncf_are_pure_gemm() {
+        for m in [dlrm(), ncf()] {
+            for l in m.layers() {
+                assert!(
+                    matches!(l.kind, LayerKind::Gemm { .. }),
+                    "{} must be a GEMM",
+                    l.name
+                );
+            }
+        }
+    }
+
+}

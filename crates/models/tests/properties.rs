@@ -1,0 +1,72 @@
+//! Property-based tests for the layer shape algebra.
+
+use proptest::prelude::*;
+use seda_models::{Layer, LayerKind};
+
+fn arb_conv_dims() -> impl Strategy<Value = (u32, u32, u32, u32, u32, u32, u32)> {
+    (2u32..256, 2u32..256, 1u32..8, 1u32..8, 1u32..128, 1u32..256, 1u32..4)
+        .prop_filter("filter fits", |(ih, iw, r, s, ..)| r <= ih && s <= iw)
+}
+
+proptest! {
+    #[test]
+    fn conv_output_dims_are_positive_and_bounded((ih, iw, r, s, c, m, stride) in arb_conv_dims()) {
+        let l = Layer::conv("p", ih, iw, r, s, c, m, stride);
+        let (oh, ow) = l.ofmap_dims();
+        prop_assert!(oh >= 1 && ow >= 1);
+        prop_assert!(oh <= u64::from(ih) && ow <= u64::from(iw));
+    }
+
+    #[test]
+    fn conv_macs_match_tensor_algebra((ih, iw, r, s, c, m, stride) in arb_conv_dims()) {
+        let l = Layer::conv("p", ih, iw, r, s, c, m, stride);
+        let (oh, ow) = l.ofmap_dims();
+        prop_assert_eq!(
+            l.macs(),
+            oh * ow * u64::from(r) * u64::from(s) * u64::from(c) * u64::from(m)
+        );
+    }
+
+    #[test]
+    fn gemm_shape_is_exact(m in 1u32..2048, k in 1u32..4096, n in 1u32..4096) {
+        let l = Layer::gemm("p", m, k, n);
+        let g = l.gemm_shape();
+        prop_assert_eq!(g.macs(), u64::from(m) * u64::from(k) * u64::from(n));
+        prop_assert_eq!(l.ifmap_bytes() , u64::from(m) * u64::from(k));
+    }
+
+    #[test]
+    fn stride_one_never_shrinks_below_filter((ih, iw, r, s, c, m, _stride) in arb_conv_dims()) {
+        let l = Layer::conv("p", ih, iw, r, s, c, m, 1);
+        let (oh, ow) = l.ofmap_dims();
+        prop_assert_eq!(oh, u64::from(ih - r + 1));
+        prop_assert_eq!(ow, u64::from(iw - s + 1));
+    }
+
+    #[test]
+    fn depthwise_preserves_channel_count(ih in 3u32..128, c in 1u32..256) {
+        let l = Layer::depthwise("p", ih, ih, 3, 3, c, 1);
+        match l.kind {
+            LayerKind::DepthwiseConv { c: ch, .. } => prop_assert_eq!(ch, c),
+            _ => prop_assert!(false, "wrong kind"),
+        }
+        let g = l.gemm_shape();
+        prop_assert_eq!(g.folds, u64::from(c));
+    }
+
+    #[test]
+    fn total_bytes_is_sum_of_tensors((ih, iw, r, s, c, m, stride) in arb_conv_dims()) {
+        let l = Layer::conv("p", ih, iw, r, s, c, m, stride);
+        prop_assert_eq!(
+            l.total_bytes(),
+            l.ifmap_bytes() + l.filter_bytes() + l.ofmap_bytes()
+        );
+    }
+
+    #[test]
+    fn larger_stride_never_increases_output((ih, iw, r, s, c, m, _stride) in arb_conv_dims()) {
+        let l1 = Layer::conv("p", ih, iw, r, s, c, m, 1);
+        let l2 = Layer::conv("p", ih, iw, r, s, c, m, 2);
+        prop_assert!(l2.ofmap_bytes() <= l1.ofmap_bytes());
+    }
+}

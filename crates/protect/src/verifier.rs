@@ -1,0 +1,122 @@
+//! Integrity-verification engine timing model.
+//!
+//! A pipelined hash engine (SHA-2/GHASH-class) authenticates off-chip data
+//! as it streams in. This module answers whether the verifier ever becomes
+//! the bottleneck, and what latency a layer-level check exposes:
+//!
+//! * per-block schemes (SGX/MGX) verify each protection block as it
+//!   arrives — throughput-bound, fully pipelined with the DRAM stream;
+//! * SeDA's layer MAC is checked once per layer, exposing only the drain
+//!   latency of the last optBlk plus one fold-and-compare;
+//! * the model MAC is checked once per inference.
+
+use serde::{Deserialize, Serialize};
+
+/// A pipelined hash engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HashEngine {
+    /// Sustained authentication throughput in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Pipeline latency in cycles from last input byte to tag.
+    pub latency_cycles: u64,
+}
+
+impl Default for HashEngine {
+    fn default() -> Self {
+        // A single SHA-256 core sustains ~1 B/cycle; accelerators deploy
+        // parallel lanes sized to memory bandwidth. 32 B/cycle at the NPU
+        // clock comfortably exceeds both Table II memory systems (the
+        // server needs 20 B/cycle at 1 GHz, the edge 3.7 at 2.75 GHz).
+        Self {
+            bytes_per_cycle: 32.0,
+            latency_cycles: 80,
+        }
+    }
+}
+
+impl HashEngine {
+    /// Creates an engine model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency_cycles: u64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "throughput must be positive");
+        Self {
+            bytes_per_cycle,
+            latency_cycles,
+        }
+    }
+
+    /// Cycles to authenticate `bytes` of streamed data (throughput term
+    /// only; the stream overlaps DRAM transfer).
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Whether this engine keeps up with a memory system moving
+    /// `bandwidth` bytes/second at `clock_hz`.
+    pub fn keeps_up_with(&self, bandwidth: f64, clock_hz: f64) -> bool {
+        self.bytes_per_cycle * clock_hz >= bandwidth
+    }
+
+    /// Exposed cycles of a layer-level check: the pipeline drain plus one
+    /// aggregate compare — paid once per layer, regardless of layer size.
+    pub fn layer_check_exposure(&self) -> u64 {
+        self.latency_cycles + 1
+    }
+
+    /// Exposed cycles of per-block verification when the verifier is the
+    /// bottleneck: the amount by which hashing `bytes` exceeds the time the
+    /// memory system needs to deliver them.
+    pub fn per_block_exposure(&self, bytes: u64, memory_cycles: u64) -> u64 {
+        self.stream_cycles(bytes).saturating_sub(memory_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_engine_covers_both_table2_npus() {
+        let e = HashEngine::default();
+        // Server: 20 GB/s at 1 GHz; edge: 10 GB/s at 2.75 GHz.
+        assert!(e.keeps_up_with(20.0e9, 1.0e9));
+        assert!(e.keeps_up_with(10.0e9, 2.75e9));
+    }
+
+    #[test]
+    fn undersized_engine_is_detected() {
+        let e = HashEngine::new(0.5, 80);
+        assert!(!e.keeps_up_with(20.0e9, 1.0e9));
+    }
+
+    #[test]
+    fn layer_check_exposure_is_constant() {
+        let e = HashEngine::default();
+        assert_eq!(e.layer_check_exposure(), 81);
+    }
+
+    #[test]
+    fn per_block_exposure_zero_when_memory_bound() {
+        let e = HashEngine::default();
+        // 4 KB arriving over 4096 memory cycles: engine needs only 128.
+        assert_eq!(e.per_block_exposure(4096, 4096), 0);
+        // Memory faster than the verifier: exposure appears.
+        assert_eq!(e.per_block_exposure(4096, 64), 64);
+    }
+
+    #[test]
+    fn stream_cycles_round_up() {
+        let e = HashEngine::new(3.0, 10);
+        assert_eq!(e.stream_cycles(10), 4);
+        assert_eq!(e.stream_cycles(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        let _ = HashEngine::new(0.0, 10);
+    }
+}

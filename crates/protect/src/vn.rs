@@ -1,0 +1,163 @@
+//! On-chip version-number generation (the MGX insight SeDA inherits).
+//!
+//! CTR-mode security requires that a `(PA, VN)` pair is never reused under
+//! one key. General-purpose processors must *store* VNs off-chip because
+//! writes are unpredictable; DNN inference is deterministic, so the VN of
+//! any block is a function of application state the accelerator already
+//! tracks: which inference this is, and which layer is writing. No VN is
+//! ever fetched, and no integrity tree is needed to protect stored VNs —
+//! that is where SGX's 12.5%+ traffic goes.
+//!
+//! The generator models the double-buffered activation scheme of
+//! [`seda_scalesim::AddressMap`]: two ping-pong buffers, each written by
+//! every second layer. The VN of an activation write is derived from the
+//! global count of writes to that buffer; weights use the model's
+//! provisioning version.
+
+use serde::{Deserialize, Serialize};
+
+/// On-chip version-number generator for one accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use seda_protect::vn::OnChipVn;
+///
+/// let mut vn = OnChipVn::new(18, 1); // ResNet-18, model version 1
+/// vn.begin_inference();
+/// let first = vn.activation_vn(0);
+/// vn.begin_inference();
+/// assert_ne!(first, vn.activation_vn(0), "no reuse across inferences");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnChipVn {
+    layers: u32,
+    model_version: u64,
+    /// Completed `begin_inference` calls.
+    epoch: u64,
+}
+
+impl OnChipVn {
+    /// Creates a generator for a model of `layers` layers provisioned at
+    /// `model_version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is zero.
+    pub fn new(layers: u32, model_version: u64) -> Self {
+        assert!(layers > 0, "model must have layers");
+        Self {
+            layers,
+            model_version,
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new inference, bumping the epoch all activation VNs derive
+    /// from. Returns the new epoch.
+    pub fn begin_inference(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// VN for weight blocks: constant per provisioning (weights are
+    /// written once, off-line).
+    pub fn weight_vn(&self) -> u64 {
+        self.model_version
+    }
+
+    /// VN for the ofmap writes of `layer` in the current inference.
+    ///
+    /// Each layer writes its ping-pong buffer exactly once per inference,
+    /// so `(epoch, layer)` enumerates that buffer's write events; the pair
+    /// is packed into one monotone counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or no inference has begun.
+    pub fn activation_vn(&self, layer: u32) -> u64 {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        assert!(self.epoch > 0, "call begin_inference first");
+        self.epoch * u64::from(self.layers) + u64::from(layer)
+    }
+
+    /// The VN the *reader* of layer `layer`'s ifmap must use: the VN its
+    /// producer (layer − 1) wrote, or the input epoch VN for layer 0.
+    pub fn ifmap_vn(&self, layer: u32) -> u64 {
+        if layer == 0 {
+            // The host wrote the network input at the start of this epoch.
+            self.epoch * u64::from(self.layers)
+        } else {
+            self.activation_vn(layer - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn activation_vns_never_repeat_per_buffer() {
+        // Buffer A is written by even layers, buffer B by odd layers; over
+        // many inferences no (buffer, VN) pair may repeat.
+        let mut gen = OnChipVn::new(7, 1);
+        let mut seen_a = HashSet::new();
+        let mut seen_b = HashSet::new();
+        for _ in 0..50 {
+            gen.begin_inference();
+            for layer in 0..7 {
+                let vn = gen.activation_vn(layer);
+                let fresh = if layer % 2 == 0 {
+                    seen_a.insert(vn)
+                } else {
+                    seen_b.insert(vn)
+                };
+                assert!(fresh, "VN {vn} reused for layer {layer}");
+            }
+        }
+    }
+
+    #[test]
+    fn reader_sees_producer_vn() {
+        let mut gen = OnChipVn::new(5, 1);
+        gen.begin_inference();
+        for layer in 1..5 {
+            assert_eq!(gen.ifmap_vn(layer), gen.activation_vn(layer - 1));
+        }
+    }
+
+    #[test]
+    fn weight_vn_is_stable_across_inferences() {
+        let mut gen = OnChipVn::new(3, 42);
+        gen.begin_inference();
+        let w0 = gen.weight_vn();
+        gen.begin_inference();
+        assert_eq!(gen.weight_vn(), w0);
+        assert_eq!(w0, 42);
+    }
+
+    #[test]
+    fn epochs_are_monotone() {
+        let mut gen = OnChipVn::new(3, 0);
+        let e1 = gen.begin_inference();
+        let e2 = gen.begin_inference();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_inference")]
+    fn using_before_first_inference_panics() {
+        let gen = OnChipVn::new(3, 0);
+        let _ = gen.activation_vn(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_layer_panics() {
+        let mut gen = OnChipVn::new(3, 0);
+        gen.begin_inference();
+        let _ = gen.activation_vn(3);
+    }
+}

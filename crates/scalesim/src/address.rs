@@ -1,0 +1,129 @@
+//! Physical address layout of a model in protected off-chip memory.
+//!
+//! Weights are packed contiguously per layer at the bottom of the protected
+//! region. Activations ping-pong between two buffers sized for the largest
+//! feature map, so layer *i* writes the buffer layer *i+1* reads — the
+//! inter-layer tiling-pattern interaction of Fig. 3(b) plays out in these
+//! shared addresses.
+
+use seda_models::Model;
+use serde::{Deserialize, Serialize};
+
+/// Alignment of every tensor allocation (one protection block of the
+/// largest granularity under study keeps tensors from sharing blocks).
+pub const TENSOR_ALIGN: u64 = 4096;
+
+fn align_up(x: u64, a: u64) -> u64 {
+    x.div_ceil(a) * a
+}
+
+/// Address assignment for one model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    weight_base: Vec<u64>,
+    act_base: [u64; 2],
+    total_bytes: u64,
+}
+
+impl AddressMap {
+    /// Lays out `model` starting at address zero.
+    pub fn new(model: &Model) -> Self {
+        let mut cursor = 0u64;
+        let mut weight_base = Vec::with_capacity(model.layers().len());
+        for layer in model.layers() {
+            weight_base.push(cursor);
+            cursor = align_up(cursor + layer.filter_bytes(), TENSOR_ALIGN);
+        }
+        let act_bytes = model
+            .layers()
+            .iter()
+            .map(|l| l.ifmap_bytes().max(l.ofmap_bytes()))
+            .max()
+            .expect("model has layers");
+        let act0 = cursor;
+        let act1 = align_up(act0 + act_bytes, TENSOR_ALIGN);
+        let total = align_up(act1 + act_bytes, TENSOR_ALIGN);
+        Self {
+            weight_base,
+            act_base: [act0, act1],
+            total_bytes: total,
+        }
+    }
+
+    /// Base address of layer `i`'s weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weights(&self, i: usize) -> u64 {
+        self.weight_base[i]
+    }
+
+    /// Base address of the activation buffer layer `i` reads (its ifmap).
+    pub fn ifmap(&self, i: usize) -> u64 {
+        self.act_base[i % 2]
+    }
+
+    /// Base address of the activation buffer layer `i` writes (its ofmap).
+    pub fn ofmap(&self, i: usize) -> u64 {
+        self.act_base[(i + 1) % 2]
+    }
+
+    /// Total protected footprint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_models::zoo;
+
+    #[test]
+    fn weights_do_not_overlap() {
+        let m = zoo::resnet18();
+        let map = AddressMap::new(&m);
+        for (i, layer) in m.layers().iter().enumerate().take(m.layers().len() - 1) {
+            assert!(
+                map.weights(i) + layer.filter_bytes() <= map.weights(i + 1),
+                "layer {i} weights overlap layer {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn activations_ping_pong() {
+        let m = zoo::alexnet();
+        let map = AddressMap::new(&m);
+        for i in 0..m.layers().len() - 1 {
+            assert_eq!(
+                map.ofmap(i),
+                map.ifmap(i + 1),
+                "layer {i} output must feed layer {} input",
+                i + 1
+            );
+            assert_ne!(map.ifmap(i), map.ofmap(i));
+        }
+    }
+
+    #[test]
+    fn everything_is_aligned() {
+        let m = zoo::mobilenet();
+        let map = AddressMap::new(&m);
+        for i in 0..m.layers().len() {
+            assert_eq!(map.weights(i) % TENSOR_ALIGN, 0);
+        }
+        assert_eq!(map.ifmap(0) % TENSOR_ALIGN, 0);
+        assert_eq!(map.ofmap(0) % TENSOR_ALIGN, 0);
+    }
+
+    #[test]
+    fn footprint_covers_weights_and_activations() {
+        let m = zoo::lenet();
+        let map = AddressMap::new(&m);
+        assert!(map.total_bytes() >= m.weight_bytes());
+        assert!(map.total_bytes().is_multiple_of(TENSOR_ALIGN));
+    }
+}

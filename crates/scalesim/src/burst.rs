@@ -1,0 +1,156 @@
+//! DRAM burst traces.
+//!
+//! The accelerator's memory traffic is described as *bursts*: contiguous
+//! runs of bytes moved between SRAM and DRAM. A burst is the unit the
+//! memory-protection layer reasons about — its length relative to the
+//! protection granularity determines alignment overfetch, and its tensor
+//! and layer identity determine which MACs and version numbers cover it.
+
+use serde::{Deserialize, Serialize};
+
+/// Which tensor a burst belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Input feature map (read).
+    Ifmap,
+    /// Weights (read).
+    Filter,
+    /// Output feature map (written).
+    Ofmap,
+}
+
+impl TensorKind {
+    /// Stable index used as the `fmap_idx` MAC position field.
+    pub fn fmap_idx(self) -> u32 {
+        match self {
+            TensorKind::Ifmap => 0,
+            TensorKind::Filter => 1,
+            TensorKind::Ofmap => 2,
+        }
+    }
+}
+
+/// One contiguous run of off-chip traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Burst {
+    /// Starting byte address.
+    pub addr: u64,
+    /// Length in bytes (non-zero).
+    pub bytes: u64,
+    /// Direction: write to DRAM when true, read otherwise.
+    pub is_write: bool,
+    /// Tensor the data belongs to.
+    pub tensor: TensorKind,
+    /// Index of the layer issuing the burst.
+    pub layer: u32,
+}
+
+impl Burst {
+    /// A read burst.
+    pub fn read(addr: u64, bytes: u64, tensor: TensorKind, layer: u32) -> Self {
+        debug_assert!(bytes > 0);
+        Self {
+            addr,
+            bytes,
+            is_write: false,
+            tensor,
+            layer,
+        }
+    }
+
+    /// A write burst.
+    pub fn write(addr: u64, bytes: u64, tensor: TensorKind, layer: u32) -> Self {
+        debug_assert!(bytes > 0);
+        Self {
+            addr,
+            bytes,
+            is_write: true,
+            tensor,
+            layer,
+        }
+    }
+
+    /// Exclusive end address of the run.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes
+    }
+}
+
+/// Byte totals per tensor and direction for a burst stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Ifmap bytes read.
+    pub ifmap_read: u64,
+    /// Filter bytes read.
+    pub filter_read: u64,
+    /// Ofmap bytes written.
+    pub ofmap_write: u64,
+    /// Ofmap bytes read back (partial-block or partial-sum traffic).
+    pub ofmap_read: u64,
+    /// Number of bursts.
+    pub bursts: u64,
+}
+
+impl TrafficSummary {
+    /// Adds one burst to the totals.
+    pub fn record(&mut self, b: &Burst) {
+        self.bursts += 1;
+        match (b.tensor, b.is_write) {
+            (TensorKind::Ifmap, false) => self.ifmap_read += b.bytes,
+            (TensorKind::Filter, false) => self.filter_read += b.bytes,
+            (TensorKind::Ofmap, true) => self.ofmap_write += b.bytes,
+            (TensorKind::Ofmap, false) => self.ofmap_read += b.bytes,
+            // Writes of read-only tensors do not occur in inference.
+            (TensorKind::Ifmap | TensorKind::Filter, true) => {
+                unreachable!("inference never writes {:?}", b.tensor)
+            }
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> u64 {
+        self.ifmap_read + self.filter_read + self.ofmap_write + self.ofmap_read
+    }
+
+    /// Summarizes a burst slice.
+    pub fn of(bursts: &[Burst]) -> Self {
+        let mut s = Self::default();
+        for b in bursts {
+            s.record(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accumulates_by_kind() {
+        let bursts = [
+            Burst::read(0, 100, TensorKind::Ifmap, 0),
+            Burst::read(4096, 50, TensorKind::Filter, 0),
+            Burst::write(8192, 30, TensorKind::Ofmap, 0),
+            Burst::read(8192, 10, TensorKind::Ofmap, 0),
+        ];
+        let s = TrafficSummary::of(&bursts);
+        assert_eq!(s.ifmap_read, 100);
+        assert_eq!(s.filter_read, 50);
+        assert_eq!(s.ofmap_write, 30);
+        assert_eq!(s.ofmap_read, 10);
+        assert_eq!(s.total(), 190);
+        assert_eq!(s.bursts, 4);
+    }
+
+    #[test]
+    fn fmap_indices_are_distinct() {
+        assert_ne!(TensorKind::Ifmap.fmap_idx(), TensorKind::Filter.fmap_idx());
+        assert_ne!(TensorKind::Filter.fmap_idx(), TensorKind::Ofmap.fmap_idx());
+    }
+
+    #[test]
+    fn burst_end() {
+        assert_eq!(Burst::read(64, 128, TensorKind::Ifmap, 0).end(), 192);
+    }
+}

@@ -1,0 +1,128 @@
+//! Analytical systolic-array compute-cycle model (SCALE-Sim style).
+//!
+//! A layer lowers to a GEMM of `Sr × T × Sc` (see
+//! [`seda_models::GemmShape`]); the array executes it in *folds* — tiles of
+//! the GEMM mapped onto the physical `rows × cols` grid — each paying a
+//! pipeline fill/drain in addition to its streaming time.
+
+use crate::config::{Dataflow, NpuConfig};
+use seda_models::GemmShape;
+
+/// Compute cycles for one GEMM on the configured array.
+///
+/// Output-stationary: `Sr` maps to rows, `Sc` to columns; each fold streams
+/// the full reduction `T` and pays `2·rows + cols − 2` fill/drain
+/// (SCALE-Sim's OS formula). Weight-stationary: `T` maps to rows (weights
+/// pinned), `Sc` to columns; each fold loads weights (`rows` cycles) and
+/// streams `Sr` activations plus skew.
+pub fn gemm_cycles(cfg: &NpuConfig, g: GemmShape) -> u64 {
+    let rows = u64::from(cfg.rows);
+    let cols = u64::from(cfg.cols);
+    let per_gemm = match cfg.dataflow {
+        Dataflow::OutputStationary => {
+            // Per fold: operand skew spans the *occupied* rows/columns,
+            // but the drain always traverses the physical array height.
+            // Full folds reduce to the classic `2R + C + T − 2`.
+            let fold = |r_used: u64, c_used: u64| r_used + c_used + g.t - 2 + rows;
+            let (full_r, rem_r) = (g.sr / rows, g.sr % rows);
+            let (full_c, rem_c) = (g.sc / cols, g.sc % cols);
+            let mut cycles = full_r * full_c * fold(rows, cols);
+            if rem_c > 0 {
+                cycles += full_r * fold(rows, rem_c);
+            }
+            if rem_r > 0 {
+                cycles += full_c * fold(rem_r, cols);
+            }
+            if rem_r > 0 && rem_c > 0 {
+                cycles += fold(rem_r, rem_c);
+            }
+            cycles
+        }
+        Dataflow::WeightStationary => {
+            let ft = g.t.div_ceil(rows);
+            let fc = g.sc.div_ceil(cols);
+            ft * fc * (rows + g.sr + cols - 1)
+        }
+    };
+    per_gemm * g.folds
+}
+
+/// Array utilization in `[0, 1]`: ideal MAC-cycles over modeled cycles.
+pub fn utilization(cfg: &NpuConfig, g: GemmShape) -> f64 {
+    let ideal = g.macs() as f64 / (f64::from(cfg.rows) * f64::from(cfg.cols));
+    let actual = gemm_cycles(cfg, g) as f64;
+    if actual == 0.0 {
+        0.0
+    } else {
+        (ideal / actual).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(sr: u64, t: u64, sc: u64) -> GemmShape {
+        GemmShape {
+            sr,
+            t,
+            sc,
+            folds: 1,
+        }
+    }
+
+    #[test]
+    fn large_gemm_approaches_ideal_throughput() {
+        let cfg = NpuConfig::server();
+        // A GEMM that tiles the array exactly many times over, with a long
+        // reduction that amortizes each fold's fill/drain.
+        let g = shape(256 * 64, 16384, 256 * 64);
+        let u = utilization(&cfg, g);
+        assert!(u > 0.9, "utilization {u:.3}");
+    }
+
+    #[test]
+    fn tiny_gemm_underutilizes() {
+        let cfg = NpuConfig::server();
+        let g = shape(4, 16, 4);
+        let u = utilization(&cfg, g);
+        assert!(u < 0.05, "tiny GEMM should waste the array: {u:.3}");
+    }
+
+    #[test]
+    fn cycles_scale_with_folds() {
+        let cfg = NpuConfig::edge();
+        let one = gemm_cycles(&cfg, shape(32, 100, 32));
+        let folded = gemm_cycles(
+            &cfg,
+            GemmShape {
+                sr: 32,
+                t: 100,
+                sc: 32,
+                folds: 8,
+            },
+        );
+        assert_eq!(folded, 8 * one);
+    }
+
+    #[test]
+    fn os_fold_grid_counts() {
+        let cfg = NpuConfig::edge(); // 32x32
+        let single = gemm_cycles(&cfg, shape(32, 10, 32));
+        let quad = gemm_cycles(&cfg, shape(64, 10, 64));
+        assert_eq!(quad, 4 * single);
+    }
+
+    #[test]
+    fn ws_differs_from_os() {
+        let mut cfg = NpuConfig::edge();
+        let g = shape(1000, 500, 64);
+        let os = gemm_cycles(&cfg, g);
+        cfg.dataflow = Dataflow::WeightStationary;
+        let ws = gemm_cycles(&cfg, g);
+        assert_ne!(os, ws);
+        // Both are at least the ideal streaming bound.
+        let ideal = g.macs() / (32 * 32);
+        assert!(os >= ideal && ws >= ideal);
+    }
+}

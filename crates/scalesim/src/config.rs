@@ -1,0 +1,153 @@
+//! NPU configuration (paper Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Systolic-array dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Output-stationary: each PE accumulates one output element.
+    OutputStationary,
+    /// Weight-stationary: weights are pinned, inputs stream through.
+    WeightStationary,
+}
+
+/// A DNN accelerator configuration.
+///
+/// The two presets, [`NpuConfig::server`] (Google TPU v1-class) and
+/// [`NpuConfig::edge`] (Samsung Exynos 990-class), mirror the paper's
+/// Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Configuration label (e.g. `"server"`).
+    pub name: String,
+    /// Systolic-array rows.
+    pub rows: u32,
+    /// Systolic-array columns.
+    pub cols: u32,
+    /// Dataflow mapping.
+    pub dataflow: Dataflow,
+    /// Total on-chip SRAM in bytes, split across the three tensor buffers.
+    pub sram_bytes: u64,
+    /// Accelerator clock in Hz.
+    pub clock_hz: f64,
+    /// Aggregate off-chip peak bandwidth in bytes/second.
+    pub dram_bandwidth: f64,
+    /// Number of DRAM channels.
+    pub dram_channels: u32,
+    /// Fraction of SRAM given to the ifmap buffer.
+    pub ifmap_frac: f64,
+    /// Fraction of SRAM given to the filter buffer (remainder → ofmap).
+    pub filter_frac: f64,
+}
+
+impl NpuConfig {
+    /// Server NPU per Table II: Google TPU v1 — 256×256 PEs, 24 MB SRAM,
+    /// 1 GHz, 20 GB/s over 4 channels.
+    pub fn server() -> Self {
+        Self {
+            name: "server".to_owned(),
+            rows: 256,
+            cols: 256,
+            dataflow: Dataflow::OutputStationary,
+            sram_bytes: 24 << 20,
+            clock_hz: 1.0e9,
+            dram_bandwidth: 20.0e9,
+            dram_channels: 4,
+            ifmap_frac: 0.4,
+            filter_frac: 0.4,
+        }
+    }
+
+    /// Edge NPU per Table II: Samsung Exynos 990 — 32×32 PEs, 480 KB SRAM,
+    /// 2.75 GHz, 10 GB/s over 4 channels.
+    pub fn edge() -> Self {
+        Self {
+            name: "edge".to_owned(),
+            rows: 32,
+            cols: 32,
+            dataflow: Dataflow::OutputStationary,
+            sram_bytes: 480 << 10,
+            clock_hz: 2.75e9,
+            dram_bandwidth: 10.0e9,
+            dram_channels: 4,
+            ifmap_frac: 0.4,
+            filter_frac: 0.4,
+        }
+    }
+
+    /// Ifmap buffer capacity in bytes.
+    pub fn ifmap_buffer(&self) -> u64 {
+        (self.sram_bytes as f64 * self.ifmap_frac) as u64
+    }
+
+    /// Filter buffer capacity in bytes.
+    pub fn filter_buffer(&self) -> u64 {
+        (self.sram_bytes as f64 * self.filter_frac) as u64
+    }
+
+    /// Ofmap buffer capacity in bytes.
+    pub fn ofmap_buffer(&self) -> u64 {
+        self.sram_bytes - self.ifmap_buffer() - self.filter_buffer()
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("array dimensions must be positive".into());
+        }
+        if self.sram_bytes == 0 {
+            return Err("sram_bytes must be positive".into());
+        }
+        if self.clock_hz <= 0.0
+            || self.dram_bandwidth <= 0.0
+            || self.clock_hz.is_nan()
+            || self.dram_bandwidth.is_nan()
+        {
+            return Err("clock and bandwidth must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.ifmap_frac)
+            || !(0.0..1.0).contains(&self.filter_frac)
+            || self.ifmap_frac + self.filter_frac >= 1.0
+        {
+            return Err("buffer fractions must be in (0,1) and sum below 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_presets() {
+        let s = NpuConfig::server();
+        assert_eq!(s.rows * s.cols, 65536);
+        assert_eq!(s.sram_bytes, 24 * 1024 * 1024);
+        assert!(s.validate().is_ok());
+        let e = NpuConfig::edge();
+        assert_eq!(e.rows * e.cols, 1024);
+        assert_eq!(e.sram_bytes, 480 * 1024);
+        assert!((e.clock_hz - 2.75e9).abs() < 1.0);
+        assert!(e.validate().is_ok());
+    }
+
+    #[test]
+    fn buffers_partition_sram() {
+        let s = NpuConfig::server();
+        assert_eq!(
+            s.ifmap_buffer() + s.filter_buffer() + s.ofmap_buffer(),
+            s.sram_bytes
+        );
+        assert!(s.ofmap_buffer() > 0);
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let mut c = NpuConfig::edge();
+        c.ifmap_frac = 0.7;
+        c.filter_frac = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

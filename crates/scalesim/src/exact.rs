@@ -1,0 +1,303 @@
+//! Cycle-accurate systolic-array simulation.
+//!
+//! The analytical model in [`crate::compute`] uses closed-form fold
+//! formulas; this module *simulates* the output-stationary array cycle by
+//! cycle — skewed operand wavefronts, per-PE accumulation, and result
+//! drain — and is used to validate those formulas and to produce per-PE
+//! activity statistics the closed forms cannot (utilization heatmaps,
+//! wavefront occupancy traces).
+//!
+//! One fold of an `R × C` output-stationary array computing a reduction of
+//! length `T`: PE *(i, j)* receives its first operand pair at cycle
+//! `i + j` (inputs skew in from the left edge, weights from the top),
+//! performs one MAC per cycle for `T` cycles, and the finished outputs
+//! drain through the array's columns for `R` further cycles.
+
+use crate::config::NpuConfig;
+use seda_models::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one fold cycle-accurately.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldSim {
+    /// Rows of the array occupied by this fold.
+    pub rows_used: u64,
+    /// Columns occupied.
+    pub cols_used: u64,
+    /// Reduction length.
+    pub t: u64,
+    /// Total cycles from first operand entry to last output drained.
+    pub cycles: u64,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Number of cycles each PE row spent active (length `rows_used`).
+    pub row_active_cycles: Vec<u64>,
+}
+
+/// Simulates one output-stationary fold cycle by cycle.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn simulate_fold(rows_used: u64, cols_used: u64, t: u64) -> FoldSim {
+    simulate_fold_in(rows_used, cols_used, t, rows_used)
+}
+
+/// Like [`simulate_fold`] with an explicit physical array height, which
+/// the output drain must traverse even when the fold occupies fewer rows.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `rows_used > physical_rows`.
+pub fn simulate_fold_in(rows_used: u64, cols_used: u64, t: u64, physical_rows: u64) -> FoldSim {
+    assert!(rows_used > 0 && cols_used > 0 && t > 0, "degenerate fold");
+    assert!(rows_used <= physical_rows, "fold taller than the array");
+    let mut macs = 0u64;
+    let mut row_active_cycles = vec![0u64; rows_used as usize];
+    // A PE (i, j) is active during cycles [i + j, i + j + t).
+    let compute_end = (rows_used - 1) + (cols_used - 1) + t; // exclusive
+    let mut cycle = 0u64;
+    while cycle < compute_end {
+        for (i, row_cycles) in row_active_cycles.iter_mut().enumerate() {
+            let i = i as u64;
+            // Columns active in this row at this cycle.
+            let lo = cycle.saturating_sub(i).saturating_sub(t - 1);
+            let hi = cycle.saturating_sub(i).min(cols_used - 1);
+            if cycle >= i && lo <= hi {
+                let active = hi - lo + 1;
+                macs += active;
+                *row_cycles += active;
+            }
+        }
+        cycle += 1;
+    }
+    // Drain: outputs shift down their columns, one hop per cycle. The
+    // bottom-occupied PEs finish last (cycle compute_end − 1) and their
+    // results traverse the physical array height to clear the bottom edge;
+    // earlier rows overlap underneath them.
+    let cycles = compute_end + physical_rows;
+    FoldSim {
+        rows_used,
+        cols_used,
+        t,
+        cycles,
+        macs,
+        row_active_cycles,
+    }
+}
+
+/// Cycle-accurate result for a whole GEMM on the configured array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactGemm {
+    /// Total cycles across all folds (folds execute back to back).
+    pub cycles: u64,
+    /// Total MACs performed (must equal the shape's MAC count).
+    pub macs: u64,
+    /// MACs divided by `cycles × rows × cols`: achieved utilization.
+    pub utilization: f64,
+}
+
+/// Simulates a GEMM fold by fold on `cfg`'s array (output-stationary).
+///
+/// Identical folds are simulated once and multiplied, so cost is bounded
+/// by the four distinct (full/partial row, full/partial column) shapes.
+pub fn exact_gemm(cfg: &NpuConfig, shape: GemmShape) -> ExactGemm {
+    let rows = u64::from(cfg.rows);
+    let cols = u64::from(cfg.cols);
+    let full_r = shape.sr / rows;
+    let rem_r = shape.sr % rows;
+    let full_c = shape.sc / cols;
+    let rem_c = shape.sc % cols;
+
+    let mut cycles = 0u64;
+    let mut macs = 0u64;
+    let mut add = |r: u64, c: u64, count: u64| {
+        if r > 0 && c > 0 && count > 0 {
+            let sim = simulate_fold_in(r, c, shape.t, rows);
+            cycles += sim.cycles * count;
+            macs += sim.macs * count;
+        }
+    };
+    add(rows, cols, full_r * full_c);
+    add(rows, rem_c, full_r);
+    add(rem_r, cols, full_c);
+    add(rem_r, rem_c, 1);
+
+    cycles *= shape.folds;
+    macs *= shape.folds;
+    let utilization = macs as f64 / (cycles as f64 * rows as f64 * cols as f64);
+    ExactGemm {
+        cycles,
+        macs,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::gemm_cycles;
+
+    fn shape(sr: u64, t: u64, sc: u64) -> GemmShape {
+        GemmShape {
+            sr,
+            t,
+            sc,
+            folds: 1,
+        }
+    }
+
+    #[test]
+    fn single_fold_matches_closed_form() {
+        // 2R + C + T − 2 for a full fold.
+        let sim = simulate_fold(8, 8, 32);
+        assert_eq!(sim.cycles, 2 * 8 + 8 + 32 - 2);
+        assert_eq!(sim.macs, 8 * 8 * 32);
+    }
+
+    #[test]
+    fn every_pe_is_active_exactly_t_cycles() {
+        let sim = simulate_fold(5, 7, 13);
+        for (i, &active) in sim.row_active_cycles.iter().enumerate() {
+            assert_eq!(active, 7 * 13, "row {i} active cycles");
+        }
+    }
+
+    #[test]
+    fn exact_matches_analytical_across_shapes() {
+        let cfg = NpuConfig::edge(); // 32x32
+        for (sr, t, sc) in [
+            (32, 64, 32),   // one exact fold
+            (64, 64, 64),   // 2x2 full folds
+            (40, 17, 40),   // partial edge folds
+            (1, 1, 1),      // degenerate
+            (100, 9, 3),    // tall-thin
+            (3, 200, 100),  // short-wide
+        ] {
+            let s = shape(sr, t, sc);
+            let exact = exact_gemm(&cfg, s);
+            assert_eq!(
+                exact.cycles,
+                gemm_cycles(&cfg, s),
+                "cycle mismatch for {sr}x{t}x{sc}"
+            );
+            assert_eq!(exact.macs, s.macs(), "MAC mismatch for {sr}x{t}x{sc}");
+        }
+    }
+
+    #[test]
+    fn folds_multiply_depthwise_work() {
+        let cfg = NpuConfig::edge();
+        let s = GemmShape {
+            sr: 16,
+            t: 9,
+            sc: 1,
+            folds: 32,
+        };
+        let exact = exact_gemm(&cfg, s);
+        assert_eq!(exact.macs, 16 * 9 * 32);
+        assert_eq!(exact.cycles, gemm_cycles(&cfg, s));
+    }
+
+    #[test]
+    fn utilization_is_sane_and_improves_with_t() {
+        let cfg = NpuConfig::edge();
+        let short = exact_gemm(&cfg, shape(32, 8, 32));
+        let long = exact_gemm(&cfg, shape(32, 2048, 32));
+        assert!(short.utilization > 0.0 && short.utilization <= 1.0);
+        assert!(long.utilization > short.utilization);
+        assert!(long.utilization > 0.9, "long reductions amortize skew");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_fold_rejected() {
+        let _ = simulate_fold(0, 4, 4);
+    }
+}
+
+/// Cycle-accurate weight-stationary fold: `rows_used` weights load down
+/// the columns (one row per cycle), then `sr` activation rows stream
+/// through with a `cols_used − 1` skew drain.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn simulate_fold_ws(rows_used: u64, cols_used: u64, sr: u64) -> FoldSim {
+    assert!(rows_used > 0 && cols_used > 0 && sr > 0, "degenerate fold");
+    // Phase 1: weight load occupies the array for rows_used cycles.
+    let load = rows_used;
+    // Phase 2: activations stream; PE column j sees activation i at cycle
+    // load + i + j and performs rows_used MACs per activation as the
+    // partial sum cascades. Count active MACs per cycle.
+    let mut macs = 0u64;
+    let mut row_active_cycles = vec![0u64; rows_used as usize];
+    let stream_end = load + (sr - 1) + (cols_used - 1) + 1;
+    for cycle in load..stream_end {
+        let t = cycle - load;
+        // Activations i with 0 <= i < sr occupy column j = t - i when in range.
+        let lo = t.saturating_sub(cols_used - 1);
+        let hi = t.min(sr - 1);
+        if lo <= hi {
+            let streams = hi - lo + 1;
+            macs += streams * rows_used;
+            for rc in row_active_cycles.iter_mut() {
+                *rc += streams;
+            }
+        }
+    }
+    // Partial sums ripple down rows_used accumulators during the stream,
+    // folded into the streaming window (the closed form's single pass).
+    let cycles = stream_end;
+    FoldSim {
+        rows_used,
+        cols_used,
+        t: sr,
+        cycles,
+        macs,
+        row_active_cycles,
+    }
+}
+
+#[cfg(test)]
+mod ws_tests {
+    use super::*;
+    use crate::compute::gemm_cycles;
+    use crate::config::{Dataflow, NpuConfig};
+    use seda_models::GemmShape;
+
+    #[test]
+    fn ws_fold_matches_closed_form() {
+        // rows + sr + cols − 1 per fold.
+        let sim = simulate_fold_ws(32, 32, 100);
+        assert_eq!(sim.cycles, 32 + 100 + 32 - 1);
+        // Every activation row crosses every weight row in every occupied
+        // column exactly once.
+        assert_eq!(sim.macs, 100 * 32 * 32);
+    }
+
+    #[test]
+    fn ws_full_gemm_cycles_match_analytical() {
+        let mut cfg = NpuConfig::edge();
+        cfg.dataflow = Dataflow::WeightStationary;
+        let shape = GemmShape {
+            sr: 500,
+            t: 64,
+            sc: 64,
+            folds: 1,
+        };
+        // Analytical WS: ceil(T/rows) x ceil(Sc/cols) folds of
+        // (rows + Sr + cols − 1).
+        let ft = shape.t.div_ceil(32);
+        let fc = shape.sc.div_ceil(32);
+        let per_fold = simulate_fold_ws(32, 32, shape.sr).cycles;
+        assert_eq!(gemm_cycles(&cfg, shape), ft * fc * per_fold);
+    }
+
+    #[test]
+    fn ws_mac_total_scales_with_stream_length() {
+        let short = simulate_fold_ws(8, 8, 10);
+        let long = simulate_fold_ws(8, 8, 100);
+        assert_eq!(long.macs, 10 * short.macs);
+    }
+}

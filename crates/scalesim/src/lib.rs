@@ -1,0 +1,50 @@
+//! A cycle-level systolic-array DNN accelerator simulator in the spirit of
+//! SCALE-Sim v2, providing the substrate of the SeDA evaluation.
+//!
+//! Given an [`NpuConfig`] (paper Table II presets included) and a
+//! [`seda_models::Model`], the simulator:
+//!
+//! 1. lowers each layer to its systolic GEMM and computes analytical
+//!    compute cycles ([`compute`]);
+//! 2. schedules the layer onto finite SRAM with one of three loop orders,
+//!    deriving halo re-reads and channel-chunked writes ([`tiling`]);
+//! 3. lays the model out in protected memory ([`address`]); and
+//! 4. emits a DRAM *burst trace* — contiguous runs with tensor and layer
+//!    identity ([`burst`]) — which the memory-protection layer transforms
+//!    and the DRAM simulator times.
+//!
+//! # Examples
+//!
+//! ```
+//! use seda_models::zoo;
+//! use seda_scalesim::{simulate_model, NpuConfig};
+//!
+//! let sim = simulate_model(&NpuConfig::server(), &zoo::resnet18());
+//! println!(
+//!     "{}: {} cycles, {} MiB of demand traffic",
+//!     sim.model,
+//!     sim.total_compute_cycles(),
+//!     sim.total_demand_bytes() >> 20
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod burst;
+pub mod compute;
+pub mod config;
+pub mod exact;
+pub mod sim;
+pub mod tiling;
+pub mod tracefile;
+
+pub use address::AddressMap;
+pub use burst::{Burst, TensorKind, TrafficSummary};
+pub use compute::{gemm_cycles, utilization};
+pub use exact::{exact_gemm, simulate_fold, simulate_fold_in, simulate_fold_ws, ExactGemm, FoldSim};
+pub use config::{Dataflow, NpuConfig};
+pub use sim::{simulate_model, LayerSim, ModelSim};
+pub use tracefile::{parse_trace, write_trace, ParseTraceError};
+pub use tiling::{generate_bursts, plan_layer, LayerAddresses, LayerGeometry, Schedule, TilePlan};

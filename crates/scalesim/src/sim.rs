@@ -1,0 +1,166 @@
+//! Whole-model accelerator simulation: per-layer compute cycles, tile
+//! plans, and burst traces.
+
+use crate::address::AddressMap;
+use crate::burst::{Burst, TrafficSummary};
+use crate::compute::gemm_cycles;
+use crate::config::NpuConfig;
+use crate::tiling::{generate_bursts, plan_layer, LayerAddresses, TilePlan};
+use seda_models::Model;
+use serde::{Deserialize, Serialize};
+
+/// Simulation result for one layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerSim {
+    /// Layer index within the model.
+    pub index: u32,
+    /// Layer name.
+    pub name: String,
+    /// Systolic-array compute cycles (accelerator clock).
+    pub compute_cycles: u64,
+    /// The tiling decision.
+    pub plan: TilePlan,
+    /// Demand traffic totals.
+    pub traffic: TrafficSummary,
+    /// The burst trace in loop-nest order.
+    pub bursts: Vec<Burst>,
+}
+
+/// Simulation result for a whole model on one NPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSim {
+    /// Model name.
+    pub model: String,
+    /// NPU configuration name.
+    pub npu: String,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerSim>,
+    /// Address layout used.
+    #[serde(skip)]
+    pub address_map: Option<AddressMap>,
+}
+
+impl ModelSim {
+    /// Total compute cycles across layers.
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.compute_cycles).sum()
+    }
+
+    /// Total demand bytes across layers.
+    pub fn total_demand_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.traffic.total()).sum()
+    }
+}
+
+/// Simulates `model` on `cfg`, producing per-layer cycles and burst traces.
+///
+/// # Examples
+///
+/// ```
+/// use seda_models::zoo;
+/// use seda_scalesim::{simulate_model, NpuConfig};
+///
+/// let sim = simulate_model(&NpuConfig::edge(), &zoo::lenet());
+/// assert_eq!(sim.layers.len(), 5);
+/// assert!(sim.total_compute_cycles() > 0);
+/// ```
+pub fn simulate_model(cfg: &NpuConfig, model: &Model) -> ModelSim {
+    let map = AddressMap::new(model);
+    let mut layers = Vec::with_capacity(model.layers().len());
+    for (i, layer) in model.layers().iter().enumerate() {
+        let plan = plan_layer(cfg, layer);
+        let addrs = LayerAddresses {
+            ifmap: map.ifmap(i),
+            filter: map.weights(i),
+            ofmap: map.ofmap(i),
+        };
+        let bursts = generate_bursts(layer, i as u32, &plan, addrs);
+        let traffic = TrafficSummary::of(&bursts);
+        layers.push(LayerSim {
+            index: i as u32,
+            name: layer.name.clone(),
+            compute_cycles: gemm_cycles(cfg, layer.gemm_shape()),
+            plan,
+            traffic,
+            bursts,
+        });
+    }
+    ModelSim {
+        model: model.name().to_owned(),
+        npu: cfg.name.clone(),
+        layers,
+        address_map: Some(map),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_models::zoo;
+
+    #[test]
+    fn lenet_on_edge_is_tiny() {
+        let sim = simulate_model(&NpuConfig::edge(), &zoo::lenet());
+        // LeNet fits on-chip: traffic equals compulsory tensor bytes.
+        let m = zoo::lenet();
+        assert_eq!(sim.total_demand_bytes(), m.total_tensor_bytes());
+    }
+
+    #[test]
+    fn server_moves_less_than_edge() {
+        let m = zoo::yolo_tiny();
+        let server = simulate_model(&NpuConfig::server(), &m);
+        let edge = simulate_model(&NpuConfig::edge(), &m);
+        assert!(
+            server.total_demand_bytes() <= edge.total_demand_bytes(),
+            "24 MB SRAM must not lose to 480 KB: {} vs {}",
+            server.total_demand_bytes(),
+            edge.total_demand_bytes()
+        );
+    }
+
+    #[test]
+    fn traffic_never_below_compulsory() {
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            for m in [zoo::alexnet(), zoo::mobilenet(), zoo::dlrm()] {
+                let sim = simulate_model(&cfg, &m);
+                assert!(
+                    sim.total_demand_bytes() >= m.total_tensor_bytes(),
+                    "{} on {}",
+                    m.name(),
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_simulate_on_both_npus() {
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            for m in zoo::all_models() {
+                let sim = simulate_model(&cfg, &m);
+                assert_eq!(sim.layers.len(), m.layers().len());
+                assert!(sim.total_compute_cycles() > 0);
+                for l in &sim.layers {
+                    assert!(!l.bursts.is_empty(), "{}::{}", m.name(), l.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_counts_stay_tractable() {
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            for m in zoo::all_models() {
+                let sim = simulate_model(&cfg, &m);
+                let total: usize = sim.layers.iter().map(|l| l.bursts.len()).sum();
+                assert!(
+                    total < 3_000_000,
+                    "{} on {} emits {total} bursts",
+                    m.name(),
+                    cfg.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Tiling engine: schedules a layer onto finite SRAM and derives its
+//! off-chip traffic structure.
+//!
+//! The planner considers three classic schedules and picks the cheapest:
+//!
+//! * [`Schedule::IfmapResident`] — ifmap strips stay resident; filter
+//!   chunks re-stream once per strip. The default for convolutions, whose
+//!   weights are small.
+//! * [`Schedule::FilterResident`] — filter chunks stay resident; the ifmap
+//!   re-streams once per chunk.
+//! * [`Schedule::OutputResident`] — only the output tile is pinned (partial
+//!   sums in the ofmap buffer) while both inputs stream. This is what saves
+//!   big-`K` GEMMs (e.g. Faster R-CNN's fc6) from quadratic re-reads.
+//!
+//! Strip geometry also fixes the layer's *burst structure*: contiguous run
+//! lengths, halo re-reads between overlapping strips (Fig. 3(b)'s
+//! intra-layer overlap), and channel-chunked output writes whose short
+//! strided runs are exactly the inter-layer pattern mismatch that penalizes
+//! coarse protection granularities.
+
+use crate::burst::{Burst, TensorKind};
+use crate::config::NpuConfig;
+use seda_models::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// Loop order chosen for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Outer loop over ifmap strips; ifmap read once, filter per strip.
+    IfmapResident,
+    /// Outer loop over filter chunks; filter read once, ifmap per chunk.
+    FilterResident,
+    /// Output tile pinned; both inputs stream per output tile.
+    OutputResident,
+}
+
+/// Unified layer geometry the planner works in (convs and GEMMs alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerGeometry {
+    /// Input rows (`ih` for convs, batch rows `m` for GEMMs).
+    pub in_rows: u64,
+    /// Bytes per input row (`iw·c` or `k`).
+    pub in_row_bytes: u64,
+    /// Filter extent along rows (`r`; 1 for GEMMs).
+    pub r: u64,
+    /// Row stride (1 for GEMMs).
+    pub stride: u64,
+    /// Output rows (`oh` or `m`).
+    pub out_rows: u64,
+    /// Output pixels per row (`ow` or 1).
+    pub out_row_pixels: u64,
+    /// Output channels (`m` filters, GEMM `n`, or depthwise `c`).
+    pub out_channels: u64,
+    /// Filter bytes per output channel (`r·s·c`, `k`, or `r·s`).
+    pub filter_per_channel: u64,
+}
+
+impl LayerGeometry {
+    /// Extracts the planning geometry from a layer.
+    pub fn of(layer: &Layer) -> Self {
+        let (oh, ow) = layer.ofmap_dims();
+        match layer.kind {
+            LayerKind::Conv {
+                ih,
+                iw,
+                r,
+                c,
+                m,
+                stride,
+                ..
+            } => Self {
+                in_rows: u64::from(ih),
+                in_row_bytes: u64::from(iw) * u64::from(c),
+                r: u64::from(r),
+                stride: u64::from(stride),
+                out_rows: oh,
+                out_row_pixels: ow,
+                out_channels: u64::from(m),
+                filter_per_channel: layer.filter_bytes() / u64::from(m),
+            },
+            LayerKind::DepthwiseConv {
+                ih,
+                iw,
+                r,
+                c,
+                stride,
+                ..
+            } => Self {
+                in_rows: u64::from(ih),
+                in_row_bytes: u64::from(iw) * u64::from(c),
+                r: u64::from(r),
+                stride: u64::from(stride),
+                out_rows: oh,
+                out_row_pixels: ow,
+                out_channels: u64::from(c),
+                filter_per_channel: layer.filter_bytes() / u64::from(c),
+            },
+            LayerKind::Gemm { m, k, n } => Self {
+                in_rows: u64::from(m),
+                in_row_bytes: u64::from(k),
+                r: 1,
+                stride: 1,
+                out_rows: u64::from(m),
+                out_row_pixels: 1,
+                out_channels: u64::from(n),
+                filter_per_channel: u64::from(k),
+            },
+        }
+    }
+
+    /// Input rows a strip of `th` output rows needs (with halo).
+    pub fn in_rows_for(&self, th: u64) -> u64 {
+        ((th - 1) * self.stride + self.r).min(self.in_rows)
+    }
+
+    /// Bytes per output row (`ow · out_channels`).
+    pub fn out_row_bytes(&self) -> u64 {
+        self.out_row_pixels * self.out_channels
+    }
+
+    /// Total filter bytes.
+    pub fn filter_bytes(&self) -> u64 {
+        self.filter_per_channel * self.out_channels
+    }
+
+    /// Total ifmap bytes.
+    pub fn ifmap_bytes(&self) -> u64 {
+        self.in_rows * self.in_row_bytes
+    }
+
+    /// Total ofmap bytes.
+    pub fn ofmap_bytes(&self) -> u64 {
+        self.out_rows * self.out_row_bytes()
+    }
+}
+
+/// Estimated per-tensor traffic of a plan, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficEstimate {
+    /// Ifmap bytes read (including halo re-reads and re-streams).
+    pub ifmap: u64,
+    /// Filter bytes read (including re-streams).
+    pub filter: u64,
+    /// Ofmap bytes written.
+    pub ofmap: u64,
+}
+
+impl TrafficEstimate {
+    /// Total demand bytes.
+    pub fn total(&self) -> u64 {
+        self.ifmap + self.filter + self.ofmap
+    }
+}
+
+/// A complete tiling decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilePlan {
+    /// Chosen loop order.
+    pub schedule: Schedule,
+    /// Output rows per strip.
+    pub out_rows_per_strip: u64,
+    /// Number of strips.
+    pub strips: u64,
+    /// Output channels per filter chunk.
+    pub chunk_channels: u64,
+    /// Number of filter chunks.
+    pub chunks: u64,
+    /// Input rows fetched per full strip (with halo).
+    pub in_rows_per_strip: u64,
+    /// Estimated demand traffic.
+    pub traffic: TrafficEstimate,
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Ifmap bytes fetched when the tensor is swept once in `strips` strips of
+/// `th` output rows (halo rows re-fetched between neighbours).
+fn ifmap_sweep_bytes(g: &LayerGeometry, th: u64) -> u64 {
+    let strips = div_ceil(g.out_rows, th);
+    let mut total = 0;
+    for s in 0..strips {
+        let rows_out = th.min(g.out_rows - s * th);
+        let y0 = (s * th * g.stride).min(g.in_rows);
+        let rows_in = g.in_rows_for(rows_out).min(g.in_rows - y0);
+        total += rows_in * g.in_row_bytes;
+    }
+    total
+}
+
+/// Plans a layer onto the NPU's buffers.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`NpuConfig::validate`]).
+pub fn plan_layer(cfg: &NpuConfig, layer: &Layer) -> TilePlan {
+    cfg.validate().expect("invalid NPU configuration");
+    let g = LayerGeometry::of(layer);
+    let bi = cfg.ifmap_buffer().max(1);
+    let bf = cfg.filter_buffer().max(1);
+    let bo = cfg.ofmap_buffer().max(1);
+
+    // Largest strip whose input rows fit the ifmap buffer.
+    let rows_fitting = (bi / g.in_row_bytes.max(1)).max(1);
+    let th_resident = if g.in_rows_for(1) > rows_fitting {
+        1 // even one output row's halo overflows; accept overflow at th=1
+    } else {
+        // Largest th with (th-1)*stride + r <= rows_fitting.
+        ((rows_fitting.saturating_sub(g.r)) / g.stride + 1).min(g.out_rows)
+    };
+
+    // Largest filter chunk that fits the filter buffer.
+    let mc_resident = (bf / g.filter_per_channel.max(1)).clamp(1, g.out_channels);
+
+    let f = g.filter_bytes();
+    let o = g.ofmap_bytes();
+
+    // Fits an output tile into the ofmap buffer, preferring to shorten the
+    // strip before thinning the channel chunk (full-depth writes stay
+    // contiguous; thin chunks degrade into per-pixel strided runs).
+    let fit_output_tile = |th_max: u64, mc_max: u64| -> (u64, u64) {
+        let row_tile = (g.out_row_pixels * mc_max).max(1);
+        if bo >= row_tile {
+            ((bo / row_tile).clamp(1, th_max), mc_max)
+        } else {
+            (1, (bo / g.out_row_pixels.max(1)).clamp(1, mc_max))
+        }
+    };
+
+    // Candidate 1: ifmap strips resident (filter re-streamed per strip, so
+    // it needs no residency and the chunk can span the full depth whenever
+    // the ofmap tile allows — keeping output writes contiguous).
+    let c1 = {
+        let (th, mc) = fit_output_tile(th_resident, g.out_channels);
+        let strips = div_ceil(g.out_rows, th);
+        let chunks = div_ceil(g.out_channels, mc);
+        let i_bytes = ifmap_sweep_bytes(&g, th);
+        let f_bytes = f * strips;
+        TilePlan {
+            schedule: Schedule::IfmapResident,
+            out_rows_per_strip: th,
+            strips,
+            chunk_channels: mc,
+            chunks,
+            in_rows_per_strip: g.in_rows_for(th),
+            traffic: TrafficEstimate {
+                ifmap: i_bytes,
+                filter: f_bytes,
+                ofmap: o,
+            },
+        }
+    };
+
+    // Candidate 2: filter chunks resident (the chunk must fit the filter
+    // buffer); the ifmap streams per chunk, so strips are bounded only by
+    // the ofmap tile.
+    let c2 = {
+        let (th, mc) = fit_output_tile(g.out_rows, mc_resident);
+        let chunks = div_ceil(g.out_channels, mc);
+        let strips = div_ceil(g.out_rows, th);
+        let i_bytes = ifmap_sweep_bytes(&g, th) * chunks;
+        TilePlan {
+            schedule: Schedule::FilterResident,
+            out_rows_per_strip: th,
+            strips,
+            chunk_channels: mc,
+            chunks,
+            in_rows_per_strip: g.in_rows_for(th),
+            traffic: TrafficEstimate {
+                ifmap: i_bytes,
+                filter: f,
+                ofmap: o,
+            },
+        }
+    };
+
+    // Candidate 3: output tile resident, both inputs stream. Search strip
+    // heights geometrically; the chunk is whatever the ofmap buffer allows.
+    let c3 = {
+        let mut best: Option<TilePlan> = None;
+        let mut th = g.out_rows;
+        loop {
+            let mc = (bo / (th * g.out_row_pixels).max(1)).clamp(1, g.out_channels);
+            let strips = div_ceil(g.out_rows, th);
+            let chunks = div_ceil(g.out_channels, mc);
+            let i_bytes = ifmap_sweep_bytes(&g, th) * chunks;
+            let f_bytes = f * strips;
+            let plan = TilePlan {
+                schedule: Schedule::OutputResident,
+                out_rows_per_strip: th,
+                strips,
+                chunk_channels: mc,
+                chunks,
+                in_rows_per_strip: g.in_rows_for(th),
+                traffic: TrafficEstimate {
+                    ifmap: i_bytes,
+                    filter: f_bytes,
+                    ofmap: o,
+                },
+            };
+            if best.is_none_or(|b| plan.traffic.total() < b.traffic.total()) {
+                best = Some(plan);
+            }
+            if th == 1 {
+                break;
+            }
+            th /= 2;
+        }
+        best.expect("at least one output-resident plan")
+    };
+
+    // Tie-break equal traffic toward fewer chunks and strips: contiguous
+    // full-depth writes beat fragmented ones at equal byte cost.
+    [c1, c2, c3]
+        .into_iter()
+        .min_by_key(|p| (p.traffic.total(), p.chunks, p.strips))
+        .expect("three candidates")
+}
+
+/// Base addresses the burst generator writes a layer's traffic against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerAddresses {
+    /// Base of the layer's ifmap activation buffer.
+    pub ifmap: u64,
+    /// Base of the layer's packed weights.
+    pub filter: u64,
+    /// Base of the layer's ofmap activation buffer.
+    pub ofmap: u64,
+}
+
+/// Generates the layer's burst trace under `plan`.
+///
+/// Burst order follows the plan's loop nest, so downstream DRAM simulation
+/// sees realistic interleaving. Output writes for partial-channel chunks
+/// become one short strided run per output pixel — the pattern that coarse
+/// integrity granularities pay for.
+pub fn generate_bursts(
+    layer: &Layer,
+    layer_idx: u32,
+    plan: &TilePlan,
+    addrs: LayerAddresses,
+) -> Vec<Burst> {
+    let g = LayerGeometry::of(layer);
+    let mut out = Vec::new();
+
+    let strip_in_base = |s: u64| -> (u64, u64) {
+        // (first input row, rows fetched) for strip s.
+        let th = plan.out_rows_per_strip;
+        let rows_out = th.min(g.out_rows - s * th);
+        let y0 = (s * th * g.stride).min(g.in_rows);
+        let rows_in = g.in_rows_for(rows_out).min(g.in_rows - y0);
+        (y0, rows_in)
+    };
+
+    let emit_ifmap = |out: &mut Vec<Burst>, s: u64| {
+        let (y0, rows) = strip_in_base(s);
+        if rows > 0 {
+            out.push(Burst::read(
+                addrs.ifmap + y0 * g.in_row_bytes,
+                rows * g.in_row_bytes,
+                TensorKind::Ifmap,
+                layer_idx,
+            ));
+        }
+    };
+
+    let emit_filter = |out: &mut Vec<Burst>, c: u64| {
+        let mc = plan.chunk_channels;
+        let ch0 = c * mc;
+        let chs = mc.min(g.out_channels - ch0);
+        out.push(Burst::read(
+            addrs.filter + ch0 * g.filter_per_channel,
+            chs * g.filter_per_channel,
+            TensorKind::Filter,
+            layer_idx,
+        ));
+    };
+
+    let emit_ofmap = |out: &mut Vec<Burst>, s: u64, c: u64| {
+        let th = plan.out_rows_per_strip;
+        let rows_out = th.min(g.out_rows - s * th);
+        let mc = plan.chunk_channels;
+        let ch0 = c * mc;
+        let chs = mc.min(g.out_channels - ch0);
+        let row_bytes = g.out_row_bytes();
+        if chs == g.out_channels {
+            // Full-depth strip: one contiguous run.
+            out.push(Burst::write(
+                addrs.ofmap + s * th * row_bytes,
+                rows_out * row_bytes,
+                TensorKind::Ofmap,
+                layer_idx,
+            ));
+        } else {
+            // Channel-chunked: the ofmap is laid out chunk-major within
+            // each row (`[y][chunk][x][mc]`), so each (row, chunk) pair is
+            // one contiguous run. A full row remains one contiguous span
+            // for the next layer's row-granular reads.
+            for y in 0..rows_out {
+                let row = s * th + y;
+                out.push(Burst::write(
+                    addrs.ofmap + row * row_bytes + ch0 * g.out_row_pixels,
+                    chs * g.out_row_pixels,
+                    TensorKind::Ofmap,
+                    layer_idx,
+                ));
+            }
+        }
+    };
+
+    match plan.schedule {
+        Schedule::IfmapResident => {
+            for s in 0..plan.strips {
+                emit_ifmap(&mut out, s);
+                for c in 0..plan.chunks {
+                    emit_filter(&mut out, c);
+                    emit_ofmap(&mut out, s, c);
+                }
+            }
+        }
+        Schedule::FilterResident => {
+            for c in 0..plan.chunks {
+                emit_filter(&mut out, c);
+                for s in 0..plan.strips {
+                    emit_ifmap(&mut out, s);
+                    emit_ofmap(&mut out, s, c);
+                }
+            }
+        }
+        Schedule::OutputResident => {
+            for c in 0..plan.chunks {
+                for s in 0..plan.strips {
+                    emit_filter(&mut out, c);
+                    emit_ifmap(&mut out, s);
+                    emit_ofmap(&mut out, s, c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::TrafficSummary;
+    use seda_models::Layer;
+
+    fn addrs() -> LayerAddresses {
+        LayerAddresses {
+            ifmap: 0,
+            filter: 1 << 30,
+            ofmap: 1 << 31,
+        }
+    }
+
+    #[test]
+    fn resident_layer_reads_everything_once() {
+        let cfg = NpuConfig::server();
+        let layer = Layer::conv("c", 58, 58, 3, 3, 64, 64, 1);
+        let plan = plan_layer(&cfg, &layer);
+        assert_eq!(plan.strips, 1);
+        assert_eq!(plan.chunks, 1);
+        assert_eq!(plan.traffic.ifmap, layer.ifmap_bytes());
+        assert_eq!(plan.traffic.filter, layer.filter_bytes());
+        assert_eq!(plan.traffic.ofmap, layer.ofmap_bytes());
+    }
+
+    #[test]
+    fn edge_tiling_adds_halo() {
+        let cfg = NpuConfig::edge();
+        // 416x416x16 ifmap = 2.7 MB >> 192 KB ifmap buffer.
+        let layer = Layer::conv("c", 418, 418, 3, 3, 16, 32, 1);
+        let plan = plan_layer(&cfg, &layer);
+        assert!(plan.strips > 1, "large ifmap must be stripped");
+        assert!(
+            plan.traffic.ifmap > layer.ifmap_bytes(),
+            "halo rows must be re-fetched: {} vs {}",
+            plan.traffic.ifmap,
+            layer.ifmap_bytes()
+        );
+        // But amplification stays bounded (halo is r-stride rows per strip).
+        assert!(plan.traffic.ifmap < 2 * layer.ifmap_bytes());
+    }
+
+    #[test]
+    fn big_k_gemm_uses_output_residency() {
+        let cfg = NpuConfig::edge();
+        // Faster R-CNN fc6-like: both operands far exceed their buffers.
+        let layer = Layer::gemm("fc6", 128, 25088, 4096);
+        let plan = plan_layer(&cfg, &layer);
+        assert_eq!(plan.schedule, Schedule::OutputResident);
+        // Traffic must stay within a small multiple of the tensor sizes,
+        // not the quadratic blowup of the naive schedules.
+        assert!(
+            plan.traffic.total() < 3 * layer.total_bytes(),
+            "traffic {} vs tensors {}",
+            plan.traffic.total(),
+            layer.total_bytes()
+        );
+    }
+
+    #[test]
+    fn bursts_match_estimate() {
+        let cfg = NpuConfig::edge();
+        for layer in [
+            Layer::conv("a", 58, 58, 3, 3, 64, 64, 1),
+            Layer::conv("b", 418, 418, 3, 3, 16, 32, 1),
+            Layer::gemm("c", 128, 1024, 512),
+            Layer::depthwise("d", 114, 114, 3, 3, 64, 1),
+        ] {
+            let plan = plan_layer(&cfg, &layer);
+            let bursts = generate_bursts(&layer, 0, &plan, addrs());
+            let s = TrafficSummary::of(&bursts);
+            assert_eq!(s.ifmap_read, plan.traffic.ifmap, "{}", layer.name);
+            assert_eq!(s.filter_read, plan.traffic.filter, "{}", layer.name);
+            assert_eq!(s.ofmap_write, plan.traffic.ofmap, "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn ofmap_writes_cover_tensor_exactly_once() {
+        let cfg = NpuConfig::edge();
+        let layer = Layer::conv("c", 30, 30, 3, 3, 32, 64, 1);
+        let plan = plan_layer(&cfg, &layer);
+        let bursts = generate_bursts(&layer, 0, &plan, addrs());
+        let base = addrs().ofmap;
+        let mut coverage = vec![0u8; layer.ofmap_bytes() as usize];
+        for b in bursts.iter().filter(|b| b.is_write) {
+            for i in 0..b.bytes {
+                coverage[(b.addr - base + i) as usize] += 1;
+            }
+        }
+        assert!(coverage.iter().all(|&c| c == 1), "every ofmap byte written once");
+    }
+
+    #[test]
+    fn ifmap_reads_stay_in_bounds() {
+        let cfg = NpuConfig::edge();
+        let layer = Layer::conv("c", 418, 418, 3, 3, 16, 32, 1);
+        let plan = plan_layer(&cfg, &layer);
+        for b in generate_bursts(&layer, 0, &plan, addrs()) {
+            if b.tensor == TensorKind::Ifmap {
+                assert!(b.end() <= layer.ifmap_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_is_at_least_compulsory() {
+        let cfg = NpuConfig::edge();
+        for layer in [
+            Layer::conv("a", 227, 227, 11, 11, 3, 96, 4),
+            Layer::gemm("b", 1, 9216, 4096),
+        ] {
+            let plan = plan_layer(&cfg, &layer);
+            assert!(plan.traffic.ifmap >= layer.ifmap_bytes());
+            assert!(plan.traffic.filter >= layer.filter_bytes());
+            assert_eq!(plan.traffic.ofmap, layer.ofmap_bytes());
+        }
+    }
+}

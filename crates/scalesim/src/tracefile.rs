@@ -1,0 +1,181 @@
+//! Text trace format for burst traces.
+//!
+//! SCALE-Sim emits DRAM traces as CSV files and Ramulator consumes plain
+//! request traces; this module provides the equivalent interop surface so
+//! the simulators can be used standalone. One burst per line:
+//!
+//! ```text
+//! # comment
+//! R 0x0000000000001000 3584 ifmap 0
+//! W 0x0000000080000000 3136 ofmap 2
+//! ```
+//!
+//! Fields: direction (`R`/`W`), hex byte address, decimal byte length,
+//! tensor kind (`ifmap`/`filter`/`ofmap`), decimal layer index.
+
+use crate::burst::{Burst, TensorKind};
+use std::fmt::Write as _;
+
+/// Error produced when parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn tensor_name(t: TensorKind) -> &'static str {
+    match t {
+        TensorKind::Ifmap => "ifmap",
+        TensorKind::Filter => "filter",
+        TensorKind::Ofmap => "ofmap",
+    }
+}
+
+fn tensor_from(name: &str) -> Option<TensorKind> {
+    match name {
+        "ifmap" => Some(TensorKind::Ifmap),
+        "filter" => Some(TensorKind::Filter),
+        "ofmap" => Some(TensorKind::Ofmap),
+        _ => None,
+    }
+}
+
+/// Serializes bursts into the text trace format.
+pub fn write_trace(bursts: &[Burst]) -> String {
+    let mut out = String::with_capacity(bursts.len() * 40);
+    out.push_str("# seda burst trace v1: dir addr bytes tensor layer\n");
+    for b in bursts {
+        let _ = writeln!(
+            out,
+            "{} {:#018x} {} {} {}",
+            if b.is_write { 'W' } else { 'R' },
+            b.addr,
+            b.bytes,
+            tensor_name(b.tensor),
+            b.layer
+        );
+    }
+    out
+}
+
+/// Parses the text trace format.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the first malformed line; blank
+/// lines and `#` comments are skipped.
+pub fn parse_trace(text: &str) -> Result<Vec<Burst>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ParseTraceError {
+            line: i + 1,
+            message: message.to_owned(),
+        };
+        let mut fields = line.split_whitespace();
+        let dir = fields.next().ok_or_else(|| err("missing direction"))?;
+        let is_write = match dir {
+            "R" => false,
+            "W" => true,
+            other => return Err(err(&format!("bad direction {other:?}"))),
+        };
+        let addr_s = fields.next().ok_or_else(|| err("missing address"))?;
+        let addr = u64::from_str_radix(addr_s.trim_start_matches("0x"), 16)
+            .map_err(|e| err(&format!("bad address: {e}")))?;
+        let bytes: u64 = fields
+            .next()
+            .ok_or_else(|| err("missing length"))?
+            .parse()
+            .map_err(|e| err(&format!("bad length: {e}")))?;
+        if bytes == 0 {
+            return Err(err("zero-length burst"));
+        }
+        let tensor = fields
+            .next()
+            .and_then(tensor_from)
+            .ok_or_else(|| err("bad tensor kind"))?;
+        let layer: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing layer"))?
+            .parse()
+            .map_err(|e| err(&format!("bad layer: {e}")))?;
+        if fields.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        out.push(Burst {
+            addr,
+            bytes,
+            is_write,
+            tensor,
+            layer,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NpuConfig;
+    use crate::sim::simulate_model;
+    use seda_models::zoo;
+
+    #[test]
+    fn round_trip_preserves_bursts() {
+        let sim = simulate_model(&NpuConfig::edge(), &zoo::lenet());
+        let bursts: Vec<Burst> = sim.layers.iter().flat_map(|l| l.bursts.clone()).collect();
+        let text = write_trace(&bursts);
+        let parsed = parse_trace(&text).expect("own output parses");
+        assert_eq!(parsed, bursts);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nR 0x40 64 ifmap 0\n   \n# tail\n";
+        let parsed = parse_trace(text).expect("valid");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].addr, 0x40);
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = "R 0x40 64 ifmap 0\nX 0x40 64 ifmap 0\n";
+        let err = parse_trace(text).expect_err("bad direction");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("direction"));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(parse_trace("R 0x0 0 ifmap 0").is_err());
+    }
+
+    #[test]
+    fn bad_tensor_rejected() {
+        assert!(parse_trace("R 0x0 64 weights 0").is_err());
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        assert!(parse_trace("R 0x0 64 ifmap 0 extra").is_err());
+    }
+
+    #[test]
+    fn error_displays_line_number() {
+        let err = parse_trace("bogus").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the accelerator simulator: tiling plans and
+//! burst traces over arbitrary layer shapes.
+
+use proptest::prelude::*;
+use seda_models::{Layer, Model};
+use seda_scalesim::{
+    generate_bursts, plan_layer, simulate_model, LayerAddresses, NpuConfig, TensorKind,
+    TrafficSummary,
+};
+
+fn arb_conv() -> impl Strategy<Value = Layer> {
+    (2u32..96, 2u32..96, 1u32..6, 1u32..6, 1u32..64, 1u32..128, 1u32..3).prop_filter_map(
+        "filter must fit input",
+        |(ih, iw, r, s, c, m, stride)| {
+            if r <= ih && s <= iw {
+                Some(Layer::conv("prop", ih, iw, r, s, c, m, stride))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+fn arb_gemm() -> impl Strategy<Value = Layer> {
+    (1u32..512, 1u32..4096, 1u32..2048).prop_map(|(m, k, n)| Layer::gemm("prop", m, k, n))
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![arb_conv(), arb_gemm()]
+}
+
+fn addrs() -> LayerAddresses {
+    LayerAddresses {
+        ifmap: 0,
+        filter: 1 << 40,
+        ofmap: 1 << 41,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plans_fetch_at_least_compulsory_traffic(layer in arb_layer()) {
+        // Strided convolution legitimately skips rows between (and after)
+        // the windows, so the ifmap lower bound is the touched subset: at
+        // most `r` rows per output row, never more than the covered span.
+        let touched_ifmap = {
+            let g = seda_scalesim::LayerGeometry::of(&layer);
+            (g.out_rows * g.r).min(g.in_rows_for(g.out_rows)) * g.in_row_bytes
+        };
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            let plan = plan_layer(&cfg, &layer);
+            prop_assert!(plan.traffic.ifmap >= touched_ifmap, "{:?}", plan);
+            prop_assert!(plan.traffic.filter >= layer.filter_bytes(), "{:?}", plan);
+            prop_assert_eq!(plan.traffic.ofmap, layer.ofmap_bytes());
+        }
+    }
+
+    #[test]
+    fn traffic_amplification_is_bounded(layer in arb_layer()) {
+        // No schedule may blow traffic up beyond strips x chunks of the
+        // raw tensors — and the chosen plan should do far better.
+        let cfg = NpuConfig::edge();
+        let plan = plan_layer(&cfg, &layer);
+        let bound = layer.total_bytes().saturating_mul(plan.strips.max(plan.chunks) + 1);
+        prop_assert!(plan.traffic.total() <= bound,
+            "traffic {} vs bound {} (plan {:?})", plan.traffic.total(), bound, plan);
+    }
+
+    #[test]
+    fn bursts_agree_with_plan_estimate(layer in arb_layer()) {
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            let plan = plan_layer(&cfg, &layer);
+            let bursts = generate_bursts(&layer, 3, &plan, addrs());
+            let s = TrafficSummary::of(&bursts);
+            prop_assert_eq!(s.ifmap_read, plan.traffic.ifmap);
+            prop_assert_eq!(s.filter_read, plan.traffic.filter);
+            prop_assert_eq!(s.ofmap_write, plan.traffic.ofmap);
+            prop_assert!(bursts.iter().all(|b| b.layer == 3));
+        }
+    }
+
+    #[test]
+    fn reads_stay_inside_their_tensors(layer in arb_layer()) {
+        let cfg = NpuConfig::edge();
+        let plan = plan_layer(&cfg, &layer);
+        let a = addrs();
+        for b in generate_bursts(&layer, 0, &plan, a) {
+            match b.tensor {
+                TensorKind::Ifmap => {
+                    prop_assert!(b.addr >= a.ifmap);
+                    prop_assert!(b.end() <= a.ifmap + layer.ifmap_bytes());
+                }
+                TensorKind::Filter => {
+                    prop_assert!(b.addr >= a.filter);
+                    prop_assert!(b.end() <= a.filter + layer.filter_bytes());
+                }
+                TensorKind::Ofmap => {
+                    prop_assert!(b.addr >= a.ofmap);
+                    prop_assert!(b.end() <= a.ofmap + layer.ofmap_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ofmap_is_written_exactly_once(layer in arb_layer()) {
+        let cfg = NpuConfig::edge();
+        let plan = plan_layer(&cfg, &layer);
+        let a = addrs();
+        let bursts = generate_bursts(&layer, 0, &plan, a);
+        let total: u64 = bursts
+            .iter()
+            .filter(|b| b.is_write)
+            .map(|b| b.bytes)
+            .sum();
+        prop_assert_eq!(total, layer.ofmap_bytes());
+        // Non-overlap: sort write intervals and check pairwise.
+        let mut spans: Vec<(u64, u64)> = bursts
+            .iter()
+            .filter(|b| b.is_write)
+            .map(|b| (b.addr, b.end()))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping writes: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn compute_cycles_at_least_ideal(layer in arb_layer()) {
+        for cfg in [NpuConfig::server(), NpuConfig::edge()] {
+            let cycles = seda_scalesim::gemm_cycles(&cfg, layer.gemm_shape());
+            let ideal = layer.macs() / (u64::from(cfg.rows) * u64::from(cfg.cols));
+            prop_assert!(cycles >= ideal.max(1));
+        }
+    }
+
+    #[test]
+    fn model_sim_is_deterministic(seed_layers in prop::collection::vec(arb_layer(), 1..4)) {
+        let layers: Vec<Layer> = seed_layers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut l)| {
+                l.name = format!("l{i}");
+                l
+            })
+            .collect();
+        let model = Model::new("prop", layers);
+        let cfg = NpuConfig::edge();
+        let a = simulate_model(&cfg, &model);
+        let b = simulate_model(&cfg, &model);
+        prop_assert_eq!(a.total_compute_cycles(), b.total_compute_cycles());
+        prop_assert_eq!(a.total_demand_bytes(), b.total_demand_bytes());
+    }
+}

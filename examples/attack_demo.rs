@@ -1,0 +1,64 @@
+//! Attack & defense walkthrough: mounts the paper's two attacks — SECA
+//! (Algorithm 1) against shared-OTP encryption and RePA (Algorithm 2)
+//! against XOR-folded layer MACs — and shows SeDA's defenses stopping both.
+//!
+//! Run with: `cargo run --release -p seda-examples --example attack_demo`
+
+use seda::attacks::repa::{mount_repa, MacBinding, ProtectedLayer};
+use seda::attacks::seca::{mount_seca, sparse_block};
+use seda::crypto::ctr::CounterSeed;
+use seda::crypto::otp::{BandwidthAwareOtp, SharedOtp};
+
+fn main() {
+    println!("=== Attack 1: SECA (single-element collision, Algorithm 1) ===\n");
+    let key = [0x42; 16];
+    let seed = CounterSeed::new(0x10_0000, 5);
+    // 512 B of 70%-sparse weights — typical for pruned DNNs.
+    let weights = sparse_block(32, 0.7, 99);
+
+    let naive = mount_seca(&SharedOtp::new(key), seed, &weights, [0u8; 16]);
+    println!(
+        "shared OTP:  attacker recovers {:.1}% of the block  -> {}",
+        naive.accuracy * 100.0,
+        if naive.success { "MODEL STOLEN" } else { "safe" }
+    );
+
+    let defended = mount_seca(&BandwidthAwareOtp::new(key), seed, &weights, [0u8; 16]);
+    println!(
+        "B-AES:       attacker recovers {:.1}% of the block  -> {}",
+        defended.accuracy * 100.0,
+        if defended.success { "MODEL STOLEN" } else { "safe" }
+    );
+
+    println!("\n=== Attack 2: RePA (re-permutation, Algorithm 2) ===\n");
+    let activations: Vec<u8> = (0..32 * 64).map(|i| (i as u8).wrapping_mul(13)).collect();
+
+    let mut weak = ProtectedLayer::seal(&activations, 64, 0x20_0000, 9, MacBinding::CiphertextOnly);
+    let attack = mount_repa(&mut weak, &activations);
+    println!(
+        "ciphertext-only MACs: verification {} after shuffle, {:.1}% of data intact -> {}",
+        if attack.verification_passed { "PASSES" } else { "fails" },
+        attack.decryption_accuracy * 100.0,
+        if attack.success {
+            "SILENT CORRUPTION"
+        } else {
+            "safe"
+        }
+    );
+
+    let mut strong =
+        ProtectedLayer::seal(&activations, 64, 0x20_0000, 9, MacBinding::PositionBound);
+    let defended = mount_repa(&mut strong, &activations);
+    println!(
+        "position-bound MACs:  verification {} after shuffle -> {}",
+        if defended.verification_passed {
+            "passes"
+        } else {
+            "FAILS (tamper detected)"
+        },
+        if defended.success { "broken" } else { "safe" }
+    );
+
+    println!("\nBoth defenses are structural: per-segment pads from the AES key");
+    println!("schedule (B-AES) and position fields inside each optBlk MAC.");
+}

@@ -1,0 +1,1 @@
+//! Example support crate (examples live alongside this package).
