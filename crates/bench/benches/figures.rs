@@ -56,5 +56,11 @@ fn bench_optblk(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_fig4, bench_fig5_fig6, bench_optblk);
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig4,
+    bench_fig5_fig6,
+    bench_optblk
+);
 criterion_main!(benches);

@@ -53,8 +53,18 @@ fn bench_schemes(c: &mut Criterion) {
         .flat_map(|i| {
             [
                 Burst::read(i * 8192, 3584, TensorKind::Ifmap, (i / 8) as u32),
-                Burst::read((1 << 30) + i * 4608, 4608, TensorKind::Filter, (i / 8) as u32),
-                Burst::write((1 << 31) + i * 3136, 3136, TensorKind::Ofmap, (i / 8) as u32),
+                Burst::read(
+                    (1 << 30) + i * 4608,
+                    4608,
+                    TensorKind::Filter,
+                    (i / 8) as u32,
+                ),
+                Burst::write(
+                    (1 << 31) + i * 3136,
+                    3136,
+                    TensorKind::Ofmap,
+                    (i / 8) as u32,
+                ),
             ]
         })
         .collect();
@@ -70,13 +80,30 @@ fn bench_schemes(c: &mut Criterion) {
     };
     g.bench_function("baseline", |b| b.iter(|| run(&mut Unprotected::new())));
     g.bench_function("sgx64", |b| {
-        b.iter(|| run(&mut BlockMacScheme::new(BlockMacKind::Sgx, 64, PROTECTED_BYTES)))
+        b.iter(|| {
+            run(&mut BlockMacScheme::new(
+                BlockMacKind::Sgx,
+                64,
+                PROTECTED_BYTES,
+            ))
+        })
     });
     g.bench_function("mgx512", |b| {
-        b.iter(|| run(&mut BlockMacScheme::new(BlockMacKind::Mgx, 512, PROTECTED_BYTES)))
+        b.iter(|| {
+            run(&mut BlockMacScheme::new(
+                BlockMacKind::Mgx,
+                512,
+                PROTECTED_BYTES,
+            ))
+        })
     });
     g.bench_function("seda", |b| {
-        b.iter(|| run(&mut SedaScheme::new(LayerMacStore::OffChip, PROTECTED_BYTES)))
+        b.iter(|| {
+            run(&mut SedaScheme::new(
+                LayerMacStore::OffChip,
+                PROTECTED_BYTES,
+            ))
+        })
     });
     g.finish();
 }
@@ -98,5 +125,11 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dram, bench_scalesim, bench_schemes, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_dram,
+    bench_scalesim,
+    bench_schemes,
+    bench_pipeline
+);
 criterion_main!(benches);

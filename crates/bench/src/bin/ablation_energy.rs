@@ -5,30 +5,46 @@
 //! binary reports per-scheme DRAM energy on both NPUs (DDR4 energies for
 //! the server, LPDDR4 for the edge).
 //!
+//! Runs as one parallel sweep on the unified engine; each scheme starts
+//! cold on each workload, so per-workload energy is accounted
+//! independently (the old hand-rolled loop leaked warm metadata caches
+//! from one workload into the next).
+//!
 //! Usage: `cargo run --release -p seda-bench --bin ablation_energy`
 
 use seda::dram::{estimate_energy, EnergyParams};
+use seda::experiment::scheme_names;
 use seda::models::zoo;
-use seda::pipeline::run_model;
-use seda::protect::paper_lineup;
 use seda::scalesim::NpuConfig;
+use seda::sweep::Sweep;
 
 fn main() {
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let models = [zoo::resnet18(), zoo::alexnet()];
+    let results = Sweep::new()
+        .npus(npus.iter().cloned())
+        .models(models.iter().cloned())
+        .schemes(scheme_names())
+        .run();
+
     println!("Extension: DRAM energy per protection scheme (ResNet-18 + AlexNet)");
-    for (npu, params, mem) in [
-        (NpuConfig::server(), EnergyParams::ddr4(), "DDR4"),
-        (NpuConfig::edge(), EnergyParams::lpddr4(), "LPDDR4"),
-    ] {
+    for (ni, (npu, params, mem)) in [
+        (&npus[0], EnergyParams::ddr4(), "DDR4"),
+        (&npus[1], EnergyParams::lpddr4(), "LPDDR4"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
         println!("\n-- {} NPU ({mem}) --", npu.name);
         println!(
             "{:<10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
             "scheme", "act mJ", "read mJ", "write mJ", "bkgd mJ", "total mJ", "vs base"
         );
         let mut base_total = None;
-        for mut scheme in paper_lineup() {
+        for (si, name) in scheme_names().into_iter().enumerate() {
             let mut energy_acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-            for model in [zoo::resnet18(), zoo::alexnet()] {
-                let r = run_model(&npu, &model, scheme.as_mut());
+            for mi in 0..models.len() {
+                let r = results.at(ni, mi, si);
                 let secs: f64 = r
                     .layers
                     .iter()
@@ -44,7 +60,7 @@ fn main() {
             let base = *base_total.get_or_insert(total);
             println!(
                 "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>8.2}%",
-                scheme.name(),
+                name,
                 energy_acc.0,
                 energy_acc.1,
                 energy_acc.2,

@@ -3,27 +3,41 @@
 //! Sweeps the MAC protection-block size from 64 B to 4 KB on three
 //! workloads, exposing the tension Table I describes: coarse blocks cut
 //! metadata but pay alignment overfetch and read-modify-write fills where
-//! tiling produces short runs.
+//! tiling produces short runs. The whole grid runs as one parallel sweep;
+//! each workload's trace is simulated once and shared by all eight
+//! scheme points.
 //!
 //! Usage: `cargo run --release -p seda-bench --bin ablation_granularity`
 
 use seda::models::zoo;
-use seda::pipeline::run_model;
-use seda::protect::{BlockMacKind, BlockMacScheme, Unprotected, PROTECTED_BYTES};
+use seda::protect::{BlockMacKind, BlockMacScheme, PROTECTED_BYTES};
 use seda::scalesim::NpuConfig;
+use seda::sweep::Sweep;
+
+const GRANULARITIES: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
 fn main() {
-    let npu = NpuConfig::edge();
+    let models = [zoo::alexnet(), zoo::mobilenet(), zoo::transformer_fwd()];
+    let mut sweep = Sweep::new()
+        .npu(NpuConfig::edge())
+        .models(models.iter().cloned())
+        .scheme("baseline");
+    for g in GRANULARITIES {
+        sweep = sweep.scheme_with(&format!("MGX-{g}B"), move || {
+            Box::new(BlockMacScheme::new(BlockMacKind::Mgx, g, PROTECTED_BYTES))
+        });
+    }
+    let results = sweep.run();
+
     println!("Ablation: MGX protection granularity sweep (edge NPU)");
     println!(
         "{:<10} {:>7} {:>13} {:>13} {:>16} {:>11}",
         "workload", "g", "MAC bytes", "overfetch B", "traffic overhead", "slowdown"
     );
-    for model in [zoo::alexnet(), zoo::mobilenet(), zoo::transformer_fwd()] {
-        let base = run_model(&npu, &model, &mut Unprotected::new());
-        for g in [64u64, 128, 256, 512, 1024, 2048, 4096] {
-            let mut scheme = BlockMacScheme::new(BlockMacKind::Mgx, g, PROTECTED_BYTES);
-            let run = run_model(&npu, &model, &mut scheme);
+    for (mi, model) in models.iter().enumerate() {
+        let base = results.at(0, mi, 0);
+        for (gi, g) in GRANULARITIES.iter().enumerate() {
+            let run = results.at(0, mi, gi + 1);
             println!(
                 "{:<10} {:>6}B {:>13} {:>13} {:>15.2}% {:>10.4}x",
                 model.name(),

@@ -14,15 +14,25 @@ fn main() {
         "block MAC construction", "verifies?", "decrypt ok%", "broken?"
     );
     for (name, binding) in [
-        ("Hash(ciphertext) only (Securator-ish)", MacBinding::CiphertextOnly),
-        ("Hash(blk||PA||VN||layer||fmap||blk)", MacBinding::PositionBound),
+        (
+            "Hash(ciphertext) only (Securator-ish)",
+            MacBinding::CiphertextOnly,
+        ),
+        (
+            "Hash(blk||PA||VN||layer||fmap||blk)",
+            MacBinding::PositionBound,
+        ),
     ] {
         let mut layer = ProtectedLayer::seal(&plaintext, 64, 0x4000, 7, binding);
         let out = mount_repa(&mut layer, &plaintext);
         println!(
             "{:<36} {:>10} {:>11.1}% {:>9}",
             name,
-            if out.verification_passed { "PASS" } else { "FAIL" },
+            if out.verification_passed {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             out.decryption_accuracy * 100.0,
             if out.success { "BROKEN" } else { "safe" }
         );

@@ -1,19 +1,24 @@
 //! Regenerates Fig. 5: normalized memory traffic of the five protection
 //! schemes over the 13 workloads, on both NPUs.
 //!
+//! Both NPUs run as one parallel sweep on the unified engine: every
+//! (NPU, model) trace is simulated once and shared across the six
+//! schemes.
+//!
 //! Usage: `cargo run --release -p seda-bench --bin fig5_memory_traffic`
 //! Pass a path as the first argument to also dump the raw evaluation JSON.
 
-use seda::experiment::evaluate_paper_suite;
+use seda::experiment::evaluate_suites;
+use seda::models::zoo;
 use seda::report::figure5;
 use seda::scalesim::NpuConfig;
 
 fn main() {
     let json_path = std::env::args().nth(1);
-    let mut dumps = Vec::new();
-    for npu in [NpuConfig::server(), NpuConfig::edge()] {
-        let eval = evaluate_paper_suite(&npu);
-        print!("{}", figure5(&eval));
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let evals = evaluate_suites(&npus, &zoo::all_models());
+    for (npu, eval) in npus.iter().zip(&evals) {
+        print!("{}", figure5(eval));
         println!();
         print!(
             "{}",
@@ -34,10 +39,9 @@ fn main() {
             }
         }
         println!();
-        dumps.push(eval);
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&dumps).expect("serializable");
+        let json = serde_json::to_string_pretty(&evals).expect("serializable");
         std::fs::write(&path, json).expect("writable path");
         eprintln!("wrote {path}");
     }

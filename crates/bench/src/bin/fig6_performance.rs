@@ -1,17 +1,24 @@
 //! Regenerates Fig. 6(a)/(b): normalized runtime of the five protection
 //! schemes over the 13 workloads, on the server and edge NPUs.
 //!
+//! Both panels come from one parallel sweep on the unified engine.
+//!
 //! Usage: `cargo run --release -p seda-bench --bin fig6_performance`
 
-use seda::experiment::evaluate_paper_suite;
+use seda::experiment::evaluate_suites;
+use seda::models::zoo;
 use seda::report::figure6;
 use seda::scalesim::NpuConfig;
 
 fn main() {
-    for (panel, npu) in [("(a)", NpuConfig::server()), ("(b)", NpuConfig::edge())] {
-        let eval = evaluate_paper_suite(&npu);
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let evals = evaluate_suites(&npus, &zoo::all_models());
+    for ((panel, npu), eval) in [("(a)", &npus[0]), ("(b)", &npus[1])]
+        .into_iter()
+        .zip(&evals)
+    {
         println!("Fig. 6{panel}");
-        print!("{}", figure6(&eval));
+        print!("{}", figure6(eval));
         println!();
         print!(
             "{}",

@@ -35,7 +35,15 @@ fn main() {
     );
     println!(
         "{:<14} {:>9} {:>7} {:>7} {:>12} {:>11} {:>11} {:>6} {:>6}",
-        "layer", "schedule", "strips", "chunks", "traffic B", "compute cy", "memory cy", "bound", "util"
+        "layer",
+        "schedule",
+        "strips",
+        "chunks",
+        "traffic B",
+        "compute cy",
+        "memory cy",
+        "bound",
+        "util"
     );
     for (layer, (l, t)) in model
         .layers()

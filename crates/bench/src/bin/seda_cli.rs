@@ -10,35 +10,75 @@
 //! ```
 
 use seda::models::zoo;
-use seda::pipeline::run_model;
+use seda::pipeline::{run_spec, RunSpec};
 use seda::protect::{paper_lineup, scheme_by_name};
 use seda::report::{table1, table2, table3};
 use seda::scalesim::NpuConfig;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1_granularity", "Table I: multi-level MAC granularity comparison"),
+    (
+        "table1_granularity",
+        "Table I: multi-level MAC granularity comparison",
+    ),
     ("table2_configs", "Table II: server/edge NPU configurations"),
-    ("table3_schemes", "Table III: protection-scheme feature matrix"),
-    ("fig4_area_power", "Fig. 4: T-AES vs B-AES area/power scaling"),
-    ("fig5_memory_traffic", "Fig. 5: normalized traffic, 13 workloads x 2 NPUs"),
-    ("fig6_performance", "Fig. 6: normalized runtime, 13 workloads x 2 NPUs"),
+    (
+        "table3_schemes",
+        "Table III: protection-scheme feature matrix",
+    ),
+    (
+        "fig4_area_power",
+        "Fig. 4: T-AES vs B-AES area/power scaling",
+    ),
+    (
+        "fig5_memory_traffic",
+        "Fig. 5: normalized traffic, 13 workloads x 2 NPUs",
+    ),
+    (
+        "fig6_performance",
+        "Fig. 6: normalized runtime, 13 workloads x 2 NPUs",
+    ),
     ("alg1_seca", "Algorithm 1: SECA attack and B-AES defense"),
-    ("alg2_repa", "Algorithm 2: RePA attack and position-bound defense"),
-    ("ablation_granularity", "protection-block granularity U-curve"),
+    (
+        "alg2_repa",
+        "Algorithm 2: RePA attack and position-bound defense",
+    ),
+    (
+        "ablation_granularity",
+        "protection-block granularity U-curve",
+    ),
     ("ablation_optblk", "per-layer optBlk search"),
     ("ablation_caches", "SGX metadata-cache size sensitivity"),
     ("ablation_layer_mac", "SeDA layer MACs on-chip vs off-chip"),
-    ("ablation_securator", "redundant hash work of layer-XOR checks"),
+    (
+        "ablation_securator",
+        "redundant hash work of layer-XOR checks",
+    ),
     ("ablation_energy", "DRAM energy per scheme"),
     ("ablation_sram", "SRAM capacity sweep"),
     ("ablation_dataflow", "OS vs WS dataflow"),
     ("ablation_hash_engine", "verifier throughput sizing cliff"),
-    ("ablation_steady_state", "cold-start vs steady-state overheads"),
-    ("layer_report", "per-layer schedule/traffic/cycle drill-down"),
+    (
+        "ablation_steady_state",
+        "cold-start vs steady-state overheads",
+    ),
+    (
+        "layer_report",
+        "per-layer schedule/traffic/cycle drill-down",
+    ),
     ("workloads_report", "13-workload census"),
-    ("gen_trace / replay_trace", "burst-trace export and standalone replay"),
+    (
+        "gen_trace / replay_trace",
+        "burst-trace export and standalone replay",
+    ),
     ("custom_topology", "run a user CSV topology"),
-    ("validate_sim", "fast models vs cycle/command-level cross-check"),
+    (
+        "sweep_bench",
+        "unified sweep engine vs legacy serial-path timing",
+    ),
+    (
+        "validate_sim",
+        "fast models vs cycle/command-level cross-check",
+    ),
     ("experiments_md", "regenerate EXPERIMENTS.md"),
 ];
 
@@ -46,7 +86,7 @@ fn usage() -> ! {
     eprintln!("usage: seda_cli <command>");
     eprintln!("  list                 enumerate all experiment binaries");
     eprintln!("  table <1|2|3>        print a paper table");
-    eprintln!("  run <wl> <npu> <scheme>   one secure-inference run");
+    eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
     eprintln!("  workloads            list workload names");
     eprintln!("  schemes              list scheme names");
     std::process::exit(2);
@@ -85,16 +125,19 @@ fn main() {
                 eprintln!("unknown scheme {scheme_name:?} (try `seda_cli schemes`)");
                 std::process::exit(1);
             };
-            let r = run_model(&npu, &model, scheme.as_mut());
-            println!(
-                "{} on {} under {}: {} bytes of traffic, {} cycles ({:.3} ms)",
-                r.model,
-                r.npu,
-                r.scheme,
-                r.traffic.total(),
-                r.total_cycles,
-                r.seconds(&npu) * 1e3
-            );
+            let repeats: u32 = args.get(4).and_then(|n| n.parse().ok()).unwrap_or(1);
+            let spec = RunSpec::new(&npu, &model).repeats(repeats.max(1));
+            for r in run_spec(&spec, scheme.as_mut()) {
+                println!(
+                    "{} on {} under {}: {} bytes of traffic, {} cycles ({:.3} ms)",
+                    r.model,
+                    r.npu,
+                    r.scheme,
+                    r.traffic.total(),
+                    r.total_cycles,
+                    r.seconds() * 1e3
+                );
+            }
         }
         Some("workloads") => {
             for m in zoo::all_models() {

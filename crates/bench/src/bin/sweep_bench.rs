@@ -1,0 +1,64 @@
+//! Times the unified sweep engine against the legacy serial path on the
+//! paper's headline two-NPU matrix (13 workloads × 6 schemes × 2 NPUs).
+//!
+//! The legacy path is what `evaluate` used to do: a nested loop calling
+//! `run_model` per point, which re-simulates the accelerator trace for
+//! every scheme. The engine path (`evaluate_suites`) shares one trace per
+//! (NPU, model) pair and executes points on scoped threads. Both must
+//! produce identical cycle totals — this binary asserts it.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin sweep_bench`
+
+use seda::experiment::{evaluate_suites, scheme_names};
+use seda::models::zoo;
+use seda::pipeline::run_model;
+use seda::protect::scheme_by_name;
+use seda::scalesim::NpuConfig;
+use std::time::Instant;
+
+fn main() {
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let models = zoo::all_models();
+
+    let t0 = Instant::now();
+    let mut serial_total = 0u64;
+    for npu in &npus {
+        for model in &models {
+            for name in scheme_names() {
+                let mut scheme = scheme_by_name(name).expect("lineup name");
+                serial_total =
+                    serial_total.wrapping_add(run_model(npu, model, scheme.as_mut()).total_cycles);
+            }
+        }
+    }
+    let serial = t0.elapsed();
+
+    let t1 = Instant::now();
+    let evals = evaluate_suites(&npus, &models);
+    let engine = t1.elapsed();
+
+    let engine_total: u64 = evals
+        .iter()
+        .flat_map(|e| &e.workloads)
+        .flat_map(|w| &w.outcomes)
+        .fold(0u64, |acc, o| acc.wrapping_add(o.run.total_cycles));
+    assert_eq!(
+        serial_total, engine_total,
+        "engine results must be bit-identical to the serial path"
+    );
+
+    let points = npus.len() * models.len() * scheme_names().len();
+    println!("headline sweep: {points} points (13 workloads x 6 schemes x 2 NPUs)");
+    println!(
+        "legacy serial path (simulate per point): {:8.2} ms",
+        serial.as_secs_f64() * 1e3
+    );
+    println!(
+        "sweep engine (cached + parallel):        {:8.2} ms",
+        engine.as_secs_f64() * 1e3
+    );
+    println!(
+        "speedup: {:.2}x (identical cycle totals verified)",
+        serial.as_secs_f64() / engine.as_secs_f64()
+    );
+}

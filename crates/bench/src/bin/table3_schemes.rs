@@ -3,16 +3,18 @@
 //!
 //! Usage: `cargo run --release -p seda-bench --bin table3_schemes`
 
-use seda::protect::{paper_lineup, scheme_by_name};
+use seda::experiment::scheme_names;
+use seda::protect::scheme_by_name;
 
 fn main() {
-    let mut infos: Vec<_> = paper_lineup()
-        .iter()
-        .map(|s| s.info())
-        .filter(|i| i.name != "baseline")
+    // The paper's Table III covers the five headline schemes of the
+    // Fig. 5/6 lineup; append the Securator row as implemented for the
+    // ablations.
+    let infos: Vec<_> = scheme_names()
+        .into_iter()
+        .filter(|n| *n != "baseline")
+        .chain(["Securator"])
+        .map(|n| scheme_by_name(n).expect("registry name").info())
         .collect();
-    // The paper's Table III covers the five headline schemes; append the
-    // Securator row as implemented for the ablations.
-    infos.push(scheme_by_name("Securator").expect("known").info());
     print!("{}", seda::report::table3(&infos));
 }

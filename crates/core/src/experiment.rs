@@ -2,19 +2,17 @@
 //! and normalized performance (Fig. 6) across the 13 workloads and the
 //! five protection schemes, on both NPUs.
 
-use crate::pipeline::{run_model, RunResult};
+use crate::pipeline::RunResult;
+use crate::sweep::{Sweep, SweepStats};
 use seda_models::{zoo, Model};
-use seda_protect::ProtectionScheme;
 use seda_scalesim::NpuConfig;
 use serde::{Deserialize, Serialize};
 
 /// The scheme lineup of Figs. 5-6, baseline first.
 pub fn scheme_names() -> Vec<&'static str> {
-    vec!["baseline", "SGX-64B", "SGX-512B", "MGX-64B", "MGX-512B", "SeDA"]
-}
-
-fn make_scheme(name: &str) -> Box<dyn ProtectionScheme> {
-    seda_protect::scheme_by_name(name).unwrap_or_else(|| panic!("unknown scheme {name}"))
+    vec![
+        "baseline", "SGX-64B", "SGX-512B", "MGX-64B", "MGX-512B", "SeDA",
+    ]
 }
 
 /// One scheme's outcome on one workload, normalized to the baseline.
@@ -75,35 +73,73 @@ impl Evaluation {
 }
 
 /// Evaluates `models` under the full scheme lineup on `npu`.
+///
+/// Runs on the [`Sweep`] engine: each (NPU, model) trace is simulated
+/// exactly once and shared across all six schemes, and points execute in
+/// parallel with results in deterministic lineup order.
 pub fn evaluate(npu: &NpuConfig, models: &[Model]) -> Evaluation {
-    let mut workloads = Vec::with_capacity(models.len());
-    for model in models {
-        let mut outcomes = Vec::new();
-        let mut baseline: Option<RunResult> = None;
-        for name in scheme_names() {
-            let mut scheme = make_scheme(name);
-            let run = run_model(npu, model, scheme.as_mut());
-            let (t0, c0) = match &baseline {
-                Some(b) => (b.traffic.total() as f64, b.total_cycles as f64),
-                None => (run.traffic.total() as f64, run.total_cycles as f64),
-            };
-            outcomes.push(SchemeOutcome {
-                scheme: name.to_owned(),
-                traffic_norm: run.traffic.total() as f64 / t0,
-                perf_norm: run.total_cycles as f64 / c0,
-                run: run.clone(),
-            });
-            if baseline.is_none() {
-                baseline = Some(run);
+    evaluate_with_stats(npu, models).0
+}
+
+/// [`evaluate`], additionally reporting trace-cache statistics — the
+/// number of `simulate_model` calls the sweep actually performed.
+pub fn evaluate_with_stats(npu: &NpuConfig, models: &[Model]) -> (Evaluation, SweepStats) {
+    let results = lineup_sweep(std::slice::from_ref(npu), models).run();
+    (evaluation_of(&results, 0, &npu.name, models), results.stats)
+}
+
+/// Evaluates `models` under the full lineup on several NPUs as *one*
+/// parallel sweep — all points share a thread pool and a trace cache, so
+/// this is the fastest way to produce the paper's two-NPU headline data.
+/// Returns one [`Evaluation`] per NPU, in input order.
+pub fn evaluate_suites(npus: &[NpuConfig], models: &[Model]) -> Vec<Evaluation> {
+    let results = lineup_sweep(npus, models).run();
+    npus.iter()
+        .enumerate()
+        .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
+        .collect()
+}
+
+fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {
+    Sweep::new()
+        .npus(npus.iter().cloned())
+        .models(models.iter().cloned())
+        .schemes(scheme_names())
+}
+
+fn evaluation_of(
+    results: &crate::sweep::SweepResults,
+    ni: usize,
+    npu_name: &str,
+    models: &[Model],
+) -> Evaluation {
+    let workloads = models
+        .iter()
+        .enumerate()
+        .map(|(mi, model)| {
+            let base = results.at(ni, mi, 0);
+            let (t0, c0) = (base.traffic.total() as f64, base.total_cycles as f64);
+            let outcomes = scheme_names()
+                .iter()
+                .enumerate()
+                .map(|(si, name)| {
+                    let run = results.at(ni, mi, si);
+                    SchemeOutcome {
+                        scheme: (*name).to_owned(),
+                        traffic_norm: run.traffic.total() as f64 / t0,
+                        perf_norm: run.total_cycles as f64 / c0,
+                        run: run.clone(),
+                    }
+                })
+                .collect();
+            WorkloadEval {
+                workload: model.name().to_owned(),
+                outcomes,
             }
-        }
-        workloads.push(WorkloadEval {
-            workload: model.name().to_owned(),
-            outcomes,
-        });
-    }
+        })
+        .collect();
     Evaluation {
-        npu: npu.name.clone(),
+        npu: npu_name.to_owned(),
         workloads,
     }
 }
@@ -142,5 +178,27 @@ mod tests {
         let eval = evaluate(&NpuConfig::edge(), &[zoo::lenet()]);
         assert_eq!(eval.mean_traffic().len(), 6);
         assert_eq!(eval.mean_perf().len(), 6);
+    }
+
+    #[test]
+    fn evaluate_simulates_each_workload_exactly_once() {
+        // The Fig. 5/6 path must run tiling + burst generation once per
+        // distinct (NPU, model) pair, not once per scheme.
+        let models = vec![zoo::lenet(), zoo::dlrm()];
+        let (_, stats) = evaluate_with_stats(&NpuConfig::edge(), &models);
+        assert_eq!(stats.trace_misses, models.len() as u64);
+        assert_eq!(
+            stats.trace_hits,
+            (models.len() * (scheme_names().len() - 1)) as u64
+        );
+    }
+
+    #[test]
+    fn every_lineup_name_resolves_in_the_registry() {
+        for name in scheme_names() {
+            let scheme = seda_protect::scheme_by_name(name)
+                .unwrap_or_else(|| panic!("{name} missing from registry"));
+            assert_eq!(scheme.name(), name, "registry must echo the lineup name");
+        }
     }
 }

@@ -195,10 +195,22 @@ pub fn execute_layer(layer: &Layer, ifmap: &[u8], weights: &[u8]) -> Vec<u8> {
             }
             out
         }
-        LayerKind::DepthwiseConv { iw, r, s, c, stride, .. } => {
+        LayerKind::DepthwiseConv {
+            iw,
+            r,
+            s,
+            c,
+            stride,
+            ..
+        } => {
             let (oh, ow) = layer.ofmap_dims();
-            let (iw, r, s, c, stride) =
-                (iw as usize, r as usize, s as usize, c as usize, stride as usize);
+            let (iw, r, s, c, stride) = (
+                iw as usize,
+                r as usize,
+                s as usize,
+                c as usize,
+                stride as usize,
+            );
             let mut out = vec![0u8; (oh * ow) as usize * c];
             for oy in 0..oh as usize {
                 for ox in 0..ow as usize {
@@ -226,8 +238,8 @@ pub fn execute_layer(layer: &Layer, ifmap: &[u8], weights: &[u8]) -> Vec<u8> {
                 for col in 0..n {
                     let mut acc: i32 = 0;
                     for kk in 0..k {
-                        acc += as_i8(ifmap[row * k + kk]) as i32
-                            * as_i8(weights[col * k + kk]) as i32;
+                        acc +=
+                            as_i8(ifmap[row * k + kk]) as i32 * as_i8(weights[col * k + kk]) as i32;
                     }
                     out[row * n + col] = requantize(acc) as u8;
                 }
@@ -293,7 +305,11 @@ pub fn run_protected(
             map.ifmap(idx),
             read_vn,
             produced_by,
-            if idx == 0 { TensorKind::Ifmap } else { TensorKind::Ofmap },
+            if idx == 0 {
+                TensorKind::Ifmap
+            } else {
+                TensorKind::Ofmap
+            },
             act_len,
             act_mac,
         )?;
@@ -354,7 +370,11 @@ mod tests {
         let mut mem = SecureMemory::new(map.total_bytes() as usize, [1; 16], [2; 16]);
         let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
         mem.write_region(0, 0, 0, TensorKind::Ifmap, &data);
-        assert_ne!(&mem.raw_mut()[..256], &data[..], "memory must hold ciphertext");
+        assert_ne!(
+            &mem.raw_mut()[..256],
+            &data[..],
+            "memory must hold ciphertext"
+        );
     }
 
     #[test]

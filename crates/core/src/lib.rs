@@ -46,11 +46,18 @@ pub mod optblk;
 pub mod pipeline;
 pub mod report;
 pub mod sealing;
+pub mod sweep;
 
-pub use experiment::{evaluate, evaluate_paper_suite, Evaluation};
-pub use pipeline::{run_model, run_model_repeated, run_model_with_verifier, RunResult};
+pub use experiment::{
+    evaluate, evaluate_paper_suite, evaluate_suites, evaluate_with_stats, Evaluation,
+};
 pub use functional::{run_protected, run_reference, SecureMemory};
+pub use pipeline::{
+    run_model, run_model_repeated, run_model_repeated_with_verifier, run_model_with_verifier,
+    run_spec, run_trace, RunResult, RunSpec,
+};
 pub use sealing::{seal_model, unseal_layer, verify_model, SealedModel, SealingKeys};
+pub use sweep::{Sweep, SweepResults, SweepStats};
 
 // Re-export the substrate crates under one roof for downstream users.
 pub use seda_crypto as crypto;

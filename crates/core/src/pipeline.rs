@@ -5,11 +5,21 @@
 //! rewritten by a memory-protection scheme and replayed through the DRAM
 //! simulator; per-layer runtime is the maximum of compute and memory time
 //! under double buffering.
+//!
+//! All entry points funnel into one kernel, [`run_trace`], parameterized
+//! by a [`RunSpec`]: single runs, verifier-modelled runs, and repeated
+//! steady-state runs are the same loop with different spec fields. The
+//! kernel consumes a pre-simulated trace (`&ModelSim`), so callers that
+//! evaluate many schemes over the same (NPU, model) pair — the [`Sweep`]
+//! engine, notably — share one simulation via
+//! [`seda_scalesim::TraceCache`].
+//!
+//! [`Sweep`]: crate::sweep::Sweep
 
 use seda_dram::{DramConfig, DramSim, DramStats};
 use seda_models::Model;
-use seda_protect::{ProtectionScheme, TrafficBreakdown};
-use seda_scalesim::{simulate_model, NpuConfig};
+use seda_protect::{HashEngine, ProtectionScheme, TrafficBreakdown};
+use seda_scalesim::{simulate_model, ModelSim, NpuConfig};
 use serde::{Deserialize, Serialize};
 
 /// Per-layer timing outcome.
@@ -25,30 +35,178 @@ pub struct LayerTiming {
     pub cycles: u64,
 }
 
-/// Result of running one model under one protection scheme.
+/// Result of running one inference of a model under one protection scheme.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Model name.
     pub model: String,
     /// NPU configuration name.
     pub npu: String,
+    /// Accelerator clock the run was timed at, in Hz.
+    pub clock_hz: f64,
     /// Protection scheme name.
     pub scheme: String,
     /// Per-layer timing.
     pub layers: Vec<LayerTiming>,
     /// Total runtime in accelerator cycles.
     pub total_cycles: u64,
-    /// Traffic tally per category.
+    /// Traffic tally per category, cumulative over the scheme's lifetime
+    /// up to (and including) this inference.
     pub traffic: TrafficBreakdown,
-    /// DRAM access statistics.
+    /// DRAM access statistics, cumulative up to this inference.
     pub dram: DramStats,
 }
 
 impl RunResult {
-    /// Runtime in seconds on the configured accelerator clock.
-    pub fn seconds(&self, npu: &NpuConfig) -> f64 {
-        self.total_cycles as f64 / npu.clock_hz
+    /// Runtime in seconds on the accelerator clock the run was timed at.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.clock_hz
     }
+}
+
+/// Everything that defines one pipeline run except the scheme instance:
+/// the workload, the accelerator, the optional integrity verifier, and
+/// how many back-to-back inferences to model.
+///
+/// # Examples
+///
+/// ```
+/// use seda::pipeline::{run_spec, RunSpec};
+/// use seda_models::zoo;
+/// use seda_protect::Unprotected;
+/// use seda_scalesim::NpuConfig;
+///
+/// let npu = NpuConfig::edge();
+/// let model = zoo::lenet();
+/// let spec = RunSpec::new(&npu, &model).repeats(3);
+/// let runs = run_spec(&spec, &mut Unprotected::new());
+/// assert_eq!(runs.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec<'a> {
+    /// Accelerator configuration.
+    pub npu: &'a NpuConfig,
+    /// Workload.
+    pub model: &'a Model,
+    /// Integrity-verification engine to model, if any.
+    pub verifier: Option<HashEngine>,
+    /// Number of back-to-back inferences (scheme metadata caches and DRAM
+    /// bank state persist across them). Must be at least 1.
+    pub repeats: u32,
+}
+
+impl<'a> RunSpec<'a> {
+    /// A single-inference spec with no verifier.
+    pub fn new(npu: &'a NpuConfig, model: &'a Model) -> Self {
+        Self {
+            npu,
+            model,
+            verifier: None,
+            repeats: 1,
+        }
+    }
+
+    /// Models the integrity-verification engine during each layer.
+    pub fn verifier(mut self, engine: HashEngine) -> Self {
+        self.verifier = Some(engine);
+        self
+    }
+
+    /// Sets the number of back-to-back inferences.
+    pub fn repeats(mut self, n: u32) -> Self {
+        self.repeats = n;
+        self
+    }
+}
+
+/// Simulates the trace for `spec` and replays it through `scheme`.
+///
+/// Convenience wrapper over [`run_trace`] for one-off runs; sweep-style
+/// callers should simulate once (or use a [`seda_scalesim::TraceCache`])
+/// and call [`run_trace`] per scheme.
+pub fn run_spec(spec: &RunSpec<'_>, scheme: &mut dyn ProtectionScheme) -> Vec<RunResult> {
+    let sim = simulate_model(spec.npu, spec.model);
+    run_trace(&sim, spec.npu, scheme, spec.verifier.as_ref(), spec.repeats)
+}
+
+/// The single simulation kernel behind every run entry point.
+///
+/// Replays `repeats` back-to-back inferences of a pre-simulated burst
+/// trace through `scheme` and the DRAM simulator, returning one
+/// [`RunResult`] per inference. Per layer, runtime is
+/// `max(compute, memory)` under double buffering; with a `verifier`,
+/// every fetched byte additionally streams through the hash engine, so an
+/// undersized verifier (throughput below memory bandwidth) becomes the
+/// layer bottleneck and each layer pays the engine's drain latency once.
+/// Scheme metadata caches and DRAM bank state persist across inferences
+/// (steady-state behaviour); the final metadata flush is charged to the
+/// last inference.
+pub fn run_trace(
+    sim: &ModelSim,
+    npu: &NpuConfig,
+    scheme: &mut dyn ProtectionScheme,
+    verifier: Option<&HashEngine>,
+    repeats: u32,
+) -> Vec<RunResult> {
+    assert!(repeats > 0, "need at least one inference");
+    let dram_cfg = DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth);
+    let mem_clock = dram_cfg.clock_hz;
+    let mut dram = DramSim::new(dram_cfg);
+
+    let mut results = Vec::with_capacity(repeats as usize);
+    for _ in 0..repeats {
+        let mut layers = Vec::with_capacity(sim.layers.len());
+        let mut total = 0u64;
+        for layer in &sim.layers {
+            let start = dram.elapsed_cycles();
+            let mut requests = 0u64;
+            for burst in &layer.bursts {
+                scheme.transform(burst, &mut |r| {
+                    requests += 1;
+                    dram.access(r);
+                });
+            }
+            let mem_cycles_mem_domain = dram.elapsed_cycles() - start;
+            let memory_cycles =
+                (mem_cycles_mem_domain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
+            let mut cycles = layer.compute_cycles.max(memory_cycles);
+            if let Some(engine) = verifier {
+                let verify_stream = engine.stream_cycles(requests * 64);
+                cycles = cycles.max(verify_stream) + engine.layer_check_exposure();
+            }
+            total += cycles;
+            layers.push(LayerTiming {
+                name: layer.name.clone(),
+                compute_cycles: layer.compute_cycles,
+                memory_cycles,
+                cycles,
+            });
+        }
+        results.push(RunResult {
+            model: sim.model.clone(),
+            npu: npu.name.clone(),
+            clock_hz: npu.clock_hz,
+            scheme: scheme.name().to_owned(),
+            layers,
+            total_cycles: total,
+            traffic: scheme.breakdown(),
+            dram: *dram.stats(),
+        });
+    }
+
+    // Flush dirty metadata at end of the run; the drain is exposed time,
+    // charged to the last inference.
+    let start = dram.elapsed_cycles();
+    scheme.finish(&mut |r| {
+        dram.access(r);
+    });
+    let drain = dram.elapsed_cycles() - start;
+    let last = results.last_mut().expect("repeats > 0");
+    last.total_cycles += (drain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
+    last.traffic = scheme.breakdown();
+    last.dram = *dram.stats();
+
+    results
 }
 
 /// Runs `model` on `npu` under `scheme` and reports traffic and runtime.
@@ -64,11 +222,7 @@ impl RunResult {
 /// let r = run_model(&NpuConfig::edge(), &zoo::lenet(), &mut Unprotected::new());
 /// assert!(r.total_cycles > 0);
 /// ```
-pub fn run_model(
-    npu: &NpuConfig,
-    model: &Model,
-    scheme: &mut dyn ProtectionScheme,
-) -> RunResult {
+pub fn run_model(npu: &NpuConfig, model: &Model, scheme: &mut dyn ProtectionScheme) -> RunResult {
     run_model_with_verifier(npu, model, scheme, None)
 }
 
@@ -80,57 +234,44 @@ pub fn run_model_with_verifier(
     npu: &NpuConfig,
     model: &Model,
     scheme: &mut dyn ProtectionScheme,
-    verifier: Option<&seda_protect::HashEngine>,
+    verifier: Option<&HashEngine>,
 ) -> RunResult {
-    let sim = simulate_model(npu, model);
-    let dram_cfg = DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth);
-    let mem_clock = dram_cfg.clock_hz;
-    let mut dram = DramSim::new(dram_cfg);
+    let mut spec = RunSpec::new(npu, model);
+    spec.verifier = verifier.copied();
+    run_spec(&spec, scheme)
+        .pop()
+        .expect("kernel returns one result per inference")
+}
 
-    let mut layers = Vec::with_capacity(sim.layers.len());
-    let mut total = 0u64;
-    for layer in &sim.layers {
-        let start = dram.elapsed_cycles();
-        let mut requests = 0u64;
-        for burst in &layer.bursts {
-            scheme.transform(burst, &mut |r| {
-                requests += 1;
-                dram.access(r);
-            });
-        }
-        let mem_cycles_mem_domain = dram.elapsed_cycles() - start;
-        let memory_cycles =
-            (mem_cycles_mem_domain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
-        let mut cycles = layer.compute_cycles.max(memory_cycles);
-        if let Some(engine) = verifier {
-            let verify_stream = engine.stream_cycles(requests * 64);
-            cycles = cycles.max(verify_stream) + engine.layer_check_exposure();
-        }
-        total += cycles;
-        layers.push(LayerTiming {
-            name: layer.name.clone(),
-            compute_cycles: layer.compute_cycles,
-            memory_cycles,
-            cycles,
-        });
-    }
-    // Flush dirty metadata at end of inference; the drain is exposed time.
-    let start = dram.elapsed_cycles();
-    scheme.finish(&mut |r| {
-        dram.access(r);
-    });
-    let drain = dram.elapsed_cycles() - start;
-    total += (drain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
+/// Runs `n` back-to-back inferences without resetting the scheme's
+/// metadata caches or the DRAM bank state, exposing steady-state behaviour
+/// (warm metadata caches, amortized flushes). Returns per-inference total
+/// cycles; pass a `verifier` to model the integrity engine throughout.
+pub fn run_model_repeated(
+    npu: &NpuConfig,
+    model: &Model,
+    scheme: &mut dyn ProtectionScheme,
+    n: u32,
+) -> Vec<u64> {
+    run_model_repeated_with_verifier(npu, model, scheme, None, n)
+}
 
-    RunResult {
-        model: model.name().to_owned(),
-        npu: npu.name.clone(),
-        scheme: scheme.name().to_owned(),
-        layers,
-        total_cycles: total,
-        traffic: scheme.breakdown(),
-        dram: *dram.stats(),
-    }
+/// [`run_model_repeated`] with the integrity-verification engine modelled
+/// on every inference — steady-state and verifier analysis combined,
+/// which the pre-unification pipeline could not express.
+pub fn run_model_repeated_with_verifier(
+    npu: &NpuConfig,
+    model: &Model,
+    scheme: &mut dyn ProtectionScheme,
+    verifier: Option<&HashEngine>,
+    n: u32,
+) -> Vec<u64> {
+    let mut spec = RunSpec::new(npu, model).repeats(n);
+    spec.verifier = verifier.copied();
+    run_spec(&spec, scheme)
+        .into_iter()
+        .map(|r| r.total_cycles)
+        .collect()
 }
 
 #[cfg(test)]
@@ -163,8 +304,7 @@ mod tests {
             &m,
             &mut SedaScheme::new(LayerMacStore::OffChip, 16 << 30),
         );
-        let traffic_overhead =
-            seda.traffic.total() as f64 / base.traffic.total() as f64 - 1.0;
+        let traffic_overhead = seda.traffic.total() as f64 / base.traffic.total() as f64 - 1.0;
         assert!(traffic_overhead < 0.005, "SeDA traffic +{traffic_overhead}");
         let perf_overhead = seda.total_cycles as f64 / base.total_cycles as f64 - 1.0;
         assert!(perf_overhead < 0.02, "SeDA perf +{perf_overhead}");
@@ -190,13 +330,35 @@ mod tests {
         assert!(r.layers.iter().any(|l| l.memory_cycles > l.compute_cycles));
         assert!(r.layers.iter().any(|l| l.compute_cycles > l.memory_cycles));
     }
+
+    #[test]
+    fn seconds_uses_recorded_clock() {
+        let npu = NpuConfig::edge();
+        let r = run_model(&npu, &zoo::lenet(), &mut Unprotected::new());
+        assert_eq!(r.clock_hz, npu.clock_hz);
+        let expect = r.total_cycles as f64 / npu.clock_hz;
+        assert!((r.seconds() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn run_trace_shares_a_simulation_across_schemes() {
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let sim = simulate_model(&npu, &m);
+        let direct = run_model(&npu, &m, &mut Unprotected::new());
+        let traced = run_trace(&sim, &npu, &mut Unprotected::new(), None, 1)
+            .pop()
+            .unwrap();
+        assert_eq!(direct.total_cycles, traced.total_cycles);
+        assert_eq!(direct.traffic.total(), traced.traffic.total());
+    }
 }
 
 #[cfg(test)]
 mod verifier_tests {
     use super::*;
     use seda_models::zoo;
-    use seda_protect::{HashEngine, Unprotected};
+    use seda_protect::{BlockMacKind, BlockMacScheme, HashEngine, Unprotected};
 
     #[test]
     fn adequate_verifier_adds_only_drain_latency() {
@@ -228,49 +390,23 @@ mod verifier_tests {
             quick.total_cycles
         );
     }
-}
 
-/// Runs `n` back-to-back inferences without resetting the scheme's
-/// metadata caches or the DRAM bank state, exposing steady-state behaviour
-/// (warm metadata caches, amortized flushes). Returns per-inference total
-/// cycles.
-pub fn run_model_repeated(
-    npu: &NpuConfig,
-    model: &Model,
-    scheme: &mut dyn ProtectionScheme,
-    n: u32,
-) -> Vec<u64> {
-    assert!(n > 0, "need at least one inference");
-    let sim = simulate_model(npu, model);
-    let dram_cfg = DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth);
-    let mem_clock = dram_cfg.clock_hz;
-    let mut dram = DramSim::new(dram_cfg);
-    let mut totals = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        let mut total = 0u64;
-        for layer in &sim.layers {
-            let start = dram.elapsed_cycles();
-            for burst in &layer.bursts {
-                scheme.transform(burst, &mut |r| {
-                    dram.access(r);
-                });
-            }
-            let mem = dram.elapsed_cycles() - start;
-            let memory_cycles = (mem as f64 / mem_clock * npu.clock_hz).ceil() as u64;
-            total += layer.compute_cycles.max(memory_cycles);
+    #[test]
+    fn repeated_runs_accept_a_verifier() {
+        // The pre-unification pipeline could not model a verifier during
+        // steady-state runs; the unified kernel must.
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let engine = HashEngine::new(0.25, 80);
+        let mut sgx = BlockMacScheme::new(BlockMacKind::Sgx, 64, 16 << 30);
+        let choked = run_model_repeated_with_verifier(&npu, &m, &mut sgx, Some(&engine), 3);
+        let mut sgx2 = BlockMacScheme::new(BlockMacKind::Sgx, 64, 16 << 30);
+        let plain = run_model_repeated(&npu, &m, &mut sgx2, 3);
+        assert_eq!(choked.len(), 3);
+        for (c, p) in choked.iter().zip(&plain) {
+            assert!(c > p, "verifier must slow every inference: {c} vs {p}");
         }
-        totals.push(total);
     }
-    // Final drain charged to the last inference.
-    let start = dram.elapsed_cycles();
-    scheme.finish(&mut |r| {
-        dram.access(r);
-    });
-    let drain = dram.elapsed_cycles() - start;
-    if let Some(last) = totals.last_mut() {
-        *last += (drain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
-    }
-    totals
 }
 
 #[cfg(test)]
@@ -303,5 +439,28 @@ mod repeated_tests {
         let m = zoo::lenet();
         let totals = run_model_repeated(&npu, &m, &mut Unprotected::new(), 3);
         assert_eq!(totals[1], totals[2], "no state to warm up: {totals:?}");
+    }
+
+    #[test]
+    fn repeated_first_inference_matches_single_run() {
+        // One kernel for all entry points: the first of n inferences must
+        // be bit-identical to a standalone run (before the final drain).
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let totals = run_model_repeated(
+            &npu,
+            &m,
+            &mut BlockMacScheme::new(BlockMacKind::Sgx, 64, 16 << 30),
+            3,
+        );
+        let spec = RunSpec::new(&npu, &m).repeats(3);
+        let runs = run_spec(
+            &spec,
+            &mut BlockMacScheme::new(BlockMacKind::Sgx, 64, 16 << 30),
+        );
+        assert_eq!(
+            totals,
+            runs.iter().map(|r| r.total_cycles).collect::<Vec<_>>()
+        );
     }
 }

@@ -9,10 +9,7 @@ use std::fmt::Write as _;
 /// granularities.
 pub fn table1() -> String {
     let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "Table I: Multi-level integrity verification granularity"
-    );
+    let _ = writeln!(s, "Table I: Multi-level integrity verification granularity");
     let _ = writeln!(
         s,
         "{:<10} {:<12} {:<26} {:<12}",
@@ -91,7 +88,12 @@ pub fn table3(schemes: &[SchemeInfo]) -> String {
     let _ = writeln!(
         s,
         "{:<10} {:<26} {:<34} {:<24} {:<8} {:<8}",
-        "Scheme", "Encryption granularity", "Integrity granularity", "Off-chip access", "Tiling", "Scalable"
+        "Scheme",
+        "Encryption granularity",
+        "Integrity granularity",
+        "Off-chip access",
+        "Tiling",
+        "Scalable"
     );
     for i in schemes {
         let _ = writeln!(
@@ -110,7 +112,9 @@ pub fn table3(schemes: &[SchemeInfo]) -> String {
 
 /// Renders a Fig. 5-style table: normalized traffic per workload/scheme.
 pub fn figure5(eval: &Evaluation) -> String {
-    figure(eval, "Fig. 5: normalized memory traffic", |o| o.traffic_norm)
+    figure(eval, "Fig. 5: normalized memory traffic", |o| {
+        o.traffic_norm
+    })
 }
 
 /// Renders a Fig. 6-style table: normalized runtime per workload/scheme.

@@ -91,7 +91,11 @@ fn layer_block_tags(
                 blk,
                 pa,
                 0,
-                BlockPosition::new(layer_idx, seda_scalesim::TensorKind::Filter.fmap_idx(), i as u32),
+                BlockPosition::new(
+                    layer_idx,
+                    seda_scalesim::TensorKind::Filter.fmap_idx(),
+                    i as u32,
+                ),
             )
         })
         .collect()

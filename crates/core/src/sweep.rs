@@ -1,0 +1,412 @@
+//! Parallel model × scheme × NPU sweep engine.
+//!
+//! The paper's evaluation is a cross-product: every workload under every
+//! protection scheme on every NPU (Figs. 5-6 alone are 13 × 6 × 2 = 156
+//! pipeline runs). [`Sweep`] expands that cross-product once, shares one
+//! accelerator simulation per distinct (NPU, model) pair through a
+//! [`TraceCache`], and executes the points on a scoped thread pool.
+//!
+//! Three properties make the parallelism safe and the results exact:
+//!
+//! * **Traces are immutable.** `simulate_model` output never changes
+//!   after construction, so points share it behind an `Arc`.
+//! * **Scheme state is per-point.** A [`ProtectionScheme`] is stateful
+//!   (metadata caches, traffic tallies), so each point constructs a fresh
+//!   instance from its factory; nothing scheme-mutable crosses threads.
+//! * **Results are slotted, not streamed.** Each point writes into its
+//!   own pre-assigned slot, so the output order is the deterministic
+//!   npu-major → model → scheme cross-product order regardless of thread
+//!   interleaving, and parallel results are bit-identical to serial ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use seda::sweep::Sweep;
+//! use seda_models::zoo;
+//! use seda_scalesim::NpuConfig;
+//!
+//! let results = Sweep::new()
+//!     .npu(NpuConfig::edge())
+//!     .model(zoo::lenet())
+//!     .schemes(["baseline", "SeDA"])
+//!     .run();
+//! let base = results.at(0, 0, 0);
+//! let seda = results.at(0, 0, 1);
+//! assert!(seda.traffic.total() >= base.traffic.total());
+//! ```
+
+use crate::pipeline::{run_trace, RunResult};
+use seda_models::Model;
+use seda_protect::{HashEngine, ProtectionScheme};
+use seda_scalesim::{NpuConfig, TraceCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Factory producing a fresh scheme instance for one sweep point.
+type SchemeFactory = Box<dyn Fn() -> Box<dyn ProtectionScheme> + Send + Sync>;
+
+struct SchemeSpec {
+    label: String,
+    build: SchemeFactory,
+}
+
+/// Trace-cache statistics for one sweep execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Lookups served from the cache (no simulation ran).
+    pub trace_hits: u64,
+    /// Lookups that ran `simulate_model` — one per distinct (NPU, model).
+    pub trace_misses: u64,
+}
+
+/// Results of a [`Sweep`] in deterministic cross-product order.
+pub struct SweepResults {
+    npus: Vec<String>,
+    models: Vec<String>,
+    schemes: Vec<String>,
+    /// One entry per point (npu-major → model → scheme); each entry holds
+    /// one [`RunResult`] per inference.
+    points: Vec<Vec<RunResult>>,
+    /// Trace-cache activity during this execution only.
+    pub stats: SweepStats,
+}
+
+impl SweepResults {
+    /// Sweep shape as `(npus, models, schemes)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.npus.len(), self.models.len(), self.schemes.len())
+    }
+
+    fn index(&self, npu: usize, model: usize, scheme: usize) -> usize {
+        assert!(npu < self.npus.len(), "npu index {npu} out of range");
+        assert!(
+            model < self.models.len(),
+            "model index {model} out of range"
+        );
+        assert!(
+            scheme < self.schemes.len(),
+            "scheme index {scheme} out of range"
+        );
+        (npu * self.models.len() + model) * self.schemes.len() + scheme
+    }
+
+    /// The completed run (including the final metadata drain) at a point.
+    /// With `repeats = 1` — the default — this is the point's only run.
+    pub fn at(&self, npu: usize, model: usize, scheme: usize) -> &RunResult {
+        self.runs_at(npu, model, scheme)
+            .last()
+            .expect("every point has at least one inference")
+    }
+
+    /// All per-inference runs at a point, in inference order.
+    pub fn runs_at(&self, npu: usize, model: usize, scheme: usize) -> &[RunResult] {
+        &self.points[self.index(npu, model, scheme)]
+    }
+
+    /// Iterates all points in deterministic order with their labels.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &str, &[RunResult])> {
+        self.points.iter().enumerate().map(move |(i, runs)| {
+            let s = self.schemes.len();
+            let m = self.models.len();
+            (
+                self.npus[i / (s * m)].as_str(),
+                self.models[(i / s) % m].as_str(),
+                self.schemes[i % s].as_str(),
+                runs.as_slice(),
+            )
+        })
+    }
+
+    /// Scheme labels in sweep order.
+    pub fn scheme_labels(&self) -> &[String] {
+        &self.schemes
+    }
+}
+
+/// Builder for a parallel model × scheme × NPU evaluation.
+///
+/// Add axes with [`npu`](Self::npu)/[`model`](Self::model)/
+/// [`scheme`](Self::scheme) (or their plural forms), optionally set a
+/// verifier, repeat count, or thread count, then [`run`](Self::run).
+/// Points execute in parallel via `std::thread::scope`; results come back
+/// in the deterministic npu-major → model → scheme order and are
+/// bit-identical to a serial execution.
+#[derive(Default)]
+pub struct Sweep {
+    npus: Vec<NpuConfig>,
+    models: Vec<Model>,
+    schemes: Vec<SchemeSpec>,
+    verifier: Option<HashEngine>,
+    repeats: u32,
+    threads: Option<usize>,
+}
+
+impl Sweep {
+    /// An empty sweep (one inference per point, auto thread count).
+    pub fn new() -> Self {
+        Self {
+            repeats: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Adds one NPU configuration.
+    pub fn npu(mut self, npu: NpuConfig) -> Self {
+        self.npus.push(npu);
+        self
+    }
+
+    /// Adds several NPU configurations.
+    pub fn npus(mut self, npus: impl IntoIterator<Item = NpuConfig>) -> Self {
+        self.npus.extend(npus);
+        self
+    }
+
+    /// Adds one workload.
+    pub fn model(mut self, model: Model) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Adds several workloads.
+    pub fn models(mut self, models: impl IntoIterator<Item = Model>) -> Self {
+        self.models.extend(models);
+        self
+    }
+
+    /// Adds a scheme from the [`seda_protect`] registry by name.
+    ///
+    /// The name is validated eagerly against
+    /// [`seda_protect::scheme_by_name`]; each sweep point constructs its
+    /// own fresh instance at execution time (schemes are stateful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry does not know `name`.
+    pub fn scheme(mut self, name: &str) -> Self {
+        assert!(
+            seda_protect::scheme_by_name(name).is_some(),
+            "unknown protection scheme {name:?}"
+        );
+        let owned = name.to_owned();
+        self.schemes.push(SchemeSpec {
+            label: owned.clone(),
+            build: Box::new(move || {
+                seda_protect::scheme_by_name(&owned).expect("validated at build time")
+            }),
+        });
+        self
+    }
+
+    /// Adds several registry schemes by name.
+    pub fn schemes<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for name in names {
+            self = self.scheme(name.as_ref());
+        }
+        self
+    }
+
+    /// Adds a custom scheme under `label`, built per point by `factory`
+    /// (for configurations outside the registry, e.g. granularity
+    /// ablations).
+    pub fn scheme_with(
+        mut self,
+        label: &str,
+        factory: impl Fn() -> Box<dyn ProtectionScheme> + Send + Sync + 'static,
+    ) -> Self {
+        self.schemes.push(SchemeSpec {
+            label: label.to_owned(),
+            build: Box::new(factory),
+        });
+        self
+    }
+
+    /// Models the integrity-verification engine at every point.
+    pub fn verifier(mut self, engine: HashEngine) -> Self {
+        self.verifier = Some(engine);
+        self
+    }
+
+    /// Runs `n` back-to-back inferences per point (steady state).
+    pub fn repeats(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one inference");
+        self.repeats = n;
+        self
+    }
+
+    /// Caps the worker thread count (`1` forces serial execution).
+    /// Defaults to the machine's available parallelism.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one thread");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Forces serial in-order execution on the calling thread.
+    pub fn serial(self) -> Self {
+        self.threads(1)
+    }
+
+    fn point_count(&self) -> usize {
+        self.npus.len() * self.models.len() * self.schemes.len()
+    }
+
+    fn run_point(&self, idx: usize, cache: &TraceCache) -> Vec<RunResult> {
+        let s = self.schemes.len();
+        let m = self.models.len();
+        let npu = &self.npus[idx / (s * m)];
+        let model = &self.models[(idx / s) % m];
+        let sim = cache.get_or_simulate(npu, model);
+        let mut scheme = (self.schemes[idx % s].build)();
+        run_trace(
+            &sim,
+            npu,
+            scheme.as_mut(),
+            self.verifier.as_ref(),
+            self.repeats,
+        )
+    }
+
+    /// Executes the sweep with a private trace cache.
+    pub fn run(&self) -> SweepResults {
+        self.run_with_cache(&TraceCache::new())
+    }
+
+    /// Executes the sweep against a caller-owned [`TraceCache`], so
+    /// several sweeps (or repeated invocations) share simulations.
+    /// Reported [`SweepStats`] cover this execution only.
+    pub fn run_with_cache(&self, cache: &TraceCache) -> SweepResults {
+        let total = self.point_count();
+        let (hits0, misses0) = (cache.hits(), cache.misses());
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(total.max(1));
+
+        let mut slots: Vec<Option<Vec<RunResult>>> = Vec::new();
+        slots.resize_with(total, || None);
+
+        if threads <= 1 {
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_point(idx, cache));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let out = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= total {
+                            break;
+                        }
+                        let runs = self.run_point(idx, cache);
+                        out.lock().expect("sweep results poisoned")[idx] = Some(runs);
+                    });
+                }
+            });
+        }
+
+        SweepResults {
+            npus: self.npus.iter().map(|n| n.name.clone()).collect(),
+            models: self.models.iter().map(|m| m.name().to_owned()).collect(),
+            schemes: self.schemes.iter().map(|s| s.label.clone()).collect(),
+            points: slots
+                .into_iter()
+                .map(|s| s.expect("every point executed"))
+                .collect(),
+            stats: SweepStats {
+                trace_hits: cache.hits() - hits0,
+                trace_misses: cache.misses() - misses0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_models::zoo;
+    use seda_protect::{BlockMacKind, BlockMacScheme, PROTECTED_BYTES};
+
+    fn headline_sweep() -> Sweep {
+        Sweep::new()
+            .npus([NpuConfig::edge(), NpuConfig::server()])
+            .models([zoo::lenet(), zoo::dlrm()])
+            .schemes(crate::experiment::scheme_names())
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let par = headline_sweep().threads(4).run();
+        let ser = headline_sweep().serial().run();
+        assert_eq!(par.shape(), ser.shape());
+        for (p, s) in par.iter().zip(ser.iter()) {
+            assert_eq!(p.0, s.0, "npu order must match");
+            assert_eq!(p.1, s.1, "model order must match");
+            assert_eq!(p.2, s.2, "scheme order must match");
+            for (pr, sr) in p.3.iter().zip(s.3.iter()) {
+                assert_eq!(pr.total_cycles, sr.total_cycles);
+                assert_eq!(pr.traffic, sr.traffic);
+                assert_eq!(
+                    pr.layers.iter().map(|l| l.cycles).collect::<Vec<_>>(),
+                    sr.layers.iter().map(|l| l.cycles).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_simulation_per_distinct_npu_model_pair() {
+        let results = headline_sweep().run();
+        // 2 NPUs × 2 models = 4 distinct traces; 6 schemes each.
+        assert_eq!(results.stats.trace_misses, 4);
+        assert_eq!(results.stats.trace_hits, 4 * 6 - 4);
+    }
+
+    #[test]
+    fn shared_cache_reuses_traces_across_sweeps() {
+        let cache = seda_scalesim::TraceCache::new();
+        let first = headline_sweep().run_with_cache(&cache);
+        let second = headline_sweep().run_with_cache(&cache);
+        assert_eq!(first.stats.trace_misses, 4);
+        assert_eq!(second.stats.trace_misses, 0, "second sweep is all hits");
+    }
+
+    #[test]
+    fn custom_scheme_factories_run_per_point() {
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .models([zoo::lenet(), zoo::dlrm()])
+            .scheme("baseline")
+            .scheme_with("MGX-128B", || {
+                Box::new(BlockMacScheme::new(BlockMacKind::Mgx, 128, PROTECTED_BYTES))
+            })
+            .run();
+        assert_eq!(results.shape(), (1, 2, 2));
+        assert_eq!(results.scheme_labels()[1], "MGX-128B");
+        for mi in 0..2 {
+            let base = results.at(0, mi, 0);
+            let mgx = results.at(0, mi, 1);
+            assert!(
+                mgx.traffic.total() > base.traffic.total(),
+                "fresh per-point scheme state must accumulate traffic \
+                 independently per workload"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protection scheme")]
+    fn unknown_scheme_names_fail_eagerly() {
+        let _ = Sweep::new().scheme("definitely-not-a-scheme");
+    }
+}

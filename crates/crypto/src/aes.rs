@@ -224,7 +224,12 @@ fn inv_shift_rows(state: &mut Block) {
 #[inline]
 fn mix_columns(state: &mut Block) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
@@ -235,11 +240,20 @@ fn mix_columns(state: &mut Block) {
 #[inline]
 fn inv_mix_columns(state: &mut Block) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
-        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
-        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
-        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
     }
 }
 
@@ -363,13 +377,34 @@ mod aesavs_tests {
     fn aesavs_gfsbox() {
         let aes = Aes128::new([0u8; 16]);
         for (pt, ct) in [
-            ("f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e"),
-            ("9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589"),
-            ("96ab5c2ff612d9dfaae8c31f30c42168", "ff4f8391a6a40ca5b25d23bedd44a597"),
-            ("6a118a874519e64e9963798a503f1d35", "dc43be40be0e53712f7e2bf5ca707209"),
-            ("cb9fceec81286ca3e989bd979b0cb284", "92beedab1895a94faa69b632e5cc47ce"),
-            ("b26aeb1874e47ca8358ff22378f09144", "459264f4798f6a78bacb89c15ed3d601"),
-            ("58c8e00b2631686d54eab84b91f0aca1", "08a4e2efec8a8e3312ca7460b9040bbf"),
+            (
+                "f34481ec3cc627bacd5dc3fb08f273e6",
+                "0336763e966d92595a567cc9ce537f5e",
+            ),
+            (
+                "9798c4640bad75c7c3227db910174e72",
+                "a9a1631bf4996954ebc093957b234589",
+            ),
+            (
+                "96ab5c2ff612d9dfaae8c31f30c42168",
+                "ff4f8391a6a40ca5b25d23bedd44a597",
+            ),
+            (
+                "6a118a874519e64e9963798a503f1d35",
+                "dc43be40be0e53712f7e2bf5ca707209",
+            ),
+            (
+                "cb9fceec81286ca3e989bd979b0cb284",
+                "92beedab1895a94faa69b632e5cc47ce",
+            ),
+            (
+                "b26aeb1874e47ca8358ff22378f09144",
+                "459264f4798f6a78bacb89c15ed3d601",
+            ),
+            (
+                "58c8e00b2631686d54eab84b91f0aca1",
+                "08a4e2efec8a8e3312ca7460b9040bbf",
+            ),
         ] {
             assert_eq!(aes.encrypt_block(from_hex(pt)), from_hex(ct));
             assert_eq!(aes.decrypt_block(from_hex(ct)), from_hex(pt));
@@ -380,11 +415,26 @@ mod aesavs_tests {
     #[test]
     fn aesavs_keysbox() {
         for (key, ct) in [
-            ("10a58869d74be5a374cf867cfb473859", "6d251e6944b051e04eaa6fb4dbf78465"),
-            ("caea65cdbb75e9169ecd22ebe6e54675", "6e29201190152df4ee058139def610bb"),
-            ("a2e2fa9baf7d20822ca9f0542f764a41", "c3b44b95d9d2f25670eee9a0de099fa3"),
-            ("b6364ac4e1de1e285eaf144a2415f7a0", "5d9b05578fc944b3cf1ccf0e746cd581"),
-            ("64cf9c7abc50b888af65f49d521944b2", "f7efc89d5dba578104016ce5ad659c05"),
+            (
+                "10a58869d74be5a374cf867cfb473859",
+                "6d251e6944b051e04eaa6fb4dbf78465",
+            ),
+            (
+                "caea65cdbb75e9169ecd22ebe6e54675",
+                "6e29201190152df4ee058139def610bb",
+            ),
+            (
+                "a2e2fa9baf7d20822ca9f0542f764a41",
+                "c3b44b95d9d2f25670eee9a0de099fa3",
+            ),
+            (
+                "b6364ac4e1de1e285eaf144a2415f7a0",
+                "5d9b05578fc944b3cf1ccf0e746cd581",
+            ),
+            (
+                "64cf9c7abc50b888af65f49d521944b2",
+                "f7efc89d5dba578104016ce5ad659c05",
+            ),
         ] {
             let aes = Aes128::new(from_hex(key));
             assert_eq!(aes.encrypt_block([0u8; 16]), from_hex(ct));

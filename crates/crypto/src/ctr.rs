@@ -126,7 +126,10 @@ mod tests {
         let seed = CounterSeed::new(0x0102_0304_0506_0708, 0x1112_1314_1516_1718);
         let block = seed.to_block();
         assert_eq!(&block[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
-        assert_eq!(&block[8..], &[0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18]);
+        assert_eq!(
+            &block[8..],
+            &[0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18]
+        );
     }
 
     #[test]

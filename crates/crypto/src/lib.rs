@@ -51,8 +51,8 @@ pub mod otp;
 pub mod sha256;
 
 pub use aes::Aes128;
-pub use engine::{EngineKind, EngineTiming};
 pub use ctr::{AesCtr, CounterSeed};
+pub use engine::{EngineKind, EngineTiming};
 pub use mac::{BlockPosition, MacTag, PositionBoundMac, PositionlessMac, XorAccumulator};
 pub use otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp};
 pub use sha256::Sha256;

@@ -55,7 +55,9 @@ impl BlockPosition {
 }
 
 fn truncate(digest: &[u8; 32]) -> MacTag {
-    MacTag(u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix")))
+    MacTag(u64::from_be_bytes(
+        digest[..8].try_into().expect("8-byte prefix"),
+    ))
 }
 
 /// The naive block MAC: `HMAC_K(blk || PA || VN)`.

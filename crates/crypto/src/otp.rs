@@ -286,7 +286,7 @@ mod tests {
         // The optimized apply (base pad + schedule reuse) must produce
         // exactly the pads segment_otp defines, across schedule groups.
         let b = BandwidthAwareOtp::new([0x9c; 16]);
-        let seed = CounterSeed::new(0xBEEF_000, 12);
+        let seed = CounterSeed::new(0xBEEF000, 12);
         let mut fast: Vec<u8> = (0..512).map(|i| i as u8).collect();
         let reference: Vec<u8> = fast
             .chunks(16)

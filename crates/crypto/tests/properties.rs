@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use seda_crypto::aes::{expand_key, Aes128, ROUND_KEYS};
 use seda_crypto::ctr::{AesCtr, CounterSeed};
 use seda_crypto::mac::{xor_fold, BlockPosition, MacTag, PositionBoundMac, XorAccumulator};
-use seda_crypto::otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp, PADS_PER_SCHEDULE};
+use seda_crypto::otp::{
+    BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp, PADS_PER_SCHEDULE,
+};
 use seda_crypto::sha256::{hmac_sha256, Sha256};
 
 proptest! {

@@ -282,15 +282,17 @@ mod tests {
     #[test]
     fn row_thrash_needs_many_activates() {
         let cfg = DramConfig::server();
-        let row_span = cfg.columns_per_row()
-            * u64::from(cfg.channels)
-            * u64::from(cfg.banks)
-            * ACCESS_BYTES;
+        let row_span =
+            cfg.columns_per_row() * u64::from(cfg.channels) * u64::from(cfg.banks) * ACCESS_BYTES;
         let reqs: Vec<Request> = (0..2000u64)
             .map(|i| Request::read((i % 7) * row_span + (i % 3) * 13 * row_span))
             .collect();
         let stats = simulate_commands(&cfg, reqs);
-        assert!(stats.activates > 100, "thrash must activate: {}", stats.activates);
+        assert!(
+            stats.activates > 100,
+            "thrash must activate: {}",
+            stats.activates
+        );
         assert!(stats.precharges > 100);
     }
 

@@ -133,9 +133,7 @@ impl DramSim {
                 outcome = RowOutcome::Conflict;
                 // Precharge (after in-flight data drains and tRAS elapses),
                 // then activate, then the column command after tRCD.
-                let pre_at = arrival
-                    .max(bank.busy_until)
-                    .max(bank.activated + cfg.t_ras);
+                let pre_at = arrival.max(bank.busy_until).max(bank.activated + cfg.t_ras);
                 let act_at = pre_at + cfg.t_rp;
                 bank.activated = act_at;
                 act_at + cfg.t_rcd
@@ -313,10 +311,7 @@ mod refresh_tests {
     fn refresh_steals_a_bounded_fraction_of_bandwidth() {
         let cfg = DramConfig::server();
         let mut with = DramSim::new(cfg.clone());
-        let mut without = DramSim::new(DramConfig {
-            t_refi: 0,
-            ..cfg
-        });
+        let mut without = DramSim::new(DramConfig { t_refi: 0, ..cfg });
         for i in 0..2_000_000u64 {
             with.access(Request::read(i * ACCESS_BYTES));
             without.access(Request::read(i * ACCESS_BYTES));
@@ -339,8 +334,10 @@ mod refresh_tests {
             // not be inside [k*tREFI, k*tREFI + tRFC).
             let end = sim.elapsed_cycles();
             let start = end - 4; // t_bl
-            assert!(start % refi >= rfc || start.is_multiple_of(refi) || start < rfc,
-                "transfer started inside refresh at {start}");
+            assert!(
+                start % refi >= rfc || start.is_multiple_of(refi) || start < rfc,
+                "transfer started inside refresh at {start}"
+            );
         }
     }
 }

@@ -107,10 +107,8 @@ mod tests {
     #[test]
     fn row_thrashing_inflates_activate_energy() {
         let cfg = DramConfig::server();
-        let row_span = cfg.columns_per_row()
-            * u64::from(cfg.channels)
-            * u64::from(cfg.banks)
-            * ACCESS_BYTES;
+        let row_span =
+            cfg.columns_per_row() * u64::from(cfg.channels) * u64::from(cfg.banks) * ACCESS_BYTES;
         let mut seq = DramSim::new(cfg.clone());
         let mut rnd = DramSim::new(cfg);
         for i in 0..20_000u64 {

@@ -34,10 +34,10 @@ pub mod mapping;
 pub mod request;
 pub mod stats;
 
-pub use config::{DramConfig, ACCESS_BYTES};
 pub use cmdsim::{simulate_commands, CommandStats};
+pub use config::{DramConfig, ACCESS_BYTES};
 pub use controller::DramSim;
+pub use energy::{estimate as estimate_energy, EnergyEstimate, EnergyParams};
 pub use mapping::{AddressMapping, DramCoord};
 pub use request::{Request, RowOutcome};
-pub use energy::{estimate as estimate_energy, EnergyEstimate, EnergyParams};
 pub use stats::DramStats;

@@ -170,7 +170,11 @@ FC6, 1, 9216, 1, 1, 1, 4096, 1,
         ));
         assert!(matches!(
             m.layers()[2].kind,
-            LayerKind::Gemm { m: 1, k: 9216, n: 4096 }
+            LayerKind::Gemm {
+                m: 1,
+                k: 9216,
+                n: 4096
+            }
         ));
     }
 

@@ -148,7 +148,10 @@ impl Layer {
     ///
     /// Panics if any dimension is zero.
     pub fn gemm(name: &str, m: u32, k: u32, n: u32) -> Self {
-        assert!(m > 0 && k > 0 && n > 0, "gemm dims must be positive: {name}");
+        assert!(
+            m > 0 && k > 0 && n > 0,
+            "gemm dims must be positive: {name}"
+        );
         Self {
             name: name.to_owned(),
             kind: LayerKind::Gemm { m, k, n },

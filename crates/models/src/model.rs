@@ -89,10 +89,7 @@ mod tests {
             ],
         );
         assert_eq!(m.weight_bytes(), 3 * 3 * 2 + 72 * 10);
-        assert_eq!(
-            m.total_macs(),
-            m.layers()[0].macs() + m.layers()[1].macs()
-        );
+        assert_eq!(m.total_macs(), m.layers()[0].macs() + m.layers()[1].macs());
     }
 
     #[test]

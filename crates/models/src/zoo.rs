@@ -79,9 +79,26 @@ pub fn mobilenet() -> Model {
     ];
     for (i, (h, cin, cout, stride)) in blocks.into_iter().enumerate() {
         let p = same(h, 3, stride);
-        layers.push(Layer::depthwise(&format!("dw{}", i + 1), p, p, 3, 3, cin, stride));
+        layers.push(Layer::depthwise(
+            &format!("dw{}", i + 1),
+            p,
+            p,
+            3,
+            3,
+            cin,
+            stride,
+        ));
         let q = h / stride;
-        layers.push(Layer::conv(&format!("pw{}", i + 1), q, q, 1, 1, cin, cout, 1));
+        layers.push(Layer::conv(
+            &format!("pw{}", i + 1),
+            q,
+            q,
+            1,
+            1,
+            cin,
+            cout,
+            1,
+        ));
     }
     layers.push(Layer::gemm("fc", 1, 1024, 1000));
     Model::new("mob", layers)
@@ -102,7 +119,8 @@ pub fn resnet18() -> Model {
     // Four stages of two basic blocks each; first conv of stages 2-4 halves
     // the spatial dims and doubles channels (downsample 1x1 skipped — its
     // traffic is negligible next to the 3x3 pairs).
-    let stages: [(u32, u32, u32); 4] = [(56, 64, 64), (56, 64, 128), (28, 128, 256), (14, 256, 512)];
+    let stages: [(u32, u32, u32); 4] =
+        [(56, 64, 64), (56, 64, 128), (28, 128, 256), (14, 256, 512)];
     for (s, (h_in, cin, cout)) in stages.into_iter().enumerate() {
         let stride = if s == 0 { 1 } else { 2 };
         let h_out = h_in / stride;
@@ -159,12 +177,66 @@ pub fn googlenet() -> Model {
     for (name, h, cin, n1, n3r, n3, n5r, n5, pp) in modules {
         let p3 = same(h, 3, 1);
         let p5 = same(h, 5, 1);
-        layers.push(Layer::conv(&format!("inc{name}_1x1"), h, h, 1, 1, cin, n1, 1));
-        layers.push(Layer::conv(&format!("inc{name}_3x3r"), h, h, 1, 1, cin, n3r, 1));
-        layers.push(Layer::conv(&format!("inc{name}_3x3"), p3, p3, 3, 3, n3r, n3, 1));
-        layers.push(Layer::conv(&format!("inc{name}_5x5r"), h, h, 1, 1, cin, n5r, 1));
-        layers.push(Layer::conv(&format!("inc{name}_5x5"), p5, p5, 5, 5, n5r, n5, 1));
-        layers.push(Layer::conv(&format!("inc{name}_pp"), h, h, 1, 1, cin, pp, 1));
+        layers.push(Layer::conv(
+            &format!("inc{name}_1x1"),
+            h,
+            h,
+            1,
+            1,
+            cin,
+            n1,
+            1,
+        ));
+        layers.push(Layer::conv(
+            &format!("inc{name}_3x3r"),
+            h,
+            h,
+            1,
+            1,
+            cin,
+            n3r,
+            1,
+        ));
+        layers.push(Layer::conv(
+            &format!("inc{name}_3x3"),
+            p3,
+            p3,
+            3,
+            3,
+            n3r,
+            n3,
+            1,
+        ));
+        layers.push(Layer::conv(
+            &format!("inc{name}_5x5r"),
+            h,
+            h,
+            1,
+            1,
+            cin,
+            n5r,
+            1,
+        ));
+        layers.push(Layer::conv(
+            &format!("inc{name}_5x5"),
+            p5,
+            p5,
+            5,
+            5,
+            n5r,
+            n5,
+            1,
+        ));
+        layers.push(Layer::conv(
+            &format!("inc{name}_pp"),
+            h,
+            h,
+            1,
+            1,
+            cin,
+            pp,
+            1,
+        ));
     }
     layers.push(Layer::gemm("fc", 1, 1024, 1000));
     Model::new("goo", layers)
@@ -193,7 +265,16 @@ pub fn alphagozero() -> Model {
     let p = same(19, 3, 1);
     let mut layers = vec![Layer::conv("conv1", p, p, 3, 3, 17, 256, 1)];
     for i in 0..18 {
-        layers.push(Layer::conv(&format!("res{}", i + 1), p, p, 3, 3, 256, 256, 1));
+        layers.push(Layer::conv(
+            &format!("res{}", i + 1),
+            p,
+            p,
+            3,
+            3,
+            256,
+            256,
+            1,
+        ));
     }
     layers.push(Layer::conv("policy", 19, 19, 1, 1, 256, 2, 1));
     layers.push(Layer::conv("value", 19, 19, 1, 1, 256, 1, 1));
@@ -356,8 +437,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "let", "alex", "mob", "rest", "goo", "dlrm", "algo", "ds2", "fast", "ncf",
-                "sent", "trf", "yolo"
+                "let", "alex", "mob", "rest", "goo", "dlrm", "algo", "ds2", "fast", "ncf", "sent",
+                "trf", "yolo"
             ]
         );
     }
@@ -510,7 +591,10 @@ mod canonical_shape_tests {
     fn deepspeech2_front_end_shrinks_time() {
         let m = deepspeech2();
         let (h1, w1) = m.layers()[0].ofmap_dims();
-        assert!(h1 < 161 && w1 < 700, "stride-2 conv shrinks the spectrogram");
+        assert!(
+            h1 < 161 && w1 < 700,
+            "stride-2 conv shrinks the spectrogram"
+        );
     }
 
     #[test]
@@ -525,5 +609,4 @@ mod canonical_shape_tests {
             }
         }
     }
-
 }

@@ -4,7 +4,15 @@ use proptest::prelude::*;
 use seda_models::{Layer, LayerKind};
 
 fn arb_conv_dims() -> impl Strategy<Value = (u32, u32, u32, u32, u32, u32, u32)> {
-    (2u32..256, 2u32..256, 1u32..8, 1u32..8, 1u32..128, 1u32..256, 1u32..4)
+    (
+        2u32..256,
+        2u32..256,
+        1u32..8,
+        1u32..8,
+        1u32..128,
+        1u32..256,
+        1u32..4,
+    )
         .prop_filter("filter fits", |(ih, iw, r, s, ..)| r <= ih && s <= iw)
 }
 

@@ -276,10 +276,7 @@ mod tests {
         // Streaming a large aligned tensor: MAC traffic = 8 B per 64 B block
         // = 12.5% of demand, the MGX-64B figure of the paper.
         let mut m = BlockMacScheme::new(BlockMacKind::Mgx, 64, GIB);
-        run(
-            &mut m,
-            &[Burst::read(0, 1 << 20, TensorKind::Filter, 0)],
-        );
+        run(&mut m, &[Burst::read(0, 1 << 20, TensorKind::Filter, 0)]);
         let b = m.breakdown();
         assert_eq!(b.demand_read, 1 << 20);
         assert_eq!(b.overfetch_read, 0);
@@ -368,7 +365,10 @@ mod tests {
             reqs.push(r)
         });
         s.finish(&mut |r| reqs.push(r));
-        assert!(s.breakdown().vn_write > 0, "incremented VNs must write back");
+        assert!(
+            s.breakdown().vn_write > 0,
+            "incremented VNs must write back"
+        );
     }
 
     #[test]

@@ -168,7 +168,7 @@ mod tests {
         c.access(0, true);
         c.access(64, false);
         c.access(128, false); // evict dirty line 0
-        // line 0 was LRU and dirty.
+                              // line 0 was LRU and dirty.
         let third = c.access(192, false);
         // One of the two evictions so far wrote back address 0.
         let (_, _, wbs) = c.stats();

@@ -42,10 +42,7 @@ pub struct TrafficBreakdown {
 impl TrafficBreakdown {
     /// Total bytes moved.
     pub fn total(&self) -> u64 {
-        self.demand_read
-            + self.demand_write
-            + self.overfetch_read
-            + self.metadata()
+        self.demand_read + self.demand_write + self.overfetch_read + self.metadata()
     }
 
     /// Metadata bytes (everything that is not demand or overfetch).

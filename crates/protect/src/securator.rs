@@ -18,8 +18,8 @@
 //! SGX/MGX instead; this implementation exists for the security ablations
 //! and the hash-work comparison.
 
-use crate::scheme::{emit_demand, ProtectionScheme, SchemeInfo, TrafficBreakdown};
 use crate::layout::LINE_BYTES;
+use crate::scheme::{emit_demand, ProtectionScheme, SchemeInfo, TrafficBreakdown};
 use seda_dram::Request;
 use seda_scalesim::{Burst, TensorKind};
 use std::collections::HashSet;

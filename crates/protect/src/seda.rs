@@ -11,8 +11,8 @@
 //!   0.03-0.12% of Fig. 5.
 //! * The model MAC (one tag over all weights) is on-chip and free.
 
-use crate::scheme::{emit_demand, ProtectionScheme, SchemeInfo, TrafficBreakdown};
 use crate::layout::LINE_BYTES;
+use crate::scheme::{emit_demand, ProtectionScheme, SchemeInfo, TrafficBreakdown};
 use seda_dram::Request;
 use seda_scalesim::Burst;
 
@@ -136,10 +136,9 @@ mod tests {
         let mut s = SedaScheme::new(LayerMacStore::OnChip, 1 << 30);
         let mut reqs = Vec::new();
         for layer in 0..10 {
-            s.transform(
-                &Burst::read(0, 4096, TensorKind::Ifmap, layer),
-                &mut |r| reqs.push(r),
-            );
+            s.transform(&Burst::read(0, 4096, TensorKind::Ifmap, layer), &mut |r| {
+                reqs.push(r)
+            });
         }
         s.finish(&mut |r| reqs.push(r));
         assert_eq!(s.breakdown().metadata(), 0);
@@ -151,10 +150,9 @@ mod tests {
         let mut reqs = Vec::new();
         for layer in 0..10 {
             for _ in 0..5 {
-                s.transform(
-                    &Burst::read(0, 4096, TensorKind::Ifmap, layer),
-                    &mut |r| reqs.push(r),
-                );
+                s.transform(&Burst::read(0, 4096, TensorKind::Ifmap, layer), &mut |r| {
+                    reqs.push(r)
+                });
             }
         }
         s.finish(&mut |r| reqs.push(r));

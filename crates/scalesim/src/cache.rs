@@ -1,0 +1,145 @@
+//! A shared, keyed cache of accelerator traces.
+//!
+//! Tiling + burst generation ([`simulate_model`]) depends only on the
+//! (NPU, model) pair — not on the protection scheme replayed over the
+//! trace — yet sweep-style evaluations historically re-derived it once
+//! per scheme. The paper's headline 13-workload × 6-scheme × 2-NPU sweep
+//! needs only 26 distinct traces but used to compute 156. [`TraceCache`]
+//! memoizes [`ModelSim`]s behind [`Arc`]s so every consumer of the same
+//! pair shares one simulation, including under concurrency: per-key
+//! [`OnceLock`]s guarantee *exactly one* `simulate_model` call per
+//! distinct pair even when many threads race on it.
+
+use crate::config::NpuConfig;
+use crate::sim::{simulate_model, ModelSim};
+use seda_models::Model;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: a structural fingerprint of the NPU config and the model.
+///
+/// Names alone are not sufficient — a custom `NpuConfig` may reuse the
+/// `"edge"` label with different parameters — so the key folds in the
+/// full `Debug` rendering of both, which covers every field that can
+/// influence the trace.
+fn key_of(cfg: &NpuConfig, model: &Model) -> (String, String) {
+    (format!("{cfg:?}"), format!("{model:?}"))
+}
+
+/// A slot created on first lookup of a key; the inner `OnceLock` makes
+/// initialization exactly-once under concurrency.
+type TraceSlot = Arc<OnceLock<Arc<ModelSim>>>;
+
+/// A concurrent memo table from (NPU, model) to the simulated trace.
+#[derive(Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<(String, String), TraceSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the trace for `(cfg, model)`, simulating it on first use.
+    ///
+    /// Concurrent callers with the same key block until the single
+    /// simulation finishes and then share its result; callers with
+    /// different keys proceed independently (the map lock is held only
+    /// for the entry lookup, never across a simulation).
+    pub fn get_or_simulate(&self, cfg: &NpuConfig, model: &Model) -> Arc<ModelSim> {
+        let cell = {
+            let mut map = self.map.lock().expect("trace cache poisoned");
+            Arc::clone(map.entry(key_of(cfg, model)).or_default())
+        };
+        let mut missed = false;
+        let sim = cell.get_or_init(|| {
+            missed = true;
+            Arc::new(simulate_model(cfg, model))
+        });
+        if missed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(sim)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran `simulate_model` (one per distinct key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (NPU, model) pairs cached so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_models::zoo;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = TraceCache::new();
+        let cfg = NpuConfig::edge();
+        let m = zoo::lenet();
+        let a = cache.get_or_simulate(&cfg, &m);
+        let b = cache.get_or_simulate(&cfg, &m);
+        assert!(Arc::ptr_eq(&a, &b), "same trace must be shared");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_npus_are_distinct_keys() {
+        let cache = TraceCache::new();
+        let m = zoo::lenet();
+        cache.get_or_simulate(&NpuConfig::edge(), &m);
+        cache.get_or_simulate(&NpuConfig::server(), &m);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn same_name_different_config_is_a_miss() {
+        let cache = TraceCache::new();
+        let m = zoo::lenet();
+        let edge = NpuConfig::edge();
+        let mut tweaked = edge.clone();
+        tweaked.sram_bytes *= 2;
+        cache.get_or_simulate(&edge, &m);
+        cache.get_or_simulate(&tweaked, &m);
+        assert_eq!(cache.misses(), 2, "label reuse must not alias traces");
+    }
+
+    #[test]
+    fn concurrent_lookups_simulate_once() {
+        let cache = TraceCache::new();
+        let cfg = NpuConfig::edge();
+        let m = zoo::alexnet();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.get_or_simulate(&cfg, &m));
+            }
+        });
+        assert_eq!(cache.misses(), 1, "races must not duplicate simulation");
+        assert_eq!(cache.hits(), 7);
+    }
+}

@@ -167,12 +167,12 @@ mod tests {
     fn exact_matches_analytical_across_shapes() {
         let cfg = NpuConfig::edge(); // 32x32
         for (sr, t, sc) in [
-            (32, 64, 32),   // one exact fold
-            (64, 64, 64),   // 2x2 full folds
-            (40, 17, 40),   // partial edge folds
-            (1, 1, 1),      // degenerate
-            (100, 9, 3),    // tall-thin
-            (3, 200, 100),  // short-wide
+            (32, 64, 32),  // one exact fold
+            (64, 64, 64),  // 2x2 full folds
+            (40, 17, 40),  // partial edge folds
+            (1, 1, 1),     // degenerate
+            (100, 9, 3),   // tall-thin
+            (3, 200, 100), // short-wide
         ] {
             let s = shape(sr, t, sc);
             let exact = exact_gemm(&cfg, s);

@@ -33,6 +33,7 @@
 
 pub mod address;
 pub mod burst;
+pub mod cache;
 pub mod compute;
 pub mod config;
 pub mod exact;
@@ -42,9 +43,12 @@ pub mod tracefile;
 
 pub use address::AddressMap;
 pub use burst::{Burst, TensorKind, TrafficSummary};
+pub use cache::TraceCache;
 pub use compute::{gemm_cycles, utilization};
-pub use exact::{exact_gemm, simulate_fold, simulate_fold_in, simulate_fold_ws, ExactGemm, FoldSim};
 pub use config::{Dataflow, NpuConfig};
+pub use exact::{
+    exact_gemm, simulate_fold, simulate_fold_in, simulate_fold_ws, ExactGemm, FoldSim,
+};
 pub use sim::{simulate_model, LayerSim, ModelSim};
-pub use tracefile::{parse_trace, write_trace, ParseTraceError};
 pub use tiling::{generate_bursts, plan_layer, LayerAddresses, LayerGeometry, Schedule, TilePlan};
+pub use tracefile::{parse_trace, write_trace, ParseTraceError};

@@ -532,7 +532,10 @@ mod tests {
                 coverage[(b.addr - base + i) as usize] += 1;
             }
         }
-        assert!(coverage.iter().all(|&c| c == 1), "every ofmap byte written once");
+        assert!(
+            coverage.iter().all(|&c| c == 1),
+            "every ofmap byte written once"
+        );
     }
 
     #[test]

@@ -9,16 +9,22 @@ use seda_scalesim::{
 };
 
 fn arb_conv() -> impl Strategy<Value = Layer> {
-    (2u32..96, 2u32..96, 1u32..6, 1u32..6, 1u32..64, 1u32..128, 1u32..3).prop_filter_map(
-        "filter must fit input",
-        |(ih, iw, r, s, c, m, stride)| {
+    (
+        2u32..96,
+        2u32..96,
+        1u32..6,
+        1u32..6,
+        1u32..64,
+        1u32..128,
+        1u32..3,
+    )
+        .prop_filter_map("filter must fit input", |(ih, iw, r, s, c, m, stride)| {
             if r <= ih && s <= iw {
                 Some(Layer::conv("prop", ih, iw, r, s, c, m, stride))
             } else {
                 None
             }
-        },
-    )
+        })
 }
 
 fn arb_gemm() -> impl Strategy<Value = Layer> {

@@ -20,14 +20,22 @@ fn main() {
     println!(
         "shared OTP:  attacker recovers {:.1}% of the block  -> {}",
         naive.accuracy * 100.0,
-        if naive.success { "MODEL STOLEN" } else { "safe" }
+        if naive.success {
+            "MODEL STOLEN"
+        } else {
+            "safe"
+        }
     );
 
     let defended = mount_seca(&BandwidthAwareOtp::new(key), seed, &weights, [0u8; 16]);
     println!(
         "B-AES:       attacker recovers {:.1}% of the block  -> {}",
         defended.accuracy * 100.0,
-        if defended.success { "MODEL STOLEN" } else { "safe" }
+        if defended.success {
+            "MODEL STOLEN"
+        } else {
+            "safe"
+        }
     );
 
     println!("\n=== Attack 2: RePA (re-permutation, Algorithm 2) ===\n");
@@ -37,7 +45,11 @@ fn main() {
     let attack = mount_repa(&mut weak, &activations);
     println!(
         "ciphertext-only MACs: verification {} after shuffle, {:.1}% of data intact -> {}",
-        if attack.verification_passed { "PASSES" } else { "fails" },
+        if attack.verification_passed {
+            "PASSES"
+        } else {
+            "fails"
+        },
         attack.decryption_accuracy * 100.0,
         if attack.success {
             "SILENT CORRUPTION"

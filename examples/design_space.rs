@@ -19,7 +19,10 @@ fn main() {
     let model = zoo::by_name(&workload).unwrap_or_else(zoo::mobilenet);
     let npu = NpuConfig::edge();
 
-    println!("design-space exploration: {} on the edge NPU\n", model.name());
+    println!(
+        "design-space exploration: {} on the edge NPU\n",
+        model.name()
+    );
 
     // 1. Fixed-granularity sweep: where does one-size-fits-all land?
     println!("-- fixed protection granularity (MGX-style) --");
@@ -32,9 +35,16 @@ fn main() {
         if overhead < best.1 {
             best = (g, overhead);
         }
-        println!("  g = {g:>5} B: traffic overhead {:>6.2}%", overhead * 100.0);
+        println!(
+            "  g = {g:>5} B: traffic overhead {:>6.2}%",
+            overhead * 100.0
+        );
     }
-    println!("  best fixed granularity: {} B ({:.2}%)", best.0, best.1 * 100.0);
+    println!(
+        "  best fixed granularity: {} B ({:.2}%)",
+        best.0,
+        best.1 * 100.0
+    );
 
     // 2. Per-layer optBlk: what does the search pick instead?
     println!("\n-- per-layer optBlk search (SecureLoop-style) --");
@@ -53,10 +63,11 @@ fn main() {
     let multiple = (npu.dram_bandwidth / engine_bw).ceil().max(1.0) as u32;
     let t = taes_cost(multiple.max(1));
     let b = baes_cost(multiple.max(1));
-    println!("\n-- encryption hardware for {:.0} GB/s --", npu.dram_bandwidth / 1e9);
     println!(
-        "  required bandwidth multiple: {multiple}x a single engine"
+        "\n-- encryption hardware for {:.0} GB/s --",
+        npu.dram_bandwidth / 1e9
     );
+    println!("  required bandwidth multiple: {multiple}x a single engine");
     println!(
         "  T-AES: {:.4} mm^2, {:.2} mW   B-AES: {:.4} mm^2, {:.2} mW  (saves {:.0}% area)",
         t.area_mm2,

@@ -17,7 +17,10 @@ fn main() {
     let reference = run_reference(&model, &input);
     println!("logits: {:?}", as_i8(&reference));
 
-    println!("\nrunning {} with all tensors encrypted + verified...", model.name());
+    println!(
+        "\nrunning {} with all tensors encrypted + verified...",
+        model.name()
+    );
     let protected = run_protected(&model, &input, |_| {}).expect("honest run verifies");
     println!("logits: {:?}", as_i8(&protected));
     assert_eq!(protected, reference);

@@ -14,10 +14,17 @@ fn main() {
     let model = zoo::by_name(&workload).unwrap_or_else(zoo::resnet18);
     let keys = SealingKeys::new([0x2b; 16], [0x7e; 16]);
 
-    println!("sealing {} ({} layers, {:.1} MB of weights)...", model.name(),
-        model.layers().len(), model.weight_bytes() as f64 / 1e6);
+    println!(
+        "sealing {} ({} layers, {:.1} MB of weights)...",
+        model.name(),
+        model.layers().len(),
+        model.weight_bytes() as f64 / 1e6
+    );
     let mut sealed = seal_model(&keys, &model);
-    println!("model MAC (on-chip, 8 B for the whole model): {}", sealed.model_mac);
+    println!(
+        "model MAC (on-chip, 8 B for the whole model): {}",
+        sealed.model_mac
+    );
 
     // Honest read-back: verify then decrypt one layer.
     assert!(verify_model(&keys, &sealed).is_ok());

@@ -76,13 +76,17 @@ fn secure_memory_rejects_wrong_layer_binding() {
     let mut mem = SecureMemory::new(4096, [1; 16], [2; 16]);
     let data = vec![0x5a; 512];
     let mac = mem.write_region(0, 3, 7, TensorKind::Ofmap, &data);
-    assert!(mem.read_region(0, 3, 7, TensorKind::Ofmap, 512, mac).is_ok());
+    assert!(mem
+        .read_region(0, 3, 7, TensorKind::Ofmap, 512, mac)
+        .is_ok());
     assert!(
-        mem.read_region(0, 3, 8, TensorKind::Ofmap, 512, mac).is_err(),
+        mem.read_region(0, 3, 8, TensorKind::Ofmap, 512, mac)
+            .is_err(),
         "layer id is bound into the MACs"
     );
     assert!(
-        mem.read_region(0, 3, 7, TensorKind::Ifmap, 512, mac).is_err(),
+        mem.read_region(0, 3, 7, TensorKind::Ifmap, 512, mac)
+            .is_err(),
         "tensor kind is bound into the MACs"
     );
 }

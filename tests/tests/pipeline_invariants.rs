@@ -41,7 +41,12 @@ fn traffic_ordering_holds_on_both_npus() {
             }
             let t = |n: &str| totals[n];
             assert!(t("SGX-64B") > t("MGX-64B"), "{}/{}", npu.name, model.name());
-            assert!(t("SGX-512B") > t("MGX-512B"), "{}/{}", npu.name, model.name());
+            assert!(
+                t("SGX-512B") > t("MGX-512B"),
+                "{}/{}",
+                npu.name,
+                model.name()
+            );
             assert!(t("MGX-64B") > t("SeDA"), "{}/{}", npu.name, model.name());
             assert!(t("SeDA") >= t("baseline"), "{}/{}", npu.name, model.name());
         }
@@ -71,7 +76,12 @@ fn runtime_is_bounded_by_compute_and_memory() {
     let model = zoo::alexnet();
     let r = run_model(&npu, &model, &mut Unprotected::new());
     for l in &r.layers {
-        assert_eq!(l.cycles, l.compute_cycles.max(l.memory_cycles), "{}", l.name);
+        assert_eq!(
+            l.cycles,
+            l.compute_cycles.max(l.memory_cycles),
+            "{}",
+            l.name
+        );
     }
 }
 
@@ -102,7 +112,10 @@ fn granularity_monotonically_reduces_mac_metadata() {
         let mut s = BlockMacScheme::new(BlockMacKind::Mgx, g, PROTECTED_BYTES);
         let r = run_model(&npu, &model, &mut s);
         let mac = r.traffic.mac_read + r.traffic.mac_write;
-        assert!(mac < last, "MAC bytes must shrink with granularity at g={g}");
+        assert!(
+            mac < last,
+            "MAC bytes must shrink with granularity at g={g}"
+        );
         last = mac;
     }
 }

@@ -47,7 +47,11 @@ fn version_bump_invalidates_stale_ciphertext() {
     enc.apply(CounterSeed::new(0x9000, 0), &mut stale);
     // Verifier decrypts with the current VN = 1.
     enc.apply(CounterSeed::new(0x9000, 1), &mut stale);
-    assert_ne!(&stale[..], &msg[..], "replayed data must decrypt to garbage");
+    assert_ne!(
+        &stale[..],
+        &msg[..],
+        "replayed data must decrypt to garbage"
+    );
 }
 
 #[test]

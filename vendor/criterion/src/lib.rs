@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) with a deliberately small time budget per benchmark
+//! so that `cargo test` (which runs `harness = false` bench targets) stays
+//! fast. Reported numbers are wall-clock medians over the few iterations
+//! that fit in the budget — fine for spotting order-of-magnitude
+//! regressions, not for statistics.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget. Keeps full-figure benches from dominating
+/// `cargo test` while still timing a handful of iterations.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f` within the global budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() >= BUDGET || self.samples.len() >= 101 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: Option<&str>, name: &str, throughput: Option<Throughput>, samples: &[Duration]) {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted
+        .get(sorted.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if median > Duration::ZERO => {
+            format!(
+                "  {:.1} MiB/s",
+                b as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<40} {:>12.3} µs/iter ({} samples){rate}",
+        median.as_secs_f64() * 1e6,
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(Some(&self.name), name, self.throughput, &b.samples);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(None, name, None, &b.samples);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the deriving item's token stream by hand (no `syn`/`quote`
+//! available offline) and emits `serde::Serialize` / `serde::Deserialize`
+//! impls targeting the Value-tree data model of the sibling `serde`
+//! stand-in. Supported shapes — which cover every derive in this
+//! workspace — are named-field structs, unit-variant enums, and
+//! struct-variant enums, plus the `#[serde(skip)]` field attribute.
+//! Anything else panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading `#[...]` attributes, returning whether any of them is
+/// `#[serde(skip)]`. Unknown `#[serde(...)]` contents are rejected loudly.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let body = match inner.get(1) {
+                    Some(TokenTree::Group(b)) => b.stream().to_string(),
+                    _ => String::new(),
+                };
+                if body.trim() == "skip" {
+                    skip = true;
+                } else {
+                    panic!("unsupported #[serde({body})] attribute (only `skip` is implemented)");
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the offline serde derive ({name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("only brace-bodied (named-field) items are supported ({name})"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            fields: parse_fields(body, &name),
+            name,
+        },
+        "enum" => Item::Enum {
+            variants: parse_variants(body, &name),
+            name,
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+/// Parses `name: Type, ...` named fields, honouring `#[serde(skip)]`.
+fn parse_fields(body: TokenStream, item: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, j);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name in {item}, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("tuple structs are not supported by the offline serde derive ({item})"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses enum variants: unit (`Name`) or struct (`Name { fields }`).
+fn parse_variants(body: TokenStream, item: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        i = j;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name in {item}, found {other:?}"),
+        };
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream(), item));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple variants are not supported by the offline serde derive ({item}::{name})");
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut body = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "m.insert(\"{n}\", ::serde::Serialize::to_value(&self.{n}));\n",
+            n = f.name
+        ));
+    }
+    body.push_str("::serde::Value::Object(m)");
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{n}: ::core::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!("{n}: ::serde::de_field(m, \"{n}\")?,\n", n = f.name));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let m = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                 ::core::result::Result::Ok(Self {{\n{inits}}})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "Self::{v} => ::serde::Value::String(\"{v}\".to_owned()),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    inner.push_str(&format!(
+                        "inner.insert(\"{n}\", ::serde::Serialize::to_value({n}));\n",
+                        n = f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "Self::{v} {{ {pat} }} => {{\n{inner}\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{v}\", ::serde::Value::Object(inner));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n",
+                    v = v.name,
+                    pat = pat.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_checks = String::new();
+    for v in variants {
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{v}\" => ::core::result::Result::Ok(Self::{v}),\n",
+                v = v.name
+            )),
+            Some(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{n}: ::core::default::Default::default(),\n",
+                            n = f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::de_field(im, \"{n}\")?,\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                data_checks.push_str(&format!(
+                    "if let ::core::option::Option::Some(inner) = m.get(\"{v}\") {{\n\
+                         let im = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant `{v}`\"))?;\n\
+                         return ::core::result::Result::Ok(Self::{v} {{\n{inits}}});\n\
+                     }}\n",
+                    v = v.name,
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(m) => {{\n\
+                         {data_checks}\
+                         let _ = m;\n\
+                         ::core::result::Result::Err(::serde::Error::custom(\"unknown data variant for `{name}`\"))\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(::serde::Error::custom(\"expected variant for `{name}`\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
