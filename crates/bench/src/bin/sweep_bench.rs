@@ -7,16 +7,43 @@
 //! (NPU, model) pair and executes points on scoped threads. Both must
 //! produce identical cycle totals — this binary asserts it.
 //!
-//! Usage: `cargo run --release -p seda-bench --bin sweep_bench`
+//! Besides the human-readable summary, the run is recorded in
+//! `BENCH_sweep.json` (or the path given as the first argument) so CI can
+//! archive the perf trajectory PR over PR.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin sweep_bench [out.json]`
 
-use seda::experiment::{evaluate_suites, scheme_names};
+use seda::experiment::{evaluate_suites_with_stats, scheme_names};
 use seda::models::zoo;
 use seda::pipeline::run_model;
 use seda::protect::scheme_by_name;
 use seda::scalesim::NpuConfig;
+use serde::Serialize;
 use std::time::Instant;
 
+/// Machine-readable record of one sweep-bench run.
+#[derive(Serialize)]
+struct BenchRecord {
+    /// Sweep points executed (NPUs × workloads × schemes).
+    points: usize,
+    /// Traces simulated by the engine (one per distinct NPU × model).
+    trace_misses: u64,
+    /// Trace-cache hits (points served without re-simulation).
+    trace_hits: u64,
+    /// Legacy serial path wall-clock, milliseconds.
+    serial_ms: f64,
+    /// Sweep-engine wall-clock, milliseconds.
+    engine_ms: f64,
+    /// serial_ms / engine_ms.
+    speedup: f64,
+    /// Whether the two paths produced identical cycle totals.
+    identical: bool,
+}
+
 fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
     let npus = [NpuConfig::server(), NpuConfig::edge()];
     let models = zoo::all_models();
 
@@ -34,7 +61,7 @@ fn main() {
     let serial = t0.elapsed();
 
     let t1 = Instant::now();
-    let evals = evaluate_suites(&npus, &models);
+    let (evals, stats) = evaluate_suites_with_stats(&npus, &models);
     let engine = t1.elapsed();
 
     let engine_total: u64 = evals
@@ -47,18 +74,38 @@ fn main() {
         "engine results must be bit-identical to the serial path"
     );
 
-    let points = npus.len() * models.len() * scheme_names().len();
-    println!("headline sweep: {points} points (13 workloads x 6 schemes x 2 NPUs)");
+    let record = BenchRecord {
+        points: npus.len() * models.len() * scheme_names().len(),
+        trace_misses: stats.trace_misses,
+        trace_hits: stats.trace_hits,
+        serial_ms: serial.as_secs_f64() * 1e3,
+        engine_ms: engine.as_secs_f64() * 1e3,
+        speedup: serial.as_secs_f64() / engine.as_secs_f64(),
+        identical: serial_total == engine_total,
+    };
+
+    println!(
+        "headline sweep: {} points (13 workloads x 6 schemes x 2 NPUs)",
+        record.points
+    );
+    println!(
+        "trace cache: {} simulations, {} reuses",
+        record.trace_misses, record.trace_hits
+    );
     println!(
         "legacy serial path (simulate per point): {:8.2} ms",
-        serial.as_secs_f64() * 1e3
+        record.serial_ms
     );
     println!(
         "sweep engine (cached + parallel):        {:8.2} ms",
-        engine.as_secs_f64() * 1e3
+        record.engine_ms
     );
     println!(
         "speedup: {:.2}x (identical cycle totals verified)",
-        serial.as_secs_f64() / engine.as_secs_f64()
+        record.speedup
     );
+
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write(&out_path, json).expect("writable path");
+    eprintln!("wrote {out_path}");
 }

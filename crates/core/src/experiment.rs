@@ -93,11 +93,23 @@ pub fn evaluate_with_stats(npu: &NpuConfig, models: &[Model]) -> (Evaluation, Sw
 /// this is the fastest way to produce the paper's two-NPU headline data.
 /// Returns one [`Evaluation`] per NPU, in input order.
 pub fn evaluate_suites(npus: &[NpuConfig], models: &[Model]) -> Vec<Evaluation> {
+    evaluate_suites_with_stats(npus, models).0
+}
+
+/// [`evaluate_suites`], additionally reporting trace-cache statistics for
+/// the whole multi-NPU sweep — the counters `sweep_bench` records in
+/// `BENCH_sweep.json` to track the engine's reuse rate PR over PR.
+pub fn evaluate_suites_with_stats(
+    npus: &[NpuConfig],
+    models: &[Model],
+) -> (Vec<Evaluation>, SweepStats) {
     let results = lineup_sweep(npus, models).run();
-    npus.iter()
+    let evals = npus
+        .iter()
         .enumerate()
         .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
-        .collect()
+        .collect();
+    (evals, results.stats)
 }
 
 fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {

@@ -100,8 +100,9 @@ impl OtpStrategy for SharedOtp {
         self.aes.encrypt_block(seed.to_block())
     }
 
-    fn aes_evaluations(&self, _segments: usize) -> usize {
-        1
+    fn aes_evaluations(&self, segments: usize) -> usize {
+        // An empty block needs no pad at all.
+        segments.min(1)
     }
 }
 
@@ -148,6 +149,23 @@ impl BandwidthAwareOtp {
         self.aes.encrypt_block(seed.to_block())
     }
 
+    /// The widened keyExpansion input for schedule group `group` (> 0):
+    /// `key ⊕ (PA || VN) ⊕ group`. The full 64-bit group index is folded
+    /// into the low eight bytes so that no block size, however large, can
+    /// silently alias two groups onto one schedule (a 16-bit fold would
+    /// wrap after 2^16 groups ≈ 10 MiB of block).
+    fn widened_key(&self, seed: CounterSeed, group: usize) -> Block {
+        let mut widened = self.key;
+        let ctr = seed.to_block();
+        for (w, c) in widened.iter_mut().zip(ctr.iter()) {
+            *w ^= c;
+        }
+        for (w, g) in widened[8..].iter_mut().zip((group as u64).to_be_bytes()) {
+            *w ^= g;
+        }
+        widened
+    }
+
     /// Round-key mask for segment `i`, deriving extra schedules on demand.
     fn mask(&self, seed: CounterSeed, i: usize) -> Block {
         let group = i / PADS_PER_SCHEDULE;
@@ -155,15 +173,7 @@ impl BandwidthAwareOtp {
         if group == 0 {
             self.aes.round_keys()[slot]
         } else {
-            // Widen the keyExpansion input: key ⊕ (PA || VN) ⊕ group.
-            let mut widened = self.key;
-            let ctr = seed.to_block();
-            for (w, c) in widened.iter_mut().zip(ctr.iter()) {
-                *w ^= c;
-            }
-            widened[15] ^= group as u8;
-            widened[14] ^= (group >> 8) as u8;
-            expand_key(widened)[slot]
+            expand_key(self.widened_key(seed, group))[slot]
         }
     }
 }
@@ -176,9 +186,14 @@ impl OtpStrategy for BandwidthAwareOtp {
     }
 
     fn aes_evaluations(&self, segments: usize) -> usize {
-        // One evaluation for the base pad; each extra schedule group re-runs
-        // key expansion, which occupies the engine for roughly one block time.
-        1 + segments.saturating_sub(1) / PADS_PER_SCHEDULE
+        // An empty block needs no evaluation. Otherwise: one evaluation for
+        // the base pad; each extra schedule group re-runs key expansion,
+        // which occupies the engine for roughly one block time.
+        if segments == 0 {
+            0
+        } else {
+            1 + (segments - 1) / PADS_PER_SCHEDULE
+        }
     }
 
     fn apply(&self, seed: CounterSeed, data: &mut [u8]) {
@@ -192,14 +207,7 @@ impl OtpStrategy for BandwidthAwareOtp {
         for (i, chunk) in data.chunks_mut(BLOCK_BYTES).enumerate() {
             let group = i / PADS_PER_SCHEDULE;
             if group != current_group {
-                let mut widened = self.key;
-                let ctr = seed.to_block();
-                for (w, c) in widened.iter_mut().zip(ctr.iter()) {
-                    *w ^= c;
-                }
-                widened[15] ^= group as u8;
-                widened[14] ^= (group >> 8) as u8;
-                group_keys = expand_key(widened);
+                group_keys = expand_key(self.widened_key(seed, group));
                 current_group = group;
             }
             let mask = &group_keys[1 + (i % PADS_PER_SCHEDULE)];
@@ -302,6 +310,37 @@ mod tests {
             .collect();
         b.apply(seed, &mut fast);
         assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn zero_segments_need_zero_evaluations() {
+        // Regression: B-AES used to report 1 evaluation for an empty block
+        // (`1 + 0.saturating_sub(1)/10`), and SharedOtp a flat 1.
+        let b = BandwidthAwareOtp::new([0u8; 16]);
+        let t = TraditionalOtp::new([0u8; 16]);
+        let s = SharedOtp::new([0u8; 16]);
+        assert_eq!(b.aes_evaluations(0), 0);
+        assert_eq!(t.aes_evaluations(0), 0);
+        assert_eq!(s.aes_evaluations(0), 0);
+        // One segment still costs exactly one evaluation everywhere.
+        assert_eq!(b.aes_evaluations(1), 1);
+        assert_eq!(s.aes_evaluations(1), 1);
+    }
+
+    #[test]
+    fn group_indices_beyond_16_bits_do_not_alias_schedules() {
+        // Regression: the widened key-expansion input used to fold only the
+        // low 16 bits of the group index, so groups g and g + 2^16 (blocks
+        // past ~10 MiB) silently shared a schedule. The full 64-bit fold
+        // must keep their pads distinct.
+        let b = BandwidthAwareOtp::new([0x5a; 16]);
+        let g = 3usize;
+        let near = b.segment_otp(seed(), g * PADS_PER_SCHEDULE);
+        let far = b.segment_otp(seed(), (g + (1 << 16)) * PADS_PER_SCHEDULE);
+        assert_ne!(near, far, "schedule groups 2^16 apart must not alias");
+        let far2 = b.segment_otp(seed(), (g + (1 << 24)) * PADS_PER_SCHEDULE);
+        assert_ne!(near, far2);
+        assert_ne!(far, far2);
     }
 
     #[test]

@@ -55,6 +55,20 @@ impl Channel {
     }
 }
 
+/// Timing of one access: its row-buffer outcome plus the half-open
+/// `[data_start, data_end)` window its data occupied the channel bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Row-buffer outcome of the access.
+    pub outcome: RowOutcome,
+    /// Channel the access mapped to.
+    pub channel: u32,
+    /// Memory-controller cycle the data burst started on the bus.
+    pub data_start: u64,
+    /// Cycle the data burst left the bus (`data_start + t_bl`).
+    pub data_end: u64,
+}
+
 /// A multi-channel DRAM timing simulator.
 ///
 /// Feed it a request stream with [`DramSim::access`] (or in bulk with
@@ -105,13 +119,22 @@ impl DramSim {
 
     /// Simulates one 64 B access and returns its row-buffer outcome.
     pub fn access(&mut self, req: Request) -> RowOutcome {
-        let coord = self.mapping.decode(req.addr);
-        let outcome = self.access_decoded(req, coord);
-        self.stats.record(req, outcome);
-        outcome
+        self.access_timed(req).outcome
     }
 
-    fn access_decoded(&mut self, req: Request, coord: DramCoord) -> RowOutcome {
+    /// Like [`DramSim::access`], additionally exposing the transfer's
+    /// data-bus occupancy window — the observability hook the validation
+    /// harness uses to check refresh exclusion, bus serialization, and
+    /// per-channel clock monotonicity without reconstructing timings from
+    /// aggregate counters.
+    pub fn access_timed(&mut self, req: Request) -> AccessTiming {
+        let coord = self.mapping.decode(req.addr);
+        let timing = self.access_decoded(req, coord);
+        self.stats.record(req, timing.outcome);
+        timing
+    }
+
+    fn access_decoded(&mut self, req: Request, coord: DramCoord) -> AccessTiming {
         let cfg = &self.config;
         let ch = &mut self.channels[coord.channel as usize];
         let bank_idx = (coord.rank * cfg.banks + coord.bank) as usize;
@@ -170,7 +193,12 @@ impl DramSim {
         } else {
             data_end
         };
-        outcome
+        AccessTiming {
+            outcome,
+            channel: coord.channel,
+            data_start,
+            data_end,
+        }
     }
 
     /// Simulates a request stream.
@@ -324,19 +352,24 @@ mod refresh_tests {
 
     #[test]
     fn no_transfer_lands_inside_a_refresh_window() {
+        // Regression: this test used to reconstruct the transfer start as
+        // `elapsed - 4` with a hard-coded burst length, so any change to
+        // the config's t_bl silently invalidated the invariant. The timed
+        // access API reports the actual window, and the burst length is
+        // checked against the config rather than assumed.
         let cfg = DramConfig::server();
-        let (refi, rfc) = (cfg.t_refi, cfg.t_rfc);
+        let (refi, rfc, t_bl) = (cfg.t_refi, cfg.t_rfc, cfg.t_bl);
         assert!(refi > rfc && rfc > 0);
         let mut sim = DramSim::new(cfg);
         for i in 0..100_000u64 {
-            sim.access(Request::read(i * ACCESS_BYTES));
-            // bus_free marks the end of the last transfer; its start must
-            // not be inside [k*tREFI, k*tREFI + tRFC).
-            let end = sim.elapsed_cycles();
-            let start = end - 4; // t_bl
+            let t = sim.access_timed(Request::read(i * ACCESS_BYTES));
+            assert_eq!(t.data_end - t.data_start, t_bl, "burst length from config");
+            // The data burst must start at or after the end of any refresh
+            // window [k*tREFI, k*tREFI + tRFC).
             assert!(
-                start % refi >= rfc || start.is_multiple_of(refi) || start < rfc,
-                "transfer started inside refresh at {start}"
+                t.data_start % refi >= rfc,
+                "transfer started inside refresh at {}",
+                t.data_start
             );
         }
     }

@@ -36,7 +36,7 @@ pub mod stats;
 
 pub use cmdsim::{simulate_commands, CommandStats};
 pub use config::{DramConfig, ACCESS_BYTES};
-pub use controller::DramSim;
+pub use controller::{AccessTiming, DramSim};
 pub use energy::{estimate as estimate_energy, EnergyEstimate, EnergyParams};
 pub use mapping::{AddressMapping, DramCoord};
 pub use request::{Request, RowOutcome};

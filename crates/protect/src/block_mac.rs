@@ -101,6 +101,24 @@ impl BlockMacScheme {
         self.granularity
     }
 
+    /// MAC-cache `(hits, misses, writebacks)`. Every miss costs one MAC
+    /// line read and every writeback one MAC line write, so
+    /// `mac_read == misses × 64` and `mac_write == writebacks × 64` after
+    /// [`ProtectionScheme::finish`] — the invariant the validation harness
+    /// checks.
+    pub fn mac_cache_stats(&self) -> (u64, u64, u64) {
+        self.mac_cache.stats()
+    }
+
+    /// VN/tree-cache `(hits, misses, writebacks)`, or `None` for MGX
+    /// (VNs on-chip). The cache holds both VN lines and tree nodes, so
+    /// `vn_read + tree_read == misses × 64` and
+    /// `vn_write + tree_write == writebacks × 64` after
+    /// [`ProtectionScheme::finish`].
+    pub fn vn_cache_stats(&self) -> Option<(u64, u64, u64)> {
+        self.vn_cache.as_ref().map(|c| c.stats())
+    }
+
     fn classify_writeback(&mut self, addr: u64, sink: &mut dyn FnMut(Request)) {
         // Bonsai-style lazy tree update: writing back a dirty VN line (or
         // tree node) re-hashes it, so its parent node must be updated —

@@ -15,6 +15,7 @@ use crate::layout::LINE_BYTES;
 use crate::scheme::{emit_demand, ProtectionScheme, SchemeInfo, TrafficBreakdown};
 use seda_dram::Request;
 use seda_scalesim::Burst;
+use std::collections::BTreeSet;
 
 /// Where layer MACs are stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +47,12 @@ pub enum LayerMacStore {
 pub struct SedaScheme {
     store: LayerMacStore,
     layer_mac_base: u64,
-    current_layer: Option<u32>,
+    /// Layers with an in-flight MAC accumulator. A burst stream may
+    /// interleave layers (double-buffered prefetch overlaps layer `i+1`'s
+    /// fetch with layer `i`'s drain), so several layers can be open at
+    /// once; each fetches its expected MAC exactly once on first touch and
+    /// writes the accumulated MAC back exactly once when it retires.
+    open_layers: BTreeSet<u32>,
     tally: TrafficBreakdown,
 }
 
@@ -57,7 +63,7 @@ impl SedaScheme {
             store,
             // Layer MACs live above all data and metadata arrays.
             layer_mac_base: protected_bytes * 2,
-            current_layer: None,
+            open_layers: BTreeSet::new(),
             tally: TrafficBreakdown::default(),
         }
     }
@@ -66,27 +72,15 @@ impl SedaScheme {
         self.layer_mac_base + u64::from(layer) * LINE_BYTES
     }
 
-    fn retire_layer(&mut self, sink: &mut dyn FnMut(Request)) {
-        if self.store == LayerMacStore::OffChip {
-            if let Some(layer) = self.current_layer {
-                // The finished layer's accumulated MAC is written back.
-                sink(Request::write(self.layer_mac_line(layer)));
-                self.tally.layer_mac += LINE_BYTES;
-            }
-        }
-    }
-
     fn enter_layer(&mut self, layer: u32, sink: &mut dyn FnMut(Request)) {
-        if self.current_layer == Some(layer) {
+        if !self.open_layers.insert(layer) {
             return;
         }
-        self.retire_layer(sink);
         if self.store == LayerMacStore::OffChip {
-            // Fetch the expected layer MAC for verification.
+            // Fetch the expected layer MAC for verification (first touch).
             sink(Request::read(self.layer_mac_line(layer)));
             self.tally.layer_mac += LINE_BYTES;
         }
-        self.current_layer = Some(layer);
     }
 }
 
@@ -117,8 +111,15 @@ impl ProtectionScheme for SedaScheme {
     }
 
     fn finish(&mut self, sink: &mut dyn FnMut(Request)) {
-        self.retire_layer(sink);
-        self.current_layer = None;
+        // All still-open layers retire: each accumulated MAC is written
+        // back once, in layer order for deterministic traces.
+        if self.store == LayerMacStore::OffChip {
+            for layer in &self.open_layers {
+                sink(Request::write(self.layer_mac_line(*layer)));
+                self.tally.layer_mac += LINE_BYTES;
+            }
+        }
+        self.open_layers.clear();
     }
 
     fn breakdown(&self) -> TrafficBreakdown {
@@ -190,5 +191,45 @@ mod tests {
     fn layer_macs_have_distinct_lines() {
         let s = SedaScheme::new(LayerMacStore::OffChip, 1 << 30);
         assert_ne!(s.layer_mac_line(0), s.layer_mac_line(1));
+    }
+
+    #[test]
+    fn interleaved_layers_still_cost_two_lines_each() {
+        // Regression: a double-buffered trace alternates layers on every
+        // burst. The old single-`current_layer` tracking retired and
+        // refetched the layer MAC on each switch, overcounting `layer_mac`
+        // by one line pair per switch; open-layer tracking pays exactly
+        // one read and one write per distinct layer regardless of order.
+        let mut s = SedaScheme::new(LayerMacStore::OffChip, 1 << 30);
+        let mut reqs = Vec::new();
+        for round in 0..50 {
+            for layer in [0u32, 1] {
+                s.transform(
+                    &Burst::read((round * 4096) as u64, 4096, TensorKind::Ifmap, layer),
+                    &mut |r| reqs.push(r),
+                );
+            }
+        }
+        s.finish(&mut |r| reqs.push(r));
+        assert_eq!(s.breakdown().layer_mac, 2 * 2 * 64);
+        // One MAC-line read per layer and one write per layer, no more.
+        let meta: Vec<_> = reqs.iter().filter(|r| r.addr >= 2 * (1 << 30)).collect();
+        assert_eq!(meta.len(), 4);
+        assert_eq!(meta.iter().filter(|r| r.is_write).count(), 2);
+    }
+
+    #[test]
+    fn sequential_traces_match_pre_fix_accounting() {
+        // Open-layer tracking must not change the cost of the common
+        // sequential (non-interleaved) trace: still two lines per layer.
+        let mut s = SedaScheme::new(LayerMacStore::OffChip, 1 << 30);
+        let mut n = 0u64;
+        for layer in 0..7 {
+            s.transform(&Burst::read(0, 4096, TensorKind::Ifmap, layer), &mut |_| {
+                n += 1
+            });
+        }
+        s.finish(&mut |_| n += 1);
+        assert_eq!(s.breakdown().layer_mac, 7 * 2 * 64);
     }
 }

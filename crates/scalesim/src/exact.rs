@@ -125,7 +125,15 @@ pub fn exact_gemm(cfg: &NpuConfig, shape: GemmShape) -> ExactGemm {
 
     cycles *= shape.folds;
     macs *= shape.folds;
-    let utilization = macs as f64 / (cycles as f64 * rows as f64 * cols as f64);
+    // Degenerate shapes (zero folds or a zero dimension) do zero work in
+    // zero cycles — matching the analytical `gemm_cycles`, which returns 0
+    // for them — so utilization is 0, not the 0/0 NaN a blind division
+    // would produce.
+    let utilization = if cycles == 0 {
+        0.0
+    } else {
+        macs as f64 / (cycles as f64 * rows as f64 * cols as f64)
+    };
     ExactGemm {
         cycles,
         macs,
@@ -213,6 +221,36 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_fold_rejected() {
         let _ = simulate_fold(0, 4, 4);
+    }
+
+    #[test]
+    fn zero_fold_shape_yields_zero_not_nan() {
+        // Regression: `folds == 0` (and zero dimensions) used to divide
+        // 0 MACs by 0 cycles, poisoning utilization with NaN. The exact
+        // path must short-circuit to zeros, consistent with the analytical
+        // path returning 0 cycles.
+        let cfg = NpuConfig::edge();
+        for s in [
+            GemmShape {
+                sr: 32,
+                t: 64,
+                sc: 32,
+                folds: 0,
+            },
+            GemmShape {
+                sr: 0,
+                t: 64,
+                sc: 32,
+                folds: 1,
+            },
+        ] {
+            let exact = exact_gemm(&cfg, s);
+            assert_eq!(exact.cycles, 0);
+            assert_eq!(exact.cycles, gemm_cycles(&cfg, s));
+            assert_eq!(exact.macs, 0);
+            assert_eq!(exact.utilization, 0.0, "must not be NaN");
+            assert!(exact.utilization.is_finite());
+        }
     }
 }
 

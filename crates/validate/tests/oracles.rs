@@ -1,0 +1,47 @@
+//! Fixed-seed runs of every validation family — the `cargo test` face of
+//! the harness. A failure message names the case index and sub-seed;
+//! replay it with
+//! `cargo run -p seda-validate -- --family <name> --seed 0xC1 --case <i>`.
+
+use seda_validate::{run_family, Family};
+
+const CI_SEED: u64 = 0xC1;
+
+fn assert_family(family: Family) {
+    let report = run_family(family, CI_SEED, family.default_cases());
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn gemm_oracles() {
+    assert_family(Family::Gemm);
+}
+
+#[test]
+fn otp_oracles() {
+    assert_family(Family::Otp);
+}
+
+#[test]
+fn scheme_invariants() {
+    assert_family(Family::Schemes);
+}
+
+#[test]
+fn dram_invariants() {
+    assert_family(Family::Dram);
+}
+
+#[test]
+fn pipeline_invariants() {
+    assert_family(Family::Pipeline);
+}
+
+#[test]
+fn single_case_replay_matches_family_run() {
+    // The CLI's --case path must reproduce exactly what the family run
+    // executed for that index.
+    for case in 0..4 {
+        assert!(seda_validate::run_case(Family::Gemm, CI_SEED, case).is_ok());
+    }
+}
