@@ -1,0 +1,150 @@
+//! The protection configurations the detection matrix spans.
+//!
+//! Each configuration is one point in the design space of §III: at what
+//! granularity MACs are kept (per optBlk, per layer, or one model MAC),
+//! whether each optBlk MAC binds its position (`PA || VN || layer_id ||
+//! fmap_idx || blk_idx`, Algorithm 2) or covers the ciphertext alone, and
+//! which pad generator encrypts blocks (B-AES vs the SECA-vulnerable
+//! shared pad). The six named configurations cover the paper's scheme
+//! lineup plus the ablations its attacks are demonstrated against.
+
+/// Granularity at which MAC state is kept and verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacLevel {
+    /// One stored MAC per optBlk, verified block-by-block (SGX/MGX style).
+    Block,
+    /// Per-block tags XOR-folded into one stored MAC per layer.
+    Layer,
+    /// Per-block tags XOR-folded into a single on-chip model MAC; nothing
+    /// is stored off-chip.
+    Model,
+}
+
+/// What each optBlk MAC covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// `HMAC_K(blk)` — the ciphertext alone. Splicing, replay, and VN
+    /// tampering keep tag and data consistent, so they verify.
+    CiphertextOnly,
+    /// `HMAC_K(blk || PA || VN || layer_id || fmap_idx || blk_idx)` —
+    /// SeDA's position-bound construction (Algorithm 2, lines 7-8).
+    PositionBound,
+}
+
+/// Pad generator encrypting each optBlk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PadGen {
+    /// One AES evaluation per block, pad reused across its 16 B segments —
+    /// the SECA-vulnerable strawman.
+    Shared,
+    /// B-AES: base pad XORed with per-segment round keys (Algorithm 1).
+    BAes,
+}
+
+/// One protection configuration of the detection matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectConfig {
+    /// Short matrix label (`ct-mac`, `optblk-mac`, ...).
+    pub name: &'static str,
+    /// MAC granularity.
+    pub level: MacLevel,
+    /// optBlk MAC binding.
+    pub binding: Binding,
+    /// Pad generator.
+    pub pad: PadGen,
+    /// Whether the trusted side keeps an on-chip root over the stored
+    /// layer MACs (SeDA's model MAC). Meaningful only for
+    /// [`MacLevel::Layer`]; [`MacLevel::Model`] *is* the on-chip root.
+    pub on_chip_root: bool,
+}
+
+impl ProtectConfig {
+    /// The six configurations of the detection matrix, in column order:
+    ///
+    /// 1. `ct-mac` — per-block MACs over ciphertext only.
+    /// 2. `optblk-mac` — per-block position-bound MACs (SeDA's optBlk).
+    /// 3. `layer-mac` — layer-folded position-bound MACs stored off-chip
+    ///    with an on-chip model root (the full SeDA configuration).
+    /// 4. `model-mac` — one on-chip model MAC, nothing stored off-chip.
+    /// 5. `layer-ct` — layer-folded ciphertext-only MACs, no root: the
+    ///    construction the RePA attack (Algorithm 2) breaks.
+    /// 6. `shared-otp` — the SeDA layer configuration but with the shared
+    ///    pad generator SECA (Algorithm 1) breaks.
+    pub fn matrix() -> [ProtectConfig; 6] {
+        [
+            ProtectConfig {
+                name: "ct-mac",
+                level: MacLevel::Block,
+                binding: Binding::CiphertextOnly,
+                pad: PadGen::BAes,
+                on_chip_root: false,
+            },
+            ProtectConfig {
+                name: "optblk-mac",
+                level: MacLevel::Block,
+                binding: Binding::PositionBound,
+                pad: PadGen::BAes,
+                on_chip_root: false,
+            },
+            ProtectConfig {
+                name: "layer-mac",
+                level: MacLevel::Layer,
+                binding: Binding::PositionBound,
+                pad: PadGen::BAes,
+                on_chip_root: true,
+            },
+            ProtectConfig {
+                name: "model-mac",
+                level: MacLevel::Model,
+                binding: Binding::PositionBound,
+                pad: PadGen::BAes,
+                on_chip_root: true,
+            },
+            ProtectConfig {
+                name: "layer-ct",
+                level: MacLevel::Layer,
+                binding: Binding::CiphertextOnly,
+                pad: PadGen::BAes,
+                on_chip_root: false,
+            },
+            ProtectConfig {
+                name: "shared-otp",
+                level: MacLevel::Layer,
+                binding: Binding::PositionBound,
+                pad: PadGen::Shared,
+                on_chip_root: true,
+            },
+        ]
+    }
+
+    /// Looks a matrix configuration up by its label.
+    pub fn by_name(name: &str) -> Option<ProtectConfig> {
+        Self::matrix().into_iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let configs = ProtectConfig::matrix();
+        for c in &configs {
+            assert_eq!(ProtectConfig::by_name(c.name), Some(*c));
+        }
+        let mut names: Vec<_> = configs.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), configs.len());
+        assert_eq!(ProtectConfig::by_name("nope"), None);
+    }
+
+    #[test]
+    fn seda_configuration_is_position_bound_baes() {
+        let seda = ProtectConfig::by_name("layer-mac").unwrap_or_else(|| unreachable!());
+        assert_eq!(seda.binding, Binding::PositionBound);
+        assert_eq!(seda.pad, PadGen::BAes);
+        assert!(seda.on_chip_root, "SeDA keeps the model MAC on-chip");
+    }
+}

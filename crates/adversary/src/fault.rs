@@ -1,0 +1,315 @@
+//! Tamper classes and seeded fault injection.
+//!
+//! A [`TamperClass`] is one family of off-chip manipulations an active
+//! adversary can perform against the [`ProtectedImage`]. Injection is
+//! driven entirely by a seeded [`Rng`], so every fault — which layer,
+//! which byte, which bit — replays exactly from a seed.
+
+use crate::config::MacLevel;
+use crate::image::{ProtectedImage, BLOCK, SEGMENT};
+use crate::rng::Rng;
+use seda::error::SedaError;
+
+/// The eight tamper classes of the detection matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperClass {
+    /// Flip one ciphertext bit.
+    BitFlip,
+    /// Flip one bit of a stored (off-chip) MAC.
+    MacCorrupt,
+    /// Swap two optBlks within one layer (the RePA move, Algorithm 2).
+    SpliceWithin,
+    /// Swap two optBlks across layers (block relocation).
+    SpliceAcross,
+    /// Restore a stale off-chip snapshot after a trusted VN-bumping
+    /// update (two-time-pad / rollback).
+    Replay,
+    /// Zero the tail of a region (truncation of the backing store).
+    Truncate,
+    /// Perturb the version number the reader uses (counter tampering).
+    VnTamper,
+    /// Passive single-element collision probe against the pad generator
+    /// (SECA, Algorithm 1) — a disclosure, not an integrity fault.
+    SecaDisclosure,
+}
+
+impl TamperClass {
+    /// All classes in matrix row order.
+    pub fn all() -> [TamperClass; 8] {
+        [
+            TamperClass::BitFlip,
+            TamperClass::MacCorrupt,
+            TamperClass::SpliceWithin,
+            TamperClass::SpliceAcross,
+            TamperClass::Replay,
+            TamperClass::Truncate,
+            TamperClass::VnTamper,
+            TamperClass::SecaDisclosure,
+        ]
+    }
+
+    /// Short row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TamperClass::BitFlip => "bit-flip",
+            TamperClass::MacCorrupt => "mac-corrupt",
+            TamperClass::SpliceWithin => "splice-within",
+            TamperClass::SpliceAcross => "splice-across",
+            TamperClass::Replay => "replay",
+            TamperClass::Truncate => "truncate",
+            TamperClass::VnTamper => "vn-tamper",
+            TamperClass::SecaDisclosure => "seca-disclosure",
+        }
+    }
+}
+
+/// One adversary experiment: the image under attack plus the trusted
+/// side's record of what each region should decrypt to. The record is the
+/// oracle that distinguishes *detected* faults (a read errors) from
+/// *silently accepted corruption* (a read succeeds but yields bytes the
+/// trusted side never wrote).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The image under attack.
+    pub image: ProtectedImage,
+    /// What the trusted side expects each region to hold.
+    pub expected: Vec<Vec<u8>>,
+}
+
+impl Experiment {
+    /// Builds an image under `config`-equivalent geometry with seeded
+    /// random contents and verifies the honest baseline reads back
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::InvalidSpec`] if the pristine image fails its
+    /// own verification — a harness bug, never an adversary win.
+    pub fn fresh(image: ProtectedImage, rng: &mut Rng) -> Result<Self, SedaError> {
+        let mut image = image;
+        let mut expected = Vec::with_capacity(image.layer_count());
+        for layer in 0..image.layer_count() {
+            let mut data = vec![0u8; image.layer_len(layer)];
+            rng.fill(&mut data);
+            image.write_layer(layer, &data)?;
+            expected.push(data);
+        }
+        let baseline = image.read_model()?;
+        if baseline != expected {
+            return Err(SedaError::InvalidSpec {
+                reason: "pristine image failed to read back its own writes".to_owned(),
+            });
+        }
+        Ok(Self { image, expected })
+    }
+
+    /// Applies one seeded fault of `class` to the off-chip state.
+    ///
+    /// Returns a human-readable description of the exact fault, or `None`
+    /// when the class is not applicable to the configuration (corrupting
+    /// a stored MAC when nothing is stored off-chip) or is not an
+    /// integrity fault at all ([`TamperClass::SecaDisclosure`], which the
+    /// matrix runner measures on the ciphertext instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError`] only for harness-level failures (a trusted
+    /// update inside the replay sequence failing), never for the fault
+    /// itself.
+    pub fn inject(
+        &mut self,
+        class: TamperClass,
+        rng: &mut Rng,
+    ) -> Result<Option<String>, SedaError> {
+        let layers = self.image.layer_count() as u64;
+        match class {
+            TamperClass::BitFlip => {
+                let offset = rng.below(self.image.total_len() as u64) as usize;
+                let bit = (rng.below(8)) as u8;
+                self.image.flip_ciphertext_bit(offset, bit);
+                Ok(Some(format!("flip ciphertext bit {bit} of byte {offset}")))
+            }
+            TamperClass::MacCorrupt => {
+                let layer = rng.below(layers) as usize;
+                let blk = rng.below(self.image.blocks_in(layer) as u64) as usize;
+                let bit = (rng.below(64)) as u8;
+                if self.image.corrupt_stored_mac(layer, blk, bit) {
+                    Ok(Some(format!(
+                        "flip bit {bit} of the stored MAC for layer {layer} block {blk}"
+                    )))
+                } else {
+                    Ok(None)
+                }
+            }
+            TamperClass::SpliceWithin => {
+                // Pick a layer with at least two blocks and swap two.
+                let candidates: Vec<usize> = (0..self.image.layer_count())
+                    .filter(|&l| self.image.blocks_in(l) >= 2)
+                    .collect();
+                if candidates.is_empty() {
+                    return Ok(None);
+                }
+                let layer = candidates[rng.below(candidates.len() as u64) as usize];
+                let blocks = self.image.blocks_in(layer) as u64;
+                let a = rng.below(blocks) as usize;
+                let mut b = rng.below(blocks) as usize;
+                if a == b {
+                    b = (b + 1) % blocks as usize;
+                }
+                self.image.swap_blocks(layer, a, layer, b);
+                Ok(Some(format!(
+                    "swap blocks {a} and {b} within layer {layer}"
+                )))
+            }
+            TamperClass::SpliceAcross => {
+                if layers < 2 {
+                    return Ok(None);
+                }
+                let la = rng.below(layers) as usize;
+                let mut lb = rng.below(layers) as usize;
+                if la == lb {
+                    lb = (lb + 1) % layers as usize;
+                }
+                let a = rng.below(self.image.blocks_in(la) as u64) as usize;
+                let b = rng.below(self.image.blocks_in(lb) as u64) as usize;
+                self.image.swap_blocks(la, a, lb, b);
+                Ok(Some(format!(
+                    "swap layer {la} block {a} with layer {lb} block {b}"
+                )))
+            }
+            TamperClass::Replay => {
+                let layer = rng.below(layers) as usize;
+                let snap = self.image.snapshot_offchip();
+                let mut newer = vec![0u8; self.image.layer_len(layer)];
+                rng.fill(&mut newer);
+                self.image.update_layer(layer, &newer)?;
+                self.expected[layer] = newer;
+                self.image.restore_offchip(&snap);
+                Ok(Some(format!(
+                    "roll layer {layer} (ciphertext + stored MACs) back past a VN-bumping update"
+                )))
+            }
+            TamperClass::Truncate => {
+                let layer = rng.below(layers) as usize;
+                let from = rng.below(self.image.layer_len(layer) as u64 - 1) as usize;
+                self.image.zero_tail(layer, from);
+                Ok(Some(format!(
+                    "zero layer {layer} from byte {from} to its end"
+                )))
+            }
+            TamperClass::VnTamper => {
+                let layer = rng.below(layers) as usize;
+                let delta = 1 + rng.below(4);
+                self.image.tamper_vn(layer, delta);
+                Ok(Some(format!("advance layer {layer}'s VN by {delta}")))
+            }
+            TamperClass::SecaDisclosure => Ok(None),
+        }
+    }
+}
+
+/// Runs the SECA observable against an image: writes a region whose first
+/// block repeats one plaintext segment at two positions, then reports
+/// whether the two ciphertext segments collide (the single-element
+/// disclosure shared pads leak).
+///
+/// # Errors
+///
+/// Returns [`SedaError`] if the trusted write itself fails (harness bug).
+pub fn seca_probe(image: &mut ProtectedImage, rng: &mut Rng) -> Result<bool, SedaError> {
+    let segs = (BLOCK / SEGMENT) as u64;
+    let s1 = rng.below(segs) as usize;
+    let mut s2 = rng.below(segs) as usize;
+    if s1 == s2 {
+        s2 = (s2 + 1) % segs as usize;
+    }
+    let mut data = vec![0u8; image.layer_len(0)];
+    rng.fill(&mut data);
+    let repeated: Vec<u8> = data[s1 * SEGMENT..(s1 + 1) * SEGMENT].to_vec();
+    data[s2 * SEGMENT..(s2 + 1) * SEGMENT].copy_from_slice(&repeated);
+    image.write_layer(0, &data)?;
+    let a = image.segment_ciphertext(0, 0, s1);
+    let b = image.segment_ciphertext(0, 0, s2);
+    Ok(a == b)
+}
+
+/// Whether `class` can be injected at all under `level` (mirrors the
+/// `None` cases of [`Experiment::inject`], for matrix bookkeeping).
+pub fn applicable(class: TamperClass, level: MacLevel) -> bool {
+    !(class == TamperClass::MacCorrupt && level == MacLevel::Model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtectConfig;
+
+    fn experiment(name: &str, seed: u64) -> Experiment {
+        let config = ProtectConfig::by_name(name).expect("known config");
+        let image = ProtectedImage::new(config, &[256, 320, 192], [7; 16], [9; 16]).expect("valid");
+        Experiment::fresh(image, &mut Rng::new(seed)).expect("pristine image verifies")
+    }
+
+    #[test]
+    fn every_applicable_fault_mutates_offchip_state() {
+        for class in TamperClass::all() {
+            if class == TamperClass::SecaDisclosure {
+                continue;
+            }
+            let mut exp = experiment("optblk-mac", 0xFA11);
+            let desc = exp
+                .inject(class, &mut Rng::new(0xBEEF))
+                .expect("injection never errors here")
+                .expect("applicable to optblk-mac");
+            assert!(!desc.is_empty());
+            assert!(
+                exp.image.read_model().is_err(),
+                "{}: position-bound per-block MACs catch every class",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mac_corrupt_is_not_applicable_at_model_level() {
+        let mut exp = experiment("model-mac", 0x51);
+        let outcome = exp
+            .inject(TamperClass::MacCorrupt, &mut Rng::new(1))
+            .expect("no harness error");
+        assert!(outcome.is_none());
+        assert!(!applicable(TamperClass::MacCorrupt, MacLevel::Model));
+        assert!(applicable(TamperClass::MacCorrupt, MacLevel::Layer));
+    }
+
+    #[test]
+    fn seca_probe_separates_shared_from_baes() {
+        let shared = ProtectConfig::by_name("shared-otp").expect("known");
+        let mut img = ProtectedImage::new(shared, &[256], [7; 16], [9; 16]).expect("valid");
+        assert!(
+            seca_probe(&mut img, &mut Rng::new(3)).expect("probe runs"),
+            "shared pads leak equal-segment collisions"
+        );
+        let baes = ProtectConfig::by_name("layer-mac").expect("known");
+        let mut img = ProtectedImage::new(baes, &[256], [7; 16], [9; 16]).expect("valid");
+        assert!(
+            !seca_probe(&mut img, &mut Rng::new(3)).expect("probe runs"),
+            "B-AES pads must not collide across segments"
+        );
+    }
+
+    #[test]
+    fn replay_is_silently_accepted_by_ciphertext_only_macs() {
+        let mut exp = experiment("ct-mac", 0x7e57);
+        exp.inject(TamperClass::Replay, &mut Rng::new(2))
+            .expect("no harness error")
+            .expect("applicable");
+        let plains = exp
+            .image
+            .read_model()
+            .expect("replay must verify under ct-mac");
+        assert_ne!(
+            plains, exp.expected,
+            "accepted data is stale/garbled — the silent-corruption signature"
+        );
+    }
+}

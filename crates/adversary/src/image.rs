@@ -1,0 +1,494 @@
+//! The untrusted off-chip image under one protection configuration.
+//!
+//! [`ProtectedImage`] is the adversary's target: a functional model of the
+//! off-chip memory holding encrypted tensor regions plus whatever MAC
+//! metadata the configuration stores off-chip, together with the trusted
+//! on-chip state (keys, VN table, model root) the verifier checks against.
+//! The trusted side writes and reads through the encrypt/MAC path; the
+//! adversary mutates the off-chip state directly through the tamper API
+//! ([`flip_ciphertext_bit`](ProtectedImage::flip_ciphertext_bit),
+//! [`swap_blocks`](ProtectedImage::swap_blocks),
+//! [`snapshot_offchip`](ProtectedImage::snapshot_offchip), ...).
+//!
+//! The version-number table is exposed to tampering as well: for SGX-style
+//! schemes VNs are off-chip counters, and even for on-chip tables the
+//! matrix wants to model targeted fault injection against them. Whether a
+//! perturbed VN is *caught* depends purely on the MAC binding.
+
+use crate::config::{Binding, MacLevel, PadGen, ProtectConfig};
+use seda::error::SedaError;
+use seda::functional::IntegrityViolation;
+use seda_crypto::ctr::CounterSeed;
+use seda_crypto::mac::{xor_fold, BlockPosition, MacTag, PositionBoundMac};
+use seda_crypto::otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp};
+use seda_scalesim::TensorKind;
+
+/// Protection block size (one optBlk).
+pub const BLOCK: usize = 64;
+
+/// AES segment size within a block.
+pub const SEGMENT: usize = 16;
+
+/// Pad generator instance for one image.
+#[derive(Debug, Clone)]
+enum Pads {
+    Shared(SharedOtp),
+    BAes(BandwidthAwareOtp),
+}
+
+impl Pads {
+    fn apply(&self, seed: CounterSeed, data: &mut [u8]) {
+        match self {
+            Pads::Shared(p) => p.apply(seed, data),
+            Pads::BAes(p) => p.apply(seed, data),
+        }
+    }
+}
+
+/// A snapshot of everything the adversary controls: ciphertext and the
+/// off-chip MAC store. Restoring it after a trusted update is the replay
+/// attack (the on-chip VN table and root are *not* part of the snapshot).
+#[derive(Debug, Clone)]
+pub struct OffChipSnapshot {
+    bytes: Vec<u8>,
+    block_macs: Vec<Vec<MacTag>>,
+    layer_macs: Vec<MacTag>,
+}
+
+/// Encrypted off-chip image plus the trusted verifier state for one
+/// [`ProtectConfig`].
+#[derive(Debug, Clone)]
+pub struct ProtectedImage {
+    config: ProtectConfig,
+    // Untrusted off-chip state (the tamper surface).
+    bytes: Vec<u8>,
+    block_macs: Vec<Vec<MacTag>>,
+    layer_macs: Vec<MacTag>,
+    vns: Vec<u64>,
+    // Trusted on-chip state.
+    root: MacTag,
+    layer_folds: Vec<MacTag>,
+    mac: PositionBoundMac,
+    pads: Pads,
+    lens: Vec<usize>,
+    pas: Vec<u64>,
+}
+
+impl ProtectedImage {
+    /// Creates an image with one contiguous region per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::InvalidSpec`] if `lens` is empty or any length
+    /// is zero or not a multiple of [`BLOCK`].
+    pub fn new(
+        config: ProtectConfig,
+        lens: &[usize],
+        enc_key: [u8; 16],
+        mac_key: [u8; 16],
+    ) -> Result<Self, SedaError> {
+        if lens.is_empty() {
+            return Err(SedaError::InvalidSpec {
+                reason: "image needs at least one layer region".to_owned(),
+            });
+        }
+        if let Some(bad) = lens.iter().find(|&&l| l == 0 || l % BLOCK != 0) {
+            return Err(SedaError::InvalidSpec {
+                reason: format!("layer length {bad} is not a positive multiple of {BLOCK}"),
+            });
+        }
+        let mut pas = Vec::with_capacity(lens.len());
+        let mut next = 0u64;
+        for &len in lens {
+            pas.push(next);
+            next += len as u64;
+        }
+        let pads = match config.pad {
+            PadGen::Shared => Pads::Shared(SharedOtp::new(enc_key)),
+            PadGen::BAes => Pads::BAes(BandwidthAwareOtp::new(enc_key)),
+        };
+        Ok(Self {
+            config,
+            bytes: vec![0; next as usize],
+            block_macs: lens.iter().map(|&l| vec![MacTag(0); l / BLOCK]).collect(),
+            layer_macs: vec![MacTag(0); lens.len()],
+            vns: vec![1; lens.len()],
+            root: MacTag(0),
+            layer_folds: vec![MacTag(0); lens.len()],
+            mac: PositionBoundMac::new(mac_key),
+            pads,
+            lens: lens.to_vec(),
+            pas,
+        })
+    }
+
+    /// The configuration this image runs under.
+    pub fn config(&self) -> &ProtectConfig {
+        &self.config
+    }
+
+    /// Number of layer regions.
+    pub fn layer_count(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Byte length of one layer region.
+    pub fn layer_len(&self, layer: usize) -> usize {
+        self.lens[layer]
+    }
+
+    /// Base physical address of one layer region.
+    pub fn layer_pa(&self, layer: usize) -> u64 {
+        self.pas[layer]
+    }
+
+    /// Number of optBlks in one layer region.
+    pub fn blocks_in(&self, layer: usize) -> usize {
+        self.lens[layer] / BLOCK
+    }
+
+    /// Total image size in bytes.
+    pub fn total_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn block_tag(&self, ct: &[u8], pa: u64, vn: u64, layer: u32, blk: u32) -> MacTag {
+        match self.config.binding {
+            Binding::PositionBound => self.mac.tag(ct, pa, vn, BlockPosition::new(layer, 0, blk)),
+            // Ciphertext-only: no address, version, or position enters the
+            // MAC — the weakness the splice/replay rows demonstrate.
+            Binding::CiphertextOnly => self.mac.tag(ct, 0, 0, BlockPosition::default()),
+        }
+    }
+
+    fn check_layer(&self, layer: usize, len: usize) -> Result<(), SedaError> {
+        if layer >= self.lens.len() {
+            return Err(SedaError::InvalidSpec {
+                reason: format!("layer {layer} out of range ({} layers)", self.lens.len()),
+            });
+        }
+        if len != self.lens[layer] {
+            return Err(SedaError::InvalidSpec {
+                reason: format!("layer {layer} holds {} bytes, got {len}", self.lens[layer]),
+            });
+        }
+        Ok(())
+    }
+
+    /// Encrypts and MACs `data` into layer `layer` under its current VN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::InvalidSpec`] if `layer` is out of range or
+    /// `data` does not exactly fill the region.
+    pub fn write_layer(&mut self, layer: usize, data: &[u8]) -> Result<(), SedaError> {
+        self.check_layer(layer, data.len())?;
+        let vn = self.vns[layer];
+        let pa0 = self.pas[layer];
+        let mut tags = Vec::with_capacity(data.len() / BLOCK);
+        for (i, chunk) in data.chunks(BLOCK).enumerate() {
+            let pa = pa0 + (i * BLOCK) as u64;
+            let mut ct = chunk.to_vec();
+            self.pads.apply(CounterSeed::new(pa, vn), &mut ct);
+            let tag = self.block_tag(&ct, pa, vn, layer as u32, i as u32);
+            self.bytes[pa as usize..pa as usize + ct.len()].copy_from_slice(&ct);
+            tags.push(tag);
+        }
+        let fold = xor_fold(tags.iter().copied());
+        match self.config.level {
+            MacLevel::Block => self.block_macs[layer] = tags,
+            MacLevel::Layer => self.layer_macs[layer] = fold,
+            MacLevel::Model => {}
+        }
+        // Incremental on-chip root maintenance (XOR-MAC incrementality):
+        // XOR out the region's previous fold, XOR in the new one.
+        self.root = self.root.xor(self.layer_folds[layer]).xor(fold);
+        self.layer_folds[layer] = fold;
+        Ok(())
+    }
+
+    /// A trusted update: bumps the layer's VN, then rewrites the region —
+    /// the write path an inference's activation producer takes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_layer`](Self::write_layer).
+    pub fn update_layer(&mut self, layer: usize, data: &[u8]) -> Result<(), SedaError> {
+        self.check_layer(layer, data.len())?;
+        self.vns[layer] += 1;
+        self.write_layer(layer, data)
+    }
+
+    fn violation(&self, layer: usize, block: Option<u32>, pa: u64) -> SedaError {
+        SedaError::Integrity(IntegrityViolation {
+            layer: layer as u32,
+            tensor: TensorKind::Ifmap,
+            block,
+            pa,
+        })
+    }
+
+    /// Decrypts one layer region, verifying whatever the configuration
+    /// verifies at layer granularity. At [`MacLevel::Model`] no per-layer
+    /// check exists — use [`read_model`](Self::read_model), which checks
+    /// the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::Integrity`] on any MAC mismatch and
+    /// [`SedaError::InvalidSpec`] for an out-of-range layer.
+    pub fn read_layer(&self, layer: usize) -> Result<Vec<u8>, SedaError> {
+        let (out, tags) = self.decrypt_layer(layer)?;
+        match self.config.level {
+            MacLevel::Block => {
+                for (i, tag) in tags.iter().enumerate() {
+                    if !tag.ct_eq(self.block_macs[layer][i]) {
+                        let pa = self.pas[layer] + (i * BLOCK) as u64;
+                        return Err(self.violation(layer, Some(i as u32), pa));
+                    }
+                }
+            }
+            MacLevel::Layer => {
+                if self.config.on_chip_root {
+                    // SeDA's model MAC: the stored layer MACs must still
+                    // fold to the on-chip root before any is trusted.
+                    let stored = xor_fold(self.layer_macs.iter().copied());
+                    if !stored.ct_eq(self.root) {
+                        return Err(self.violation(layer, None, self.pas[layer]));
+                    }
+                }
+                let fold = xor_fold(tags.iter().copied());
+                if !fold.ct_eq(self.layer_macs[layer]) {
+                    return Err(self.violation(layer, None, self.pas[layer]));
+                }
+            }
+            MacLevel::Model => {}
+        }
+        Ok(out)
+    }
+
+    fn decrypt_layer(&self, layer: usize) -> Result<(Vec<u8>, Vec<MacTag>), SedaError> {
+        if layer >= self.lens.len() {
+            return Err(SedaError::InvalidSpec {
+                reason: format!("layer {layer} out of range ({} layers)", self.lens.len()),
+            });
+        }
+        let vn = self.vns[layer];
+        let pa0 = self.pas[layer];
+        let blocks = self.blocks_in(layer);
+        let mut out = Vec::with_capacity(self.lens[layer]);
+        let mut tags = Vec::with_capacity(blocks);
+        for i in 0..blocks {
+            let pa = pa0 + (i * BLOCK) as u64;
+            let ct = &self.bytes[pa as usize..pa as usize + BLOCK];
+            tags.push(self.block_tag(ct, pa, vn, layer as u32, i as u32));
+            let mut buf = ct.to_vec();
+            self.pads.apply(CounterSeed::new(pa, vn), &mut buf);
+            out.extend_from_slice(&buf);
+        }
+        Ok((out, tags))
+    }
+
+    /// Decrypts and verifies every layer, at the configuration's own
+    /// granularity (per-block, per-layer, or one model-wide fold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::Integrity`] on any verification failure.
+    pub fn read_model(&self) -> Result<Vec<Vec<u8>>, SedaError> {
+        match self.config.level {
+            MacLevel::Model => {
+                let mut plains = Vec::with_capacity(self.lens.len());
+                let mut fold = MacTag(0);
+                for layer in 0..self.lens.len() {
+                    let (plain, tags) = self.decrypt_layer(layer)?;
+                    fold = fold.xor(xor_fold(tags.iter().copied()));
+                    plains.push(plain);
+                }
+                if !fold.ct_eq(self.root) {
+                    // A model-wide fold cannot localize; report layer 0.
+                    return Err(self.violation(0, None, 0));
+                }
+                Ok(plains)
+            }
+            _ => (0..self.lens.len()).map(|l| self.read_layer(l)).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tamper API: direct access to the untrusted off-chip state.
+    // ------------------------------------------------------------------
+
+    /// Flips bit `bit` of ciphertext byte `offset`.
+    pub fn flip_ciphertext_bit(&mut self, offset: usize, bit: u8) {
+        let at = offset % self.bytes.len();
+        self.bytes[at] ^= 1 << (bit % 8);
+    }
+
+    /// Flips one bit of a stored MAC: the block MAC at `(layer, blk)` for
+    /// block-level configurations, the layer MAC at `layer` for
+    /// layer-level ones. Returns `false` when the configuration stores no
+    /// MAC off-chip (model level) — the fault is then not applicable.
+    pub fn corrupt_stored_mac(&mut self, layer: usize, blk: usize, bit: u8) -> bool {
+        let mask = 1u64 << (bit % 64);
+        match self.config.level {
+            MacLevel::Block => {
+                let tags = &mut self.block_macs[layer];
+                let at = blk % tags.len();
+                tags[at].0 ^= mask;
+                true
+            }
+            MacLevel::Layer => {
+                self.layer_macs[layer].0 ^= mask;
+                true
+            }
+            MacLevel::Model => false,
+        }
+    }
+
+    /// Swaps the ciphertext of two optBlks — the block-splicing move. For
+    /// block-level configurations the stored MACs travel with their
+    /// blocks, modeling an adversary who relocates `(ciphertext, MAC)`
+    /// pairs consistently.
+    pub fn swap_blocks(&mut self, layer_a: usize, blk_a: usize, layer_b: usize, blk_b: usize) {
+        let pa = (self.pas[layer_a] as usize) + blk_a * BLOCK;
+        let pb = (self.pas[layer_b] as usize) + blk_b * BLOCK;
+        for i in 0..BLOCK {
+            self.bytes.swap(pa + i, pb + i);
+        }
+        if self.config.level == MacLevel::Block {
+            let tag_a = self.block_macs[layer_a][blk_a];
+            let tag_b = self.block_macs[layer_b][blk_b];
+            self.block_macs[layer_a][blk_a] = tag_b;
+            self.block_macs[layer_b][blk_b] = tag_a;
+        }
+    }
+
+    /// Perturbs the VN the reader will use for `layer` — off-chip counter
+    /// corruption (or a targeted fault against the VN table).
+    pub fn tamper_vn(&mut self, layer: usize, delta: u64) {
+        self.vns[layer] = self.vns[layer].wrapping_add(delta);
+    }
+
+    /// Zeroes the ciphertext of `layer` from byte `from` to the end of the
+    /// region — truncation of the backing store.
+    pub fn zero_tail(&mut self, layer: usize, from: usize) {
+        let from = from.min(self.lens[layer].saturating_sub(1));
+        let start = self.pas[layer] as usize + from;
+        let end = self.pas[layer] as usize + self.lens[layer];
+        self.bytes[start..end].fill(0);
+    }
+
+    /// Captures the adversary-controlled state for a later replay.
+    pub fn snapshot_offchip(&self) -> OffChipSnapshot {
+        OffChipSnapshot {
+            bytes: self.bytes.clone(),
+            block_macs: self.block_macs.clone(),
+            layer_macs: self.layer_macs.clone(),
+        }
+    }
+
+    /// Restores a previously captured off-chip snapshot — the replay
+    /// attack. On-chip state (VN table, root) keeps its current values.
+    pub fn restore_offchip(&mut self, snap: &OffChipSnapshot) {
+        self.bytes.clone_from(&snap.bytes);
+        self.block_macs.clone_from(&snap.block_macs);
+        self.layer_macs.clone_from(&snap.layer_macs);
+    }
+
+    /// The ciphertext of one 16 B segment — the observable SECA compares
+    /// across segments to find single-element collisions.
+    pub fn segment_ciphertext(&self, layer: usize, blk: usize, segment: usize) -> [u8; SEGMENT] {
+        let at = self.pas[layer] as usize + blk * BLOCK + segment * SEGMENT;
+        let mut out = [0u8; SEGMENT];
+        out.copy_from_slice(&self.bytes[at..at + SEGMENT]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(name: &str) -> ProtectedImage {
+        let config = ProtectConfig::by_name(name).expect("known config");
+        ProtectedImage::new(config, &[256, 128], [3; 16], [4; 16]).expect("valid geometry")
+    }
+
+    fn data(len: usize, salt: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31) ^ salt)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_configs() {
+        for config in ProtectConfig::matrix() {
+            let mut img =
+                ProtectedImage::new(config, &[256, 128], [3; 16], [4; 16]).expect("valid");
+            let a = data(256, 0x11);
+            let b = data(128, 0x22);
+            img.write_layer(0, &a).expect("write");
+            img.write_layer(1, &b).expect("write");
+            let plains = img.read_model().expect("honest image verifies");
+            assert_eq!(plains, vec![a, b], "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_not_plaintext() {
+        let mut img = image("layer-mac");
+        let a = data(256, 0x5a);
+        img.write_layer(0, &a).expect("write");
+        let ct: Vec<u8> = (0..256)
+            .map(|i| img.segment_ciphertext(0, i / 64, (i / 16) % 4)[i % 16])
+            .collect();
+        assert_ne!(ct, a);
+    }
+
+    #[test]
+    fn update_bumps_vn_and_still_verifies() {
+        let mut img = image("optblk-mac");
+        img.write_layer(0, &data(256, 1)).expect("write");
+        img.write_layer(1, &data(128, 2)).expect("write");
+        let newer = data(256, 9);
+        img.update_layer(0, &newer).expect("update");
+        let plains = img.read_model().expect("updated image verifies");
+        assert_eq!(plains[0], newer);
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        let config = ProtectConfig::by_name("layer-mac").expect("known");
+        assert!(matches!(
+            ProtectedImage::new(config, &[], [0; 16], [0; 16]),
+            Err(SedaError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            ProtectedImage::new(config, &[100], [0; 16], [0; 16]),
+            Err(SedaError::InvalidSpec { .. })
+        ));
+        let mut img = image("layer-mac");
+        assert!(matches!(
+            img.write_layer(5, &[0; 256]),
+            Err(SedaError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            img.write_layer(0, &[0; 64]),
+            Err(SedaError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_with_block_context() {
+        let mut img = image("optblk-mac");
+        img.write_layer(0, &data(256, 3)).expect("write");
+        img.write_layer(1, &data(128, 4)).expect("write");
+        img.flip_ciphertext_bit(70, 2); // layer 0, block 1
+        let err = img.read_model().expect_err("tamper detected");
+        let v = err.integrity().expect("integrity violation");
+        assert_eq!(v.layer, 0);
+        assert_eq!(v.block, Some(1));
+        assert_eq!(v.pa, 64);
+    }
+}

@@ -45,6 +45,9 @@ pub fn seca_attack(ciphertext: &[u8], most_value_p: [u8; SEGMENT]) -> Vec<u8> {
     for seg in ciphertext.chunks(SEGMENT) {
         *freq.entry(seg).or_insert(0) += 1;
     }
+    // Infallible: the assert above rejects empty ciphertext, so at least
+    // one segment reached the frequency map.
+    #[allow(clippy::expect_used)]
     let most_value_c = freq
         .into_iter()
         .max_by_key(|&(seg, count)| (count, seg.to_vec()))

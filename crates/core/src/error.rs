@@ -1,0 +1,150 @@
+//! The workspace-wide error hierarchy.
+//!
+//! Every fallible path of the secure-inference stack surfaces a
+//! [`SedaError`]: integrity violations from the functional memory, tag
+//! mismatches from the crypto layer, configuration errors from the
+//! protection layer, malformed run specifications, and — for the sweep
+//! engine's fault isolation — a captured panic from a poisoned point.
+//! The contract the adversary suite enforces: **no injected fault ever
+//! panics the stack; it degrades into one of these variants.**
+
+use crate::functional::IntegrityViolation;
+use seda_crypto::mac::TagMismatch;
+use seda_protect::ProtectError;
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error for the SeDA secure-inference stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SedaError {
+    /// Off-chip data failed integrity verification.
+    Integrity(IntegrityViolation),
+    /// A raw MAC tag comparison failed outside a localized region check.
+    Tag(TagMismatch),
+    /// The protection layer rejected a configuration or was misused.
+    Protect(ProtectError),
+    /// An access fell outside the protected memory image.
+    OutOfBounds {
+        /// Physical address of the offending access.
+        pa: u64,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Size of the memory image in bytes.
+        size: usize,
+    },
+    /// A run or sweep specification was malformed.
+    InvalidSpec {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A sweep point panicked; the panic was contained to that point.
+    PointPanicked {
+        /// `npu/model/scheme` label of the poisoned point.
+        point: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for SedaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SedaError::Integrity(v) => write!(f, "{v}"),
+            SedaError::Tag(t) => write!(f, "{t}"),
+            SedaError::Protect(p) => write!(f, "{p}"),
+            SedaError::OutOfBounds { pa, len, size } => write!(
+                f,
+                "access of {len} bytes at PA {pa:#x} escapes the {size}-byte protected image"
+            ),
+            SedaError::InvalidSpec { reason } => write!(f, "invalid specification: {reason}"),
+            SedaError::PointPanicked { point, message } => {
+                write!(f, "sweep point {point} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SedaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SedaError::Integrity(v) => Some(v),
+            SedaError::Tag(t) => Some(t),
+            SedaError::Protect(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl From<IntegrityViolation> for SedaError {
+    fn from(v: IntegrityViolation) -> Self {
+        SedaError::Integrity(v)
+    }
+}
+
+impl From<TagMismatch> for SedaError {
+    fn from(t: TagMismatch) -> Self {
+        SedaError::Tag(t)
+    }
+}
+
+impl From<ProtectError> for SedaError {
+    fn from(p: ProtectError) -> Self {
+        SedaError::Protect(p)
+    }
+}
+
+impl SedaError {
+    /// The integrity violation inside, if that is what this error is —
+    /// the common case callers match on after a tampered read.
+    pub fn integrity(&self) -> Option<&IntegrityViolation> {
+        match self {
+            SedaError::Integrity(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_scalesim::TensorKind;
+
+    #[test]
+    fn display_and_source_chain() {
+        let v = IntegrityViolation {
+            layer: 3,
+            tensor: TensorKind::Filter,
+            block: Some(7),
+            pa: 0x1c0,
+        };
+        let e: SedaError = v.clone().into();
+        let msg = e.to_string();
+        assert!(msg.contains("layer 3"), "{msg}");
+        assert!(msg.contains("block 7"), "{msg}");
+        assert!(msg.contains("0x1c0"), "{msg}");
+        assert!(e.source().is_some(), "integrity errors chain their source");
+        assert_eq!(e.integrity(), Some(&v));
+    }
+
+    #[test]
+    fn conversions_preserve_variants() {
+        let t = seda_crypto::mac::TagMismatch {
+            expected: seda_crypto::MacTag(1),
+            actual: seda_crypto::MacTag(2),
+        };
+        assert!(matches!(SedaError::from(t), SedaError::Tag(_)));
+        let p = seda_protect::ProtectError::NoInferenceBegun;
+        assert!(matches!(SedaError::from(p), SedaError::Protect(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_display_names_the_access() {
+        let e = SedaError::OutOfBounds {
+            pa: 0x40,
+            len: 128,
+            size: 96,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x40") && msg.contains("128") && msg.contains("96"));
+    }
+}

@@ -10,9 +10,10 @@
 //! bit-identical outputs to unprotected inference, and any off-chip
 //! tampering is detected before results are consumed.**
 
+use crate::error::SedaError;
 use crate::sealing::synthetic_weights;
 use seda_crypto::ctr::CounterSeed;
-use seda_crypto::mac::{BlockPosition, PositionBoundMac, XorAccumulator};
+use seda_crypto::mac::{BlockPosition, MacTag, PositionBoundMac, XorAccumulator};
 use seda_crypto::otp::{BandwidthAwareOtp, OtpStrategy};
 use seda_models::{Layer, LayerKind, Model};
 use seda_protect::OnChipVn;
@@ -31,15 +32,26 @@ pub struct IntegrityViolation {
     pub layer: u32,
     /// Tensor kind that failed.
     pub tensor: TensorKind,
+    /// Index of the failing block within the region, when the check is
+    /// block-granular; `None` for aggregate (layer-fold) checks, which
+    /// cannot localize below the region.
+    pub block: Option<u32>,
+    /// Base physical address of the failing block (or region, for
+    /// aggregate checks).
+    pub pa: u64,
 }
 
 impl core::fmt::Display for IntegrityViolation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "integrity violation in layer {} ({:?})",
-            self.layer, self.tensor
-        )
+            "integrity violation in layer {} ({:?}) at PA {:#x}",
+            self.layer, self.tensor, self.pa
+        )?;
+        match self.block {
+            Some(b) => write!(f, ", block {b}"),
+            None => write!(f, " (aggregate layer check)"),
+        }
     }
 }
 
@@ -72,8 +84,27 @@ impl SecureMemory {
         &mut self.bytes
     }
 
+    /// Bounds check shared by reads and writes: the whole `[pa, pa + len)`
+    /// span must lie inside the image. A truncated or relocated request
+    /// surfaces as a typed error, never a slice panic.
+    fn check_bounds(&self, pa: u64, len: usize) -> Result<(), SedaError> {
+        let end = (pa as usize).checked_add(len);
+        if pa as usize > self.bytes.len() || end.is_none_or(|e| e > self.bytes.len()) {
+            return Err(SedaError::OutOfBounds {
+                pa,
+                len,
+                size: self.bytes.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Encrypts `data` to `pa` under `vn`, returning the region's folded
     /// MAC (which the caller keeps on-chip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::OutOfBounds`] if the region escapes the image.
     pub fn write_region(
         &mut self,
         pa: u64,
@@ -81,7 +112,8 @@ impl SecureMemory {
         layer: u32,
         tensor: TensorKind,
         data: &[u8],
-    ) -> u64 {
+    ) -> Result<u64, SedaError> {
+        self.check_bounds(pa, data.len())?;
         let mut fold = XorAccumulator::new();
         for (i, chunk) in data.chunks(BLOCK).enumerate() {
             let block_pa = pa + (i * BLOCK) as u64;
@@ -97,15 +129,17 @@ impl SecureMemory {
             let at = block_pa as usize;
             self.bytes[at..at + buf.len()].copy_from_slice(&buf);
         }
-        fold.value().0
+        Ok(fold.value().0)
     }
 
     /// Decrypts `len` bytes from `pa`, verifying the folded MAC against
-    /// the caller's on-chip `expected` value.
+    /// the caller's on-chip `expected` value (constant-time comparison).
     ///
     /// # Errors
     ///
-    /// Returns [`IntegrityViolation`] if the recomputed layer MAC differs.
+    /// Returns [`SedaError::Integrity`] if the recomputed layer MAC
+    /// differs, or [`SedaError::OutOfBounds`] if the region escapes the
+    /// image.
     pub fn read_region(
         &self,
         pa: u64,
@@ -114,7 +148,8 @@ impl SecureMemory {
         tensor: TensorKind,
         len: usize,
         expected: u64,
-    ) -> Result<Vec<u8>, IntegrityViolation> {
+    ) -> Result<Vec<u8>, SedaError> {
+        self.check_bounds(pa, len)?;
         let mut fold = XorAccumulator::new();
         let mut out = Vec::with_capacity(len);
         let mut i = 0usize;
@@ -134,10 +169,15 @@ impl SecureMemory {
             out.extend_from_slice(&buf);
             i += 1;
         }
-        if fold.value().0 == expected {
+        if fold.value().ct_eq(MacTag(expected)) {
             Ok(out)
         } else {
-            Err(IntegrityViolation { layer, tensor })
+            Err(SedaError::Integrity(IntegrityViolation {
+                layer,
+                tensor,
+                block: None,
+                pa,
+            }))
         }
     }
 }
@@ -266,13 +306,14 @@ pub fn run_reference(model: &Model, input: &[u8]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`IntegrityViolation`] if any read fails verification (e.g.
-/// after `tamper` flips ciphertext bits via [`SecureMemory::raw_mut`]).
+/// Returns [`SedaError::Integrity`] if any read fails verification (e.g.
+/// after `tamper` flips ciphertext bits via [`SecureMemory::raw_mut`]),
+/// or [`SedaError::OutOfBounds`] if a tensor escapes the image.
 pub fn run_protected(
     model: &Model,
     input: &[u8],
     tamper: impl FnOnce(&mut SecureMemory),
-) -> Result<Vec<u8>, IntegrityViolation> {
+) -> Result<Vec<u8>, SedaError> {
     let map = AddressMap::new(model);
     let mut mem = SecureMemory::new(map.total_bytes() as usize, [0x2b; 16], [0x7e; 16]);
     let mut vn_gen = OnChipVn::new(model.layers().len() as u32, 1);
@@ -288,10 +329,10 @@ pub fn run_protected(
             idx as u32,
             TensorKind::Filter,
             &weights,
-        ));
+        )?);
     }
     let input_vn = epoch * model.layers().len() as u64;
-    let mut act_mac = mem.write_region(map.ifmap(0), input_vn, 0, TensorKind::Ifmap, input);
+    let mut act_mac = mem.write_region(map.ifmap(0), input_vn, 0, TensorKind::Ifmap, input)?;
     let mut act_len = input.len();
 
     tamper(&mut mem);
@@ -328,7 +369,7 @@ pub fn run_protected(
             idx_u,
             TensorKind::Ofmap,
             &ofmap,
-        );
+        )?;
         act_len = ofmap.len();
     }
 
@@ -369,7 +410,8 @@ mod tests {
         let map = AddressMap::new(&model);
         let mut mem = SecureMemory::new(map.total_bytes() as usize, [1; 16], [2; 16]);
         let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
-        mem.write_region(0, 0, 0, TensorKind::Ifmap, &data);
+        mem.write_region(0, 0, 0, TensorKind::Ifmap, &data)
+            .expect("region fits");
         assert_ne!(
             &mem.raw_mut()[..256],
             &data[..],
@@ -386,8 +428,10 @@ mod tests {
             mem.raw_mut()[weight_addr + 5] ^= 0x01;
         })
         .expect_err("flipped weight bit must be caught");
-        assert_eq!(err.layer, 1);
-        assert_eq!(err.tensor, TensorKind::Filter);
+        let v = err.integrity().expect("tamper surfaces as Integrity");
+        assert_eq!(v.layer, 1);
+        assert_eq!(v.tensor, TensorKind::Filter);
+        assert_eq!(v.pa, map.weights(1));
     }
 
     #[test]
@@ -399,7 +443,8 @@ mod tests {
             mem.raw_mut()[addr] ^= 0x80;
         })
         .expect_err("tampered input must be caught");
-        assert_eq!(err.tensor, TensorKind::Ifmap);
+        let v = err.integrity().expect("tamper surfaces as Integrity");
+        assert_eq!(v.tensor, TensorKind::Ifmap);
     }
 
     #[test]
@@ -439,15 +484,31 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bounds_access_is_a_typed_error() {
+        let mut mem = SecureMemory::new(128, [1; 16], [2; 16]);
+        let err = mem
+            .write_region(96, 0, 0, TensorKind::Ifmap, &[0u8; 64])
+            .expect_err("write past the image end");
+        assert!(matches!(err, SedaError::OutOfBounds { size: 128, .. }));
+        let err = mem
+            .read_region(u64::MAX - 8, 0, 0, TensorKind::Ifmap, 64, 0)
+            .expect_err("overflowing PA must not wrap");
+        assert!(matches!(err, SedaError::OutOfBounds { .. }));
+    }
+
+    #[test]
     fn replayed_stale_activations_are_rejected() {
         // Write twice to the same buffer with bumped VN, then restore the
         // old ciphertext: the reader (holding the new VN and MAC) rejects.
         let mut mem = SecureMemory::new(4096, [7; 16], [8; 16]);
         let old: Vec<u8> = vec![1; 256];
         let new: Vec<u8> = vec![2; 256];
-        mem.write_region(0, 10, 0, TensorKind::Ofmap, &old);
+        mem.write_region(0, 10, 0, TensorKind::Ofmap, &old)
+            .expect("region fits");
         let stale: Vec<u8> = mem.raw_mut()[..256].to_vec();
-        let new_mac = mem.write_region(0, 11, 0, TensorKind::Ofmap, &new);
+        let new_mac = mem
+            .write_region(0, 11, 0, TensorKind::Ofmap, &new)
+            .expect("region fits");
         mem.raw_mut()[..256].copy_from_slice(&stale); // replay!
         let err = mem.read_region(0, 11, 0, TensorKind::Ofmap, 256, new_mac);
         assert!(err.is_err(), "replayed ciphertext must fail verification");

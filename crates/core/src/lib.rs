@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod error;
 pub mod experiment;
 pub mod functional;
 pub mod optblk;
@@ -48,13 +49,14 @@ pub mod report;
 pub mod sealing;
 pub mod sweep;
 
+pub use error::SedaError;
 pub use experiment::{
     evaluate, evaluate_paper_suite, evaluate_suites, evaluate_with_stats, Evaluation,
 };
-pub use functional::{run_protected, run_reference, SecureMemory};
+pub use functional::{run_protected, run_reference, IntegrityViolation, SecureMemory};
 pub use pipeline::{
     run_model, run_model_repeated, run_model_repeated_with_verifier, run_model_with_verifier,
-    run_spec, run_trace, RunResult, RunSpec,
+    run_spec, run_trace, try_run_trace, RunResult, RunSpec,
 };
 pub use sealing::{seal_model, unseal_layer, verify_model, SealedModel, SealingKeys};
 pub use sweep::{Sweep, SweepResults, SweepStats};

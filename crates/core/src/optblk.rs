@@ -60,11 +60,16 @@ pub struct OptBlkChoice {
 impl OptBlkChoice {
     /// Cost of the winning candidate.
     pub fn best_cost(&self) -> u64 {
-        self.candidates
+        // Infallible: `search_layer` picks `granularity` out of
+        // `candidates`, so the winner is always present.
+        #[allow(clippy::expect_used)]
+        let cost = self
+            .candidates
             .iter()
             .find(|c| c.granularity == self.granularity)
             .map(GranularityCost::total)
-            .expect("winner is among candidates")
+            .expect("winner is among candidates");
+        cost
     }
 }
 
@@ -124,6 +129,8 @@ pub fn search_layer(cfg: &NpuConfig, layer: &Layer) -> OptBlkChoice {
         .iter()
         .map(|&g| score(&geometry, &plan, g))
         .collect();
+    // Infallible: `candidates` maps over the non-empty `CANDIDATES` const.
+    #[allow(clippy::expect_used)]
     let granularity = candidates
         .iter()
         .min_by_key(|c| (c.total(), c.granularity))

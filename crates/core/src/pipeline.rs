@@ -16,6 +16,7 @@
 //!
 //! [`Sweep`]: crate::sweep::Sweep
 
+use crate::error::SedaError;
 use seda_dram::{DramConfig, DramSim, DramStats};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme, TrafficBreakdown};
@@ -148,7 +149,34 @@ pub fn run_trace(
     verifier: Option<&HashEngine>,
     repeats: u32,
 ) -> Vec<RunResult> {
+    // Invariant: the only failure mode of the kernel is `repeats == 0`,
+    // asserted here so existing callers keep their panic contract.
     assert!(repeats > 0, "need at least one inference");
+    #[allow(clippy::expect_used)]
+    let results = try_run_trace(sim, npu, scheme, verifier, repeats).expect("repeats > 0");
+    results
+}
+
+/// Fallible form of [`run_trace`]: a malformed spec surfaces as
+/// [`SedaError::InvalidSpec`] instead of a panic. The sweep engine and the
+/// adversary harness use this form so that a bad point degrades into a
+/// captured error rather than tearing down the whole evaluation.
+///
+/// # Errors
+///
+/// Returns [`SedaError::InvalidSpec`] when `repeats == 0`.
+pub fn try_run_trace(
+    sim: &ModelSim,
+    npu: &NpuConfig,
+    scheme: &mut dyn ProtectionScheme,
+    verifier: Option<&HashEngine>,
+    repeats: u32,
+) -> Result<Vec<RunResult>, SedaError> {
+    if repeats == 0 {
+        return Err(SedaError::InvalidSpec {
+            reason: "need at least one inference (repeats == 0)".to_owned(),
+        });
+    }
     let dram_cfg = DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth);
     let mem_clock = dram_cfg.clock_hz;
     let mut dram = DramSim::new(dram_cfg);
@@ -201,12 +229,15 @@ pub fn run_trace(
         dram.access(r);
     });
     let drain = dram.elapsed_cycles() - start;
+    // Invariant: `repeats > 0` was checked at entry, so at least one
+    // result exists.
+    #[allow(clippy::expect_used)]
     let last = results.last_mut().expect("repeats > 0");
     last.total_cycles += (drain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
     last.traffic = scheme.breakdown();
     last.dram = *dram.stats();
 
-    results
+    Ok(results)
 }
 
 /// Runs `model` on `npu` under `scheme` and reports traffic and runtime.
@@ -238,9 +269,13 @@ pub fn run_model_with_verifier(
 ) -> RunResult {
     let mut spec = RunSpec::new(npu, model);
     spec.verifier = verifier.copied();
-    run_spec(&spec, scheme)
+    // Invariant: the kernel returns exactly `repeats` results and the
+    // spec above fixes `repeats = 1`.
+    #[allow(clippy::expect_used)]
+    let result = run_spec(&spec, scheme)
         .pop()
-        .expect("kernel returns one result per inference")
+        .expect("kernel returns one result per inference");
+    result
 }
 
 /// Runs `n` back-to-back inferences without resetting the scheme's
@@ -338,6 +373,17 @@ mod tests {
         assert_eq!(r.clock_hz, npu.clock_hz);
         let expect = r.total_cycles as f64 / npu.clock_hz;
         assert!((r.seconds() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_repeats_is_a_typed_error() {
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let sim = simulate_model(&npu, &m);
+        let err = try_run_trace(&sim, &npu, &mut Unprotected::new(), None, 0)
+            .expect_err("zero repeats is malformed");
+        assert!(matches!(err, SedaError::InvalidSpec { .. }));
+        assert!(err.to_string().contains("repeats"));
     }
 
     #[test]

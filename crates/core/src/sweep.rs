@@ -35,10 +35,12 @@
 //! assert!(seda.traffic.total() >= base.traffic.total());
 //! ```
 
-use crate::pipeline::{run_trace, RunResult};
+use crate::error::SedaError;
+use crate::pipeline::{try_run_trace, RunResult};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme};
 use seda_scalesim::{NpuConfig, TraceCache};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -60,13 +62,20 @@ pub struct SweepStats {
 }
 
 /// Results of a [`Sweep`] in deterministic cross-product order.
+///
+/// Each point carries either its per-inference runs or the [`SedaError`]
+/// that poisoned it — a failing point (even one that *panicked* inside a
+/// scheme) never takes down the other points. The panicking accessors
+/// ([`at`](Self::at), [`runs_at`](Self::runs_at)) keep the ergonomic
+/// all-green contract; fault-tolerant callers use
+/// [`outcome`](Self::outcome) and [`failures`](Self::failures).
 pub struct SweepResults {
     npus: Vec<String>,
     models: Vec<String>,
     schemes: Vec<String>,
-    /// One entry per point (npu-major → model → scheme); each entry holds
-    /// one [`RunResult`] per inference.
-    points: Vec<Vec<RunResult>>,
+    /// One entry per point (npu-major → model → scheme); each successful
+    /// entry holds one [`RunResult`] per inference.
+    points: Vec<Result<Vec<RunResult>, SedaError>>,
     /// Trace-cache activity during this execution only.
     pub stats: SweepStats,
 }
@@ -92,27 +101,84 @@ impl SweepResults {
 
     /// The completed run (including the final metadata drain) at a point.
     /// With `repeats = 1` — the default — this is the point's only run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point failed; see [`outcome`](Self::outcome) for the
+    /// fault-tolerant form.
     pub fn at(&self, npu: usize, model: usize, scheme: usize) -> &RunResult {
-        self.runs_at(npu, model, scheme)
+        // Invariant: the kernel returns one result per inference and
+        // `repeats >= 1`, so a successful point is never empty.
+        #[allow(clippy::expect_used)]
+        let last = self
+            .runs_at(npu, model, scheme)
             .last()
-            .expect("every point has at least one inference")
+            .expect("every point has at least one inference");
+        last
     }
 
     /// All per-inference runs at a point, in inference order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point failed; see [`outcome`](Self::outcome) for the
+    /// fault-tolerant form.
     pub fn runs_at(&self, npu: usize, model: usize, scheme: usize) -> &[RunResult] {
-        &self.points[self.index(npu, model, scheme)]
+        match &self.points[self.index(npu, model, scheme)] {
+            Ok(runs) => runs,
+            Err(e) => panic!("sweep point failed: {e}"),
+        }
+    }
+
+    /// The outcome of one point: its runs, or the error that poisoned it.
+    pub fn outcome(
+        &self,
+        npu: usize,
+        model: usize,
+        scheme: usize,
+    ) -> Result<&[RunResult], &SedaError> {
+        match &self.points[self.index(npu, model, scheme)] {
+            Ok(runs) => Ok(runs),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Labels and errors of every failed point, in deterministic order.
+    /// Empty for an all-green sweep.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &str, &str, &SedaError)> {
+        self.points.iter().enumerate().filter_map(move |(i, p)| {
+            let s = self.schemes.len();
+            let m = self.models.len();
+            p.as_ref().err().map(|e| {
+                (
+                    self.npus[i / (s * m)].as_str(),
+                    self.models[(i / s) % m].as_str(),
+                    self.schemes[i % s].as_str(),
+                    e,
+                )
+            })
+        })
     }
 
     /// Iterates all points in deterministic order with their labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when reaching a failed point; fault-tolerant callers should
+    /// use [`failures`](Self::failures) plus [`outcome`](Self::outcome).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &str, &[RunResult])> {
-        self.points.iter().enumerate().map(move |(i, runs)| {
+        self.points.iter().enumerate().map(move |(i, point)| {
             let s = self.schemes.len();
             let m = self.models.len();
+            let runs = match point {
+                Ok(runs) => runs.as_slice(),
+                Err(e) => panic!("sweep point failed: {e}"),
+            };
             (
                 self.npus[i / (s * m)].as_str(),
                 self.models[(i / s) % m].as_str(),
                 self.schemes[i % s].as_str(),
-                runs.as_slice(),
+                runs,
             )
         })
     }
@@ -255,20 +321,44 @@ impl Sweep {
         self.npus.len() * self.models.len() * self.schemes.len()
     }
 
-    fn run_point(&self, idx: usize, cache: &TraceCache) -> Vec<RunResult> {
+    fn run_point(&self, idx: usize, cache: &TraceCache) -> Result<Vec<RunResult>, SedaError> {
         let s = self.schemes.len();
         let m = self.models.len();
         let npu = &self.npus[idx / (s * m)];
         let model = &self.models[(idx / s) % m];
-        let sim = cache.get_or_simulate(npu, model);
-        let mut scheme = (self.schemes[idx % s].build)();
-        run_trace(
-            &sim,
-            npu,
-            scheme.as_mut(),
-            self.verifier.as_ref(),
-            self.repeats,
-        )
+        // Fault isolation: a panic anywhere inside one point — a buggy
+        // scheme factory, a scheme transform, the kernel itself — is
+        // contained to that point and surfaces as a typed error; every
+        // other point still completes. The closure only touches the
+        // immutable trace cache and per-point scheme state, so resuming
+        // after an unwind cannot observe a broken invariant.
+        catch_unwind(AssertUnwindSafe(|| {
+            let sim = cache.get_or_simulate(npu, model);
+            let mut scheme = (self.schemes[idx % s].build)();
+            try_run_trace(
+                &sim,
+                npu,
+                scheme.as_mut(),
+                self.verifier.as_ref(),
+                self.repeats,
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(SedaError::PointPanicked {
+                point: format!(
+                    "{}/{}/{}",
+                    npu.name,
+                    model.name(),
+                    self.schemes[idx % s].label
+                ),
+                message,
+            })
+        })
     }
 
     /// Executes the sweep with a private trace cache.
@@ -291,7 +381,7 @@ impl Sweep {
             })
             .min(total.max(1));
 
-        let mut slots: Vec<Option<Vec<RunResult>>> = Vec::new();
+        let mut slots: Vec<Option<Result<Vec<RunResult>, SedaError>>> = Vec::new();
         slots.resize_with(total, || None);
 
         if threads <= 1 {
@@ -309,7 +399,12 @@ impl Sweep {
                             break;
                         }
                         let runs = self.run_point(idx, cache);
-                        out.lock().expect("sweep results poisoned")[idx] = Some(runs);
+                        // Invariant: workers never panic while holding the
+                        // lock (run_point catches unwinds), so the mutex
+                        // cannot be poisoned.
+                        #[allow(clippy::expect_used)]
+                        let mut guard = out.lock().expect("sweep results poisoned");
+                        guard[idx] = Some(runs);
                     });
                 }
             });
@@ -319,10 +414,16 @@ impl Sweep {
             npus: self.npus.iter().map(|n| n.name.clone()).collect(),
             models: self.models.iter().map(|m| m.name().to_owned()).collect(),
             schemes: self.schemes.iter().map(|s| s.label.clone()).collect(),
-            points: slots
-                .into_iter()
-                .map(|s| s.expect("every point executed"))
-                .collect(),
+            points: {
+                // Invariant: the work loop above assigns every index in
+                // `0..total` exactly once before the scope joins.
+                #[allow(clippy::expect_used)]
+                let points = slots
+                    .into_iter()
+                    .map(|s| s.expect("every point executed"))
+                    .collect();
+                points
+            },
             stats: SweepStats {
                 trace_hits: cache.hits() - hits0,
                 trace_misses: cache.misses() - misses0,
@@ -408,5 +509,41 @@ mod tests {
     #[should_panic(expected = "unknown protection scheme")]
     fn unknown_scheme_names_fail_eagerly() {
         let _ = Sweep::new().scheme("definitely-not-a-scheme");
+    }
+
+    #[test]
+    fn poisoned_point_does_not_take_down_the_sweep() {
+        use crate::error::SedaError;
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .models([zoo::lenet(), zoo::dlrm()])
+            .scheme("baseline")
+            .scheme_with("poison", || panic!("injected factory failure"))
+            .run();
+        assert_eq!(results.shape(), (1, 2, 2));
+        for mi in 0..2 {
+            let healthy = results.outcome(0, mi, 0).expect("baseline still runs");
+            assert!(!healthy.is_empty());
+            let err = results.outcome(0, mi, 1).expect_err("poisoned point fails");
+            assert!(matches!(err, SedaError::PointPanicked { .. }));
+            assert!(
+                err.to_string().contains("injected factory failure"),
+                "panic payload must be captured: {err}"
+            );
+        }
+        let fails: Vec<_> = results.failures().collect();
+        assert_eq!(fails.len(), 2, "exactly the poisoned scheme's points");
+        assert!(fails.iter().all(|(_, _, scheme, _)| *scheme == "poison"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point failed")]
+    fn panicking_accessor_reports_poisoned_points() {
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme_with("poison", || panic!("injected factory failure"))
+            .run();
+        let _ = results.at(0, 0, 0);
     }
 }

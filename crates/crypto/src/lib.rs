@@ -53,6 +53,8 @@ pub mod sha256;
 pub use aes::Aes128;
 pub use ctr::{AesCtr, CounterSeed};
 pub use engine::{EngineKind, EngineTiming};
-pub use mac::{BlockPosition, MacTag, PositionBoundMac, PositionlessMac, XorAccumulator};
+pub use mac::{
+    BlockPosition, MacTag, PositionBoundMac, PositionlessMac, TagMismatch, XorAccumulator,
+};
 pub use otp::{BandwidthAwareOtp, OtpStrategy, SharedOtp, TraditionalOtp};
 pub use sha256::Sha256;

@@ -24,7 +24,71 @@ impl MacTag {
     pub fn xor(self, other: MacTag) -> MacTag {
         MacTag(self.0 ^ other.0)
     }
+
+    /// Constant-time equality: every byte of both tags is examined and
+    /// folded into the verdict, with no data-dependent early exit, so the
+    /// comparison's timing leaks nothing about *where* a forged tag first
+    /// diverges. All verify paths in the workspace go through this.
+    pub fn ct_eq(self, other: MacTag) -> bool {
+        ct_eq_bytes(&self.0.to_be_bytes(), &other.0.to_be_bytes())
+    }
+
+    /// Constant-time verification against an expected tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMismatch`] (carrying both tags) when they differ.
+    pub fn verify(self, expected: MacTag) -> Result<(), TagMismatch> {
+        if self.ct_eq(expected) {
+            Ok(())
+        } else {
+            Err(TagMismatch {
+                expected,
+                actual: self,
+            })
+        }
+    }
 }
+
+/// Accumulates the byte-wise difference of two equal-length slices: the OR
+/// of all byte XORs. Zero iff the slices are identical. Every byte pair
+/// contributes to the result regardless of earlier differences — the
+/// no-early-exit property [`MacTag::ct_eq`] relies on.
+pub fn ct_diff(a: &[u8], b: &[u8]) -> u8 {
+    debug_assert_eq!(a.len(), b.len(), "ct_diff compares equal lengths");
+    a.iter().zip(b.iter()).fold(0u8, |d, (x, y)| d | (x ^ y))
+}
+
+/// Constant-time slice equality (length mismatch is public information and
+/// returns `false` immediately; content comparison has no early exit).
+pub fn ct_eq_bytes(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && ct_diff(a, b) == 0
+}
+
+/// A failed tag verification: the expected and recomputed tags.
+///
+/// Tags are 64-bit truncations of keyed HMACs over data the verifier
+/// already holds, so carrying both values in the error is diagnostic
+/// context, not a secret leak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagMismatch {
+    /// The tag the verifier expected (stored / on-chip value).
+    pub expected: MacTag,
+    /// The tag recomputed from the (possibly tampered) data.
+    pub actual: MacTag,
+}
+
+impl core::fmt::Display for TagMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "MAC tag mismatch: expected {}, recomputed {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for TagMismatch {}
 
 impl core::fmt::Display for MacTag {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -55,6 +119,8 @@ impl BlockPosition {
 }
 
 fn truncate(digest: &[u8; 32]) -> MacTag {
+    // Invariant: an 8-byte slice of a 32-byte digest always converts.
+    #[allow(clippy::expect_used)]
     MacTag(u64::from_be_bytes(
         digest[..8].try_into().expect("8-byte prefix"),
     ))
@@ -187,9 +253,19 @@ impl XorAccumulator {
         self.blocks
     }
 
-    /// Verifies the aggregate against an expected value.
+    /// Verifies the aggregate against an expected value (constant-time).
     pub fn verify(&self, expected: MacTag) -> bool {
-        self.value == expected
+        self.value.ct_eq(expected)
+    }
+
+    /// Like [`verify`](Self::verify), but returns the typed
+    /// [`TagMismatch`] carrying both tags on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMismatch`] when the aggregate differs from `expected`.
+    pub fn check(&self, expected: MacTag) -> Result<(), TagMismatch> {
+        self.value.verify(expected)
     }
 }
 
@@ -239,6 +315,47 @@ mod tests {
         acc.add(other);
         acc.replace(old, new);
         assert_eq!(acc.value(), xor_fold([new, other]));
+    }
+
+    #[test]
+    fn ct_eq_touches_every_byte() {
+        // A difference confined to any single byte position must flip the
+        // verdict, and the accumulated difference must equal the OR-fold
+        // over *all* byte pairs — i.e. every byte contributes to the
+        // output, which an early-exit comparison cannot claim.
+        let base = MacTag(0x0123_4567_89ab_cdef);
+        for byte in 0..8 {
+            let flipped = MacTag(base.0 ^ (0x80u64 << (8 * byte)));
+            assert!(!base.ct_eq(flipped), "difference at byte {byte} missed");
+            assert!(base.ct_eq(base));
+        }
+        let a = 0xdead_beef_0bad_f00du64.to_be_bytes();
+        let b = 0x1234_5678_9abc_def0u64.to_be_bytes();
+        let expected_fold = a.iter().zip(b.iter()).fold(0u8, |d, (x, y)| d | (x ^ y));
+        assert_eq!(ct_diff(&a, &b), expected_fold);
+        assert_eq!(ct_diff(&a, &a), 0);
+    }
+
+    #[test]
+    fn ct_eq_bytes_handles_length_mismatch() {
+        assert!(!ct_eq_bytes(&[1, 2, 3], &[1, 2]));
+        assert!(ct_eq_bytes(&[1, 2, 3], &[1, 2, 3]));
+        assert!(ct_eq_bytes(&[], &[]));
+    }
+
+    #[test]
+    fn tag_verify_returns_typed_mismatch() {
+        let good = MacTag(7);
+        let bad = MacTag(9);
+        assert!(good.verify(good).is_ok());
+        let err = bad.verify(good).expect_err("mismatch");
+        assert_eq!(err.expected, good);
+        assert_eq!(err.actual, bad);
+        let msg = err.to_string();
+        assert!(msg.contains("0000000000000007"), "{msg}");
+        assert!(msg.contains("0000000000000009"), "{msg}");
+        // TagMismatch is a std error.
+        let _: &dyn std::error::Error = &err;
     }
 
     #[test]

@@ -171,6 +171,9 @@ impl BlockMacScheme {
             // Climb the tree until a cached (trusted) node or the root.
             let path = self.layout.tree_path(data_addr);
             for node in path {
+                // Invariant: the let-else at function entry returned unless
+                // `vn_cache` is Some; nothing clears it in between.
+                #[allow(clippy::expect_used)]
                 let cache = self.vn_cache.as_mut().expect("checked above");
                 let a = cache.access(node, false);
                 if let Some(wb) = a.writeback {

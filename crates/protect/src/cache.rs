@@ -100,6 +100,9 @@ impl MetaCache {
         self.misses += 1;
         let mut writeback = None;
         if set_ways.len() == ways {
+            // Invariant: this branch only runs when `set_ways.len() == ways`
+            // and `ways > 0`, so `min_by_key` always finds a victim.
+            #[allow(clippy::expect_used)]
             let victim = set_ways
                 .iter()
                 .enumerate()

@@ -1,0 +1,80 @@
+//! Typed errors for the protection layer.
+//!
+//! Construction and lookup paths that used to panic (`HashEngine::new`
+//! with a non-positive throughput, `OnChipVn` misuse, unknown scheme
+//! names) now have fallible counterparts returning [`ProtectError`], so a
+//! malformed configuration degrades into a typed error instead of taking
+//! the process down. The panicking wrappers remain for infallible call
+//! sites that validate their inputs up front.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from the protection layer: invalid configuration or misuse of
+/// the on-chip state machines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtectError {
+    /// A hash engine was configured with a non-positive throughput.
+    InvalidVerifier {
+        /// The rejected throughput, in bytes per cycle.
+        bytes_per_cycle: f64,
+    },
+    /// A version number was requested for a layer outside the model.
+    LayerOutOfRange {
+        /// The requested layer index.
+        layer: u32,
+        /// Number of layers the generator was built for.
+        layers: u32,
+    },
+    /// A version number was requested before any inference began.
+    NoInferenceBegun,
+    /// A scheme name not present in the registry.
+    UnknownScheme {
+        /// The unresolvable name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectError::InvalidVerifier { bytes_per_cycle } => {
+                write!(
+                    f,
+                    "hash engine throughput must be positive, got {bytes_per_cycle}"
+                )
+            }
+            ProtectError::LayerOutOfRange { layer, layers } => {
+                write!(f, "layer {layer} out of range (model has {layers} layers)")
+            }
+            ProtectError::NoInferenceBegun => {
+                write!(f, "no inference begun: call begin_inference first")
+            }
+            ProtectError::UnknownScheme { name } => {
+                write!(f, "unknown protection scheme {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for ProtectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = ProtectError::LayerOutOfRange {
+            layer: 9,
+            layers: 5,
+        };
+        assert!(e.to_string().contains("layer 9"));
+        assert!(e.to_string().contains("5 layers"));
+        let e = ProtectError::UnknownScheme {
+            name: "nope".to_owned(),
+        };
+        assert!(e.to_string().contains("nope"));
+        let _: &dyn Error = &e;
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod block_mac;
 pub mod cache;
+pub mod error;
 pub mod layout;
 pub mod scheme;
 pub mod securator;
@@ -35,6 +36,7 @@ pub mod vn;
 
 pub use block_mac::{BlockMacKind, BlockMacScheme};
 pub use cache::MetaCache;
+pub use error::ProtectError;
 pub use layout::MetaLayout;
 pub use scheme::{ProtectionScheme, SchemeInfo, TrafficBreakdown, Unprotected};
 pub use securator::SecuratorScheme;
@@ -88,6 +90,18 @@ pub fn scheme_by_name(name: &str) -> Option<Box<dyn ProtectionScheme>> {
     })
 }
 
+/// [`scheme_by_name`] with a typed error for unknown labels.
+///
+/// # Errors
+///
+/// Returns [`ProtectError::UnknownScheme`] when `name` is not in the
+/// registry.
+pub fn try_scheme_by_name(name: &str) -> Result<Box<dyn ProtectionScheme>, ProtectError> {
+    scheme_by_name(name).ok_or_else(|| ProtectError::UnknownScheme {
+        name: name.to_owned(),
+    })
+}
+
 #[cfg(test)]
 mod name_tests {
     use super::*;
@@ -100,5 +114,16 @@ mod name_tests {
         }
         assert!(scheme_by_name("Securator").is_some());
         assert!(scheme_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_scheme_is_a_typed_error() {
+        assert!(try_scheme_by_name("SeDA").is_ok());
+        assert_eq!(
+            try_scheme_by_name("nope").err(),
+            Some(ProtectError::UnknownScheme {
+                name: "nope".to_owned()
+            })
+        );
     }
 }

@@ -10,6 +10,7 @@
 //!   latency of the last optBlk plus one fold-and-compare;
 //! * the model MAC is checked once per inference.
 
+use crate::error::ProtectError;
 use serde::{Deserialize, Serialize};
 
 /// A pipelined hash engine.
@@ -39,12 +40,31 @@ impl HashEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `bytes_per_cycle` is not positive.
+    /// Panics if `bytes_per_cycle` is not positive; use
+    /// [`try_new`](Self::try_new) to handle that as a typed error.
     pub fn new(bytes_per_cycle: f64, latency_cycles: u64) -> Self {
         assert!(bytes_per_cycle > 0.0, "throughput must be positive");
         Self {
             bytes_per_cycle,
             latency_cycles,
+        }
+    }
+
+    /// Fallible constructor: rejects non-positive (or NaN) throughput with
+    /// a typed [`ProtectError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectError::InvalidVerifier`] if `bytes_per_cycle` is
+    /// not a positive finite number.
+    pub fn try_new(bytes_per_cycle: f64, latency_cycles: u64) -> Result<Self, ProtectError> {
+        if bytes_per_cycle > 0.0 && bytes_per_cycle.is_finite() {
+            Ok(Self {
+                bytes_per_cycle,
+                latency_cycles,
+            })
+        } else {
+            Err(ProtectError::InvalidVerifier { bytes_per_cycle })
         }
     }
 
@@ -118,5 +138,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_throughput_rejected() {
         let _ = HashEngine::new(0.0, 10);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        assert!(HashEngine::try_new(32.0, 80).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match HashEngine::try_new(bad, 80) {
+                Err(ProtectError::InvalidVerifier { bytes_per_cycle }) => {
+                    assert!(
+                        bytes_per_cycle <= 0.0
+                            || bytes_per_cycle.is_nan()
+                            || bytes_per_cycle.is_infinite()
+                    );
+                }
+                other => panic!("expected InvalidVerifier, got {other:?}"),
+            }
+        }
     }
 }

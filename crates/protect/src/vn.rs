@@ -14,6 +14,7 @@
 //! global count of writes to that buffer; weights use the model's
 //! provisioning version.
 
+use crate::error::ProtectError;
 use serde::{Deserialize, Serialize};
 
 /// On-chip version-number generator for one accelerator.
@@ -74,11 +75,33 @@ impl OnChipVn {
     ///
     /// # Panics
     ///
-    /// Panics if `layer` is out of range or no inference has begun.
+    /// Panics if `layer` is out of range or no inference has begun; use
+    /// [`try_activation_vn`](Self::try_activation_vn) to handle these as
+    /// typed errors.
     pub fn activation_vn(&self, layer: u32) -> u64 {
         assert!(layer < self.layers, "layer {layer} out of range");
         assert!(self.epoch > 0, "call begin_inference first");
         self.epoch * u64::from(self.layers) + u64::from(layer)
+    }
+
+    /// Fallible [`activation_vn`](Self::activation_vn): misuse becomes a
+    /// typed [`ProtectError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectError::LayerOutOfRange`] or
+    /// [`ProtectError::NoInferenceBegun`].
+    pub fn try_activation_vn(&self, layer: u32) -> Result<u64, ProtectError> {
+        if layer >= self.layers {
+            return Err(ProtectError::LayerOutOfRange {
+                layer,
+                layers: self.layers,
+            });
+        }
+        if self.epoch == 0 {
+            return Err(ProtectError::NoInferenceBegun);
+        }
+        Ok(self.epoch * u64::from(self.layers) + u64::from(layer))
     }
 
     /// The VN the *reader* of layer `layer`'s ifmap must use: the VN its
@@ -159,5 +182,23 @@ mod tests {
         let mut gen = OnChipVn::new(3, 0);
         gen.begin_inference();
         let _ = gen.activation_vn(3);
+    }
+
+    #[test]
+    fn try_activation_vn_returns_typed_errors() {
+        let mut gen = OnChipVn::new(3, 0);
+        assert_eq!(
+            gen.try_activation_vn(0),
+            Err(ProtectError::NoInferenceBegun)
+        );
+        gen.begin_inference();
+        assert_eq!(
+            gen.try_activation_vn(5),
+            Err(ProtectError::LayerOutOfRange {
+                layer: 5,
+                layers: 3
+            })
+        );
+        assert_eq!(gen.try_activation_vn(1), Ok(gen.activation_vn(1)));
     }
 }

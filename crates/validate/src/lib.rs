@@ -4,7 +4,7 @@
 //! analytical and a cycle-accurate compute model, a streamed and a
 //! per-segment B-AES pad path, scheme-level traffic models and the
 //! functional crypto path — and this crate cross-checks them with seeded
-//! randomized oracles instead of hand-picked shapes. Five families:
+//! randomized oracles instead of hand-picked shapes. Six families:
 //!
 //! * [`gemm`] — `exact_gemm` vs `gemm_cycles` and MAC totals over random
 //!   shapes for both dataflows, including fold/remainder edges.
@@ -22,6 +22,11 @@
 //!   or below peak) over randomized request streams.
 //! * [`pipeline`] — `run_trace` totals invariant under `TraceCache` reuse
 //!   and sweep parallelism.
+//! * [`adversary`] — random fault-injection cells from `seda-adversary`'s
+//!   detection matrix must match their paper-claimed verdicts without
+//!   panicking, and random byte flips against the functional
+//!   `run_protected` path must either abort with a typed integrity error
+//!   or finish bit-identical to the unprotected reference.
 //!
 //! Every family is a pure function of a `(seed, cases)` pair, so a CI
 //! failure reproduces locally with the seeded CLI:
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod dram;
 pub mod gemm;
 pub mod otp;
@@ -47,7 +53,7 @@ pub mod schemes;
 use rng::Rng;
 use std::fmt;
 
-/// The five oracle/invariant families of the harness.
+/// The six oracle/invariant families of the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Cycle-accurate vs analytical systolic-array model.
@@ -60,17 +66,20 @@ pub enum Family {
     Dram,
     /// Pipeline totals under trace caching and sweep parallelism.
     Pipeline,
+    /// Fault-injection verdicts vs the paper-claimed detection matrix.
+    Adversary,
 }
 
 impl Family {
     /// All families in canonical order.
-    pub fn all() -> [Family; 5] {
+    pub fn all() -> [Family; 6] {
         [
             Family::Gemm,
             Family::Otp,
             Family::Schemes,
             Family::Dram,
             Family::Pipeline,
+            Family::Adversary,
         ]
     }
 
@@ -82,10 +91,12 @@ impl Family {
             Family::Schemes => "schemes",
             Family::Dram => "dram",
             Family::Pipeline => "pipeline",
+            Family::Adversary => "adversary",
         }
     }
 
-    /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `pipeline`).
+    /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `pipeline`,
+    /// `adversary`).
     pub fn parse(s: &str) -> Option<Family> {
         Family::all().into_iter().find(|f| f.name() == s)
     }
@@ -99,6 +110,7 @@ impl Family {
             Family::Schemes => 32,
             Family::Dram => 12,
             Family::Pipeline => 4,
+            Family::Adversary => 16,
         }
     }
 }
@@ -196,6 +208,7 @@ fn checker(family: Family) -> fn(&mut Rng) -> Result<(), String> {
         Family::Schemes => schemes::check_case,
         Family::Dram => dram::check_case,
         Family::Pipeline => pipeline::check_case,
+        Family::Adversary => adversary::check_case,
     }
 }
 

@@ -38,6 +38,11 @@ fn pipeline_invariants() {
 }
 
 #[test]
+fn adversary_detection_matrix() {
+    assert_family(Family::Adversary);
+}
+
+#[test]
 fn single_case_replay_matches_family_run() {
     // The CLI's --case path must reproduce exactly what the family run
     // executed for that index.

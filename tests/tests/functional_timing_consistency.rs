@@ -64,8 +64,9 @@ fn every_weight_region_is_tamper_sensitive() {
             mem.raw_mut()[addr] ^= 0x40;
         })
         .expect_err("tamper must be detected");
-        assert_eq!(err.layer, idx as u32, "violation localized to layer {idx}");
-        assert_eq!(err.tensor, TensorKind::Filter);
+        let v = err.integrity().expect("tamper surfaces as Integrity");
+        assert_eq!(v.layer, idx as u32, "violation localized to layer {idx}");
+        assert_eq!(v.tensor, TensorKind::Filter);
     }
 }
 
@@ -75,7 +76,9 @@ fn secure_memory_rejects_wrong_layer_binding() {
     // would) must fail even though address, VN, and data are untouched.
     let mut mem = SecureMemory::new(4096, [1; 16], [2; 16]);
     let data = vec![0x5a; 512];
-    let mac = mem.write_region(0, 3, 7, TensorKind::Ofmap, &data);
+    let mac = mem
+        .write_region(0, 3, 7, TensorKind::Ofmap, &data)
+        .expect("region fits");
     assert!(mem
         .read_region(0, 3, 7, TensorKind::Ofmap, 512, mac)
         .is_ok());
