@@ -9,11 +9,14 @@
 //! cargo run --release -p seda-bench --bin seda_cli -- run rest edge SeDA
 //! ```
 
+use seda::functional::{run_protected, run_reference};
 use seda::models::zoo;
 use seda::pipeline::{run_spec, RunSpec};
 use seda::protect::{paper_lineup, scheme_by_name};
 use seda::report::{table1, table2, table3};
-use seda::scalesim::NpuConfig;
+use seda::scalesim::{AddressMap, NpuConfig};
+use seda::sweep::Sweep;
+use seda::telemetry;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     (
@@ -83,17 +86,84 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: seda_cli <command>");
+    eprintln!("usage: seda_cli [--telemetry <out.json>] <command>");
     eprintln!("  list                 enumerate all experiment binaries");
     eprintln!("  table <1|2|3>        print a paper table");
     eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
+    eprintln!("  quickstart           functional + timing demo on LeNet");
     eprintln!("  workloads            list workload names");
     eprintln!("  schemes              list scheme names");
+    eprintln!();
+    eprintln!("  --telemetry <path>   export a seda-telemetry/v1 metric");
+    eprintln!("                       snapshot of the run as JSON");
     std::process::exit(2);
 }
 
+/// Removes a `--telemetry <path>` flag from `args`, returning the path.
+fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    if i + 1 >= args.len() {
+        eprintln!("--telemetry needs an output path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+/// `quickstart`: one end-to-end tour that exercises every instrumented
+/// subsystem — the functional crypto path (AES, MACs, tamper detection)
+/// and the timing path (metadata caches, DRAM, trace cache, sweep).
+fn quickstart() {
+    let model = zoo::lenet();
+    let input: Vec<u8> = (0..32 * 32).map(|i| (i % 23) as u8).collect();
+
+    println!(
+        "[1/3] functional: {} encrypted in untrusted memory",
+        model.name()
+    );
+    let reference = run_reference(&model, &input);
+    let protected = run_protected(&model, &input, |_| {}).expect("honest run verifies");
+    assert_eq!(protected, reference, "protection must be transparent");
+    println!("      protected output bit-identical to the reference");
+
+    println!("[2/3] functional: flipping one ciphertext bit off-chip");
+    let addr = AddressMap::new(&model).weights(1) as usize;
+    match run_protected(&model, &input, |mem| {
+        mem.raw_mut()[addr + 100] ^= 0x20;
+    }) {
+        Ok(_) => {
+            eprintln!("      tampering went UNDETECTED (bug!)");
+            std::process::exit(1);
+        }
+        Err(violation) => println!("      inference aborted: {violation}"),
+    }
+
+    println!("[3/3] timing: LeNet x [baseline, SGX-64B, SeDA] on the edge NPU");
+    let results = Sweep::new()
+        .npu(NpuConfig::edge())
+        .model(zoo::lenet())
+        .schemes(["baseline", "SGX-64B", "SeDA"])
+        .run();
+    let base = results.at(0, 0, 0);
+    for s in 1..3 {
+        let r = results.at(0, 0, s);
+        println!(
+            "      {:<8} {:>12} traffic bytes, {:>9} cycles ({:+.1}% vs baseline)",
+            r.scheme,
+            r.traffic.total(),
+            r.total_cycles,
+            (r.total_cycles as f64 / base.total_cycles as f64 - 1.0) * 100.0
+        );
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = extract_telemetry_flag(&mut args);
+    let sink = telemetry_path
+        .as_ref()
+        .map(|_| telemetry::install_shared().expect("first and only install"));
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("experiment binaries (run with `cargo run --release -p seda-bench --bin <name>`):\n");
@@ -139,6 +209,7 @@ fn main() {
                 );
             }
         }
+        Some("quickstart") => quickstart(),
         Some("workloads") => {
             for m in zoo::all_models() {
                 println!("{:<6} {} layers", m.name(), m.layers().len());
@@ -151,5 +222,9 @@ fn main() {
             println!("Securator");
         }
         _ => usage(),
+    }
+    if let (Some(path), Some(sink)) = (telemetry_path, sink) {
+        std::fs::write(&path, sink.snapshot().to_json()).expect("writable telemetry path");
+        eprintln!("telemetry snapshot written to {path}");
     }
 }

@@ -30,12 +30,21 @@ struct BenchRecord {
     trace_misses: u64,
     /// Trace-cache hits (points served without re-simulation).
     trace_hits: u64,
+    /// Fraction of trace lookups served from the cache.
+    trace_hit_rate: f64,
     /// Legacy serial path wall-clock, milliseconds.
     serial_ms: f64,
     /// Sweep-engine wall-clock, milliseconds.
     engine_ms: f64,
     /// serial_ms / engine_ms.
     speedup: f64,
+    /// CPUs visible to this process. On a single-core host the engine
+    /// cannot parallelize, so speedups near 1.0x are expected and the
+    /// trace-cache reuse is the whole win — this field makes such runs
+    /// self-explaining in the archived trajectory.
+    host_cpus: usize,
+    /// Whether the engine actually ran points on more than one worker.
+    parallel_engaged: bool,
     /// Whether the two paths produced identical cycle totals.
     identical: bool,
 }
@@ -74,13 +83,20 @@ fn main() {
         "engine results must be bit-identical to the serial path"
     );
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let record = BenchRecord {
         points: npus.len() * models.len() * scheme_names().len(),
         trace_misses: stats.trace_misses,
         trace_hits: stats.trace_hits,
+        trace_hit_rate: stats.trace_hits as f64
+            / (stats.trace_hits + stats.trace_misses).max(1) as f64,
         serial_ms: serial.as_secs_f64() * 1e3,
         engine_ms: engine.as_secs_f64() * 1e3,
         speedup: serial.as_secs_f64() / engine.as_secs_f64(),
+        host_cpus,
+        parallel_engaged: host_cpus > 1,
         identical: serial_total == engine_total,
     };
 
@@ -103,6 +119,15 @@ fn main() {
     println!(
         "speedup: {:.2}x (identical cycle totals verified)",
         record.speedup
+    );
+    println!(
+        "host: {} CPU(s){}",
+        record.host_cpus,
+        if record.parallel_engaged {
+            ""
+        } else {
+            " — single-core host, speedup comes from trace reuse only"
+        }
     );
 
     let json = serde_json::to_string_pretty(&record).expect("serializable");

@@ -172,6 +172,7 @@ impl SecureMemory {
         if fold.value().ct_eq(MacTag(expected)) {
             Ok(out)
         } else {
+            seda_telemetry::counter_add("functional.verification_failures", 1);
             Err(SedaError::Integrity(IntegrityViolation {
                 layer,
                 tensor,

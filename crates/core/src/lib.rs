@@ -68,3 +68,4 @@ pub use seda_hw as hw;
 pub use seda_models as models;
 pub use seda_protect as protect;
 pub use seda_scalesim as scalesim;
+pub use seda_telemetry as telemetry;

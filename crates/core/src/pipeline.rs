@@ -142,6 +142,26 @@ pub fn run_spec(spec: &RunSpec<'_>, scheme: &mut dyn ProtectionScheme) -> Vec<Ru
 /// Scheme metadata caches and DRAM bank state persist across inferences
 /// (steady-state behaviour); the final metadata flush is charged to the
 /// last inference.
+///
+/// # Examples
+///
+/// ```
+/// use seda::pipeline::run_trace;
+/// use seda_models::zoo;
+/// use seda_protect::Unprotected;
+/// use seda_scalesim::{simulate_model, NpuConfig};
+///
+/// let npu = NpuConfig::edge();
+/// let sim = simulate_model(&npu, &zoo::lenet());
+/// // One simulation, many replays: each scheme reuses `sim`.
+/// let runs = run_trace(&sim, &npu, &mut Unprotected::new(), None, 2);
+/// assert_eq!(runs.len(), 2);
+/// assert!(runs[0].total_cycles > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `repeats == 0`; use [`try_run_trace`] for a typed error.
 pub fn run_trace(
     sim: &ModelSim,
     npu: &NpuConfig,
@@ -203,6 +223,7 @@ pub fn try_run_trace(
                 cycles = cycles.max(verify_stream) + engine.layer_check_exposure();
             }
             total += cycles;
+            seda_telemetry::record("pipeline.layer_cycles", cycles);
             layers.push(LayerTiming {
                 name: layer.name.clone(),
                 compute_cycles: layer.compute_cycles,
@@ -210,6 +231,7 @@ pub fn try_run_trace(
                 cycles,
             });
         }
+        seda_telemetry::counter_add("pipeline.inferences", 1);
         results.push(RunResult {
             model: sim.model.clone(),
             npu: npu.name.clone(),
@@ -236,6 +258,9 @@ pub fn try_run_trace(
     last.total_cycles += (drain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
     last.traffic = scheme.breakdown();
     last.dram = *dram.stats();
+    // One flush per run keeps the per-access DRAM loop free of telemetry
+    // dispatch; the counters still sum correctly across runs and sweeps.
+    dram.emit_telemetry();
 
     Ok(results)
 }

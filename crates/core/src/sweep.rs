@@ -197,6 +197,23 @@ impl SweepResults {
 /// Points execute in parallel via `std::thread::scope`; results come back
 /// in the deterministic npu-major → model → scheme order and are
 /// bit-identical to a serial execution.
+///
+/// # Examples
+///
+/// ```
+/// use seda::sweep::Sweep;
+/// use seda_models::zoo;
+/// use seda_scalesim::NpuConfig;
+///
+/// let results = Sweep::new()
+///     .npu(NpuConfig::edge())
+///     .model(zoo::lenet())
+///     .schemes(["baseline", "SGX-64B"])
+///     .serial()
+///     .run();
+/// assert_eq!(results.shape(), (1, 1, 2));
+/// assert!(results.at(0, 0, 1).total_cycles >= results.at(0, 0, 0).total_cycles);
+/// ```
 #[derive(Default)]
 pub struct Sweep {
     npus: Vec<NpuConfig>,
@@ -332,7 +349,8 @@ impl Sweep {
         // other point still completes. The closure only touches the
         // immutable trace cache and per-point scheme state, so resuming
         // after an unwind cannot observe a broken invariant.
-        catch_unwind(AssertUnwindSafe(|| {
+        let _span = seda_telemetry::Span::start("sweep.point_ns");
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
             let sim = cache.get_or_simulate(npu, model);
             let mut scheme = (self.schemes[idx % s].build)();
             try_run_trace(
@@ -358,7 +376,16 @@ impl Sweep {
                 ),
                 message,
             })
-        })
+        });
+        seda_telemetry::counter_add(
+            if outcome.is_ok() {
+                "sweep.points.ok"
+            } else {
+                "sweep.points.failed"
+            },
+            1,
+        );
+        outcome
     }
 
     /// Executes the sweep with a private trace cache.

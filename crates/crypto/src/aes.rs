@@ -120,6 +120,7 @@ impl Aes128 {
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: Block) -> Block {
+        seda_telemetry::counter_add("crypto.aes.block_evals", 1);
         let mut s = block;
         add_round_key(&mut s, &self.round_keys[0]);
         for round in 1..10 {
@@ -136,6 +137,7 @@ impl Aes128 {
 
     /// Decrypts one 16-byte block.
     pub fn decrypt_block(&self, block: Block) -> Block {
+        seda_telemetry::counter_add("crypto.aes.block_evals", 1);
         let mut s = block;
         add_round_key(&mut s, &self.round_keys[10]);
         for round in (1..10).rev() {
@@ -153,6 +155,7 @@ impl Aes128 {
 
 /// Runs AES-128 key expansion, producing the eleven round keys.
 pub fn expand_key(key: Block) -> [Block; ROUND_KEYS] {
+    seda_telemetry::counter_add("crypto.aes.key_expansions", 1);
     let mut w = [[0u8; 4]; 4 * ROUND_KEYS];
     for (i, word) in w.iter_mut().take(4).enumerate() {
         word.copy_from_slice(&key[4 * i..4 * i + 4]);

@@ -42,6 +42,7 @@ impl MacTag {
         if self.ct_eq(expected) {
             Ok(())
         } else {
+            seda_telemetry::counter_add("crypto.mac.tag_mismatches", 1);
             Err(TagMismatch {
                 expected,
                 actual: self,

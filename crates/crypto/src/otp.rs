@@ -29,6 +29,21 @@ pub const PADS_PER_SCHEDULE: usize = 10;
 /// Implementations return the pad for the `i`-th 16 B segment of the block
 /// addressed by `seed`. Encryption and decryption XOR the same pads, so any
 /// implementation is self-inverse when applied twice.
+///
+/// # Examples
+///
+/// The strategies differ in how many AES-engine evaluations a block costs —
+/// the figure of merit behind the paper's Fig. 4:
+///
+/// ```
+/// use seda_crypto::otp::{BandwidthAwareOtp, OtpStrategy, TraditionalOtp};
+///
+/// let taes = TraditionalOtp::new([0u8; 16]);
+/// let baes = BandwidthAwareOtp::new([0u8; 16]);
+/// // A 512 B block spans 32 segments of 16 B each.
+/// assert_eq!(taes.aes_evaluations(32), 32); // one engine pass per segment
+/// assert_eq!(baes.aes_evaluations(32), 4); // base pad + 3 derived schedules
+/// ```
 pub trait OtpStrategy {
     /// Returns the pad for segment `i` of the block at `seed`.
     fn segment_otp(&self, seed: CounterSeed, i: usize) -> Block;
@@ -70,6 +85,7 @@ impl TraditionalOtp {
 
 impl OtpStrategy for TraditionalOtp {
     fn segment_otp(&self, seed: CounterSeed, i: usize) -> Block {
+        seda_telemetry::counter_add("crypto.otp.taes.evals", 1);
         self.aes.encrypt_block(seed.segment(i as u64).to_block())
     }
 
@@ -97,6 +113,7 @@ impl SharedOtp {
 
 impl OtpStrategy for SharedOtp {
     fn segment_otp(&self, seed: CounterSeed, _i: usize) -> Block {
+        seda_telemetry::counter_add("crypto.otp.shared.evals", 1);
         self.aes.encrypt_block(seed.to_block())
     }
 
@@ -146,6 +163,7 @@ impl BandwidthAwareOtp {
 
     /// The base pad for a block: `AES-CTR_K(PA || VN)` (Algorithm 1 line 5).
     pub fn base_otp(&self, seed: CounterSeed) -> Block {
+        seda_telemetry::counter_add("crypto.otp.baes.base_evals", 1);
         self.aes.encrypt_block(seed.to_block())
     }
 
@@ -173,6 +191,7 @@ impl BandwidthAwareOtp {
         if group == 0 {
             self.aes.round_keys()[slot]
         } else {
+            seda_telemetry::counter_add("crypto.otp.baes.derived_schedules", 1);
             expand_key(self.widened_key(seed, group))[slot]
         }
     }
@@ -207,6 +226,7 @@ impl OtpStrategy for BandwidthAwareOtp {
         for (i, chunk) in data.chunks_mut(BLOCK_BYTES).enumerate() {
             let group = i / PADS_PER_SCHEDULE;
             if group != current_group {
+                seda_telemetry::counter_add("crypto.otp.baes.derived_schedules", 1);
                 group_keys = expand_key(self.widened_key(seed, group));
                 current_group = group;
             }

@@ -23,6 +23,9 @@ struct BankState {
     busy_until: u64,
     /// Cycle of the last activate (for tRAS enforcement on precharge).
     activated: u64,
+    /// Cumulative cycles this bank spent occupied by an access (column
+    /// command through data drain and write recovery).
+    occupied: u64,
 }
 
 impl BankState {
@@ -32,6 +35,7 @@ impl BankState {
             next_col: 0,
             busy_until: 0,
             activated: 0,
+            occupied: 0,
         }
     }
 }
@@ -179,10 +183,12 @@ impl DramSim {
         if cfg.t_refi > 0 {
             let phase = data_start % cfg.t_refi;
             if phase < cfg.t_rfc {
+                self.stats.refresh_stall_cycles += cfg.t_rfc - phase;
                 data_start += cfg.t_rfc - phase;
             }
         }
         let data_end = data_start + cfg.t_bl;
+        self.stats.bus_busy_cycles += cfg.t_bl;
         ch.bus_free = data_end;
         // Arrival time advances with the bus, not with stalled banks: a
         // conflicted request does not block younger requests to other banks.
@@ -193,6 +199,7 @@ impl DramSim {
         } else {
             data_end
         };
+        bank.occupied += bank.busy_until - col_ready;
         AccessTiming {
             outcome,
             channel: coord.channel,
@@ -230,6 +237,39 @@ impl DramSim {
             0.0
         } else {
             self.stats.bytes() as f64 / secs
+        }
+    }
+
+    /// Cumulative occupied cycles of every bank, channel-major.
+    pub fn bank_occupancy_cycles(&self) -> Vec<u64> {
+        self.channels
+            .iter()
+            .flat_map(|c| c.banks.iter().map(|b| b.occupied))
+            .collect()
+    }
+
+    /// Emits the simulator's cumulative activity to the global telemetry
+    /// sink: access/row-outcome/refresh/bus counters plus one
+    /// `dram.bank_occupancy_cycles` histogram sample per bank.
+    ///
+    /// Hot-path accounting lives in plain [`DramStats`] fields and the
+    /// per-bank `occupied` tallies, so the per-access loop carries no
+    /// telemetry dispatch; callers flush once per simulator lifetime
+    /// (the pipeline kernel does so at the end of each run).
+    pub fn emit_telemetry(&self) {
+        if !seda_telemetry::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        seda_telemetry::counter_add("dram.reads", s.reads);
+        seda_telemetry::counter_add("dram.writes", s.writes);
+        seda_telemetry::counter_add("dram.row_hits", s.row_hits);
+        seda_telemetry::counter_add("dram.row_empties", s.row_empties);
+        seda_telemetry::counter_add("dram.row_conflicts", s.row_conflicts);
+        seda_telemetry::counter_add("dram.refresh_stall_cycles", s.refresh_stall_cycles);
+        seda_telemetry::counter_add("dram.bus_busy_cycles", s.bus_busy_cycles);
+        for occupied in self.bank_occupancy_cycles() {
+            seda_telemetry::record("dram.bank_occupancy_cycles", occupied);
         }
     }
 }
@@ -306,6 +346,21 @@ mod tests {
     }
 
     #[test]
+    fn bus_and_bank_occupancy_accounting() {
+        let mut s = sim();
+        for i in 0..1000u64 {
+            s.access(Request::read(i * ACCESS_BYTES));
+        }
+        let t_bl = s.config().t_bl;
+        assert_eq!(s.stats().bus_busy_cycles, 1000 * t_bl);
+        let occupied: u64 = s.bank_occupancy_cycles().iter().sum();
+        assert!(
+            occupied >= 1000 * t_bl,
+            "each access occupies a bank for at least its burst: {occupied}"
+        );
+    }
+
+    #[test]
     fn elapsed_cycles_monotone() {
         let mut s = sim();
         let mut last = 0;
@@ -348,6 +403,8 @@ mod refresh_tests {
         assert!(ratio > 1.0, "refresh must cost something: {ratio}");
         // tRFC/tREFI = 350ns/7.8us ≈ 4.5%.
         assert!(ratio < 1.08, "refresh overhead too large: {ratio}");
+        assert!(with.stats().refresh_stall_cycles > 0, "stalls are counted");
+        assert_eq!(without.stats().refresh_stall_cycles, 0);
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub struct DramStats {
     pub row_empties: u64,
     /// Accesses that had to close another row first.
     pub row_conflicts: u64,
+    /// Cycles data transfers slipped past all-bank refresh windows.
+    pub refresh_stall_cycles: u64,
+    /// Cycles the data bus carried bursts (`accesses × t_bl`); dividing by
+    /// the elapsed window gives achieved bus utilization.
+    pub bus_busy_cycles: u64,
 }
 
 impl DramStats {

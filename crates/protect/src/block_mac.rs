@@ -17,6 +17,39 @@ use crate::scheme::{emit_demand, line_down, ProtectionScheme, SchemeInfo, Traffi
 use seda_dram::Request;
 use seda_scalesim::Burst;
 
+/// Telemetry counter names for one metadata cache.
+struct CacheMetrics {
+    hits: &'static str,
+    misses: &'static str,
+    writebacks: &'static str,
+}
+
+const MAC_CACHE_METRICS: CacheMetrics = CacheMetrics {
+    hits: "protect.mac_cache.hits",
+    misses: "protect.mac_cache.misses",
+    writebacks: "protect.mac_cache.writebacks",
+};
+
+const VN_CACHE_METRICS: CacheMetrics = CacheMetrics {
+    hits: "protect.vn_cache.hits",
+    misses: "protect.vn_cache.misses",
+    writebacks: "protect.vn_cache.writebacks",
+};
+
+/// Emits one metadata cache's `(hits, misses, writebacks)` growth since
+/// the previous flush. The per-access cache path carries no telemetry
+/// dispatch — [`MetaCache`] already counts natively — so schemes flush
+/// deltas at [`ProtectionScheme::finish`], keeping hot loops free.
+fn flush_cache_telemetry(m: &CacheMetrics, reported: &mut (u64, u64, u64), stats: (u64, u64, u64)) {
+    if !seda_telemetry::enabled() {
+        return;
+    }
+    seda_telemetry::counter_add(m.hits, stats.0 - reported.0);
+    seda_telemetry::counter_add(m.misses, stats.1 - reported.1);
+    seda_telemetry::counter_add(m.writebacks, stats.2 - reported.2);
+    *reported = stats;
+}
+
 /// Which classic scheme the block-MAC engine models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockMacKind {
@@ -49,6 +82,10 @@ pub struct BlockMacScheme {
     mac_cache: MetaCache,
     vn_cache: Option<MetaCache>,
     tally: TrafficBreakdown,
+    /// Cache stats already flushed to telemetry (MAC, VN), so repeated
+    /// [`ProtectionScheme::finish`] calls emit deltas, not totals.
+    reported_mac: (u64, u64, u64),
+    reported_vn: (u64, u64, u64),
 }
 
 impl BlockMacScheme {
@@ -93,6 +130,8 @@ impl BlockMacScheme {
                 BlockMacKind::Mgx => None,
             },
             tally: TrafficBreakdown::default(),
+            reported_mac: (0, 0, 0),
+            reported_vn: (0, 0, 0),
         }
     }
 
@@ -268,6 +307,14 @@ impl ProtectionScheme for BlockMacScheme {
             for addr in dirty {
                 self.classify_writeback(addr, sink);
             }
+        }
+        flush_cache_telemetry(
+            &MAC_CACHE_METRICS,
+            &mut self.reported_mac,
+            self.mac_cache.stats(),
+        );
+        if let Some(cache) = &self.vn_cache {
+            flush_cache_telemetry(&VN_CACHE_METRICS, &mut self.reported_vn, cache.stats());
         }
     }
 

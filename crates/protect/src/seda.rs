@@ -76,6 +76,7 @@ impl SedaScheme {
         if !self.open_layers.insert(layer) {
             return;
         }
+        seda_telemetry::counter_add("protect.seda.layers_opened", 1);
         if self.store == LayerMacStore::OffChip {
             // Fetch the expected layer MAC for verification (first touch).
             sink(Request::read(self.layer_mac_line(layer)));

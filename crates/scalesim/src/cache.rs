@@ -32,6 +32,21 @@ fn key_of(cfg: &NpuConfig, model: &Model) -> (String, String) {
 type TraceSlot = Arc<OnceLock<Arc<ModelSim>>>;
 
 /// A concurrent memo table from (NPU, model) to the simulated trace.
+///
+/// # Examples
+///
+/// ```
+/// use seda_scalesim::{NpuConfig, TraceCache};
+/// use seda_models::zoo;
+///
+/// let cache = TraceCache::new();
+/// let cfg = NpuConfig::edge();
+/// let model = zoo::lenet();
+/// let first = cache.get_or_simulate(&cfg, &model); // simulates
+/// let again = cache.get_or_simulate(&cfg, &model); // shared, no re-simulation
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
 #[derive(Default)]
 pub struct TraceCache {
     map: Mutex<HashMap<(String, String), TraceSlot>>,
@@ -63,8 +78,10 @@ impl TraceCache {
         });
         if missed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            seda_telemetry::counter_add("scalesim.trace_cache.misses", 1);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            seda_telemetry::counter_add("scalesim.trace_cache.hits", 1);
         }
         Arc::clone(sim)
     }

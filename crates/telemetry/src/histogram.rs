@@ -1,0 +1,153 @@
+//! Lock-free log2-bucketed histogram.
+//!
+//! Values land in bucket `bit_length(v)` — bucket 0 holds zeros, bucket
+//! `i > 0` holds `[2^(i-1), 2^i)` — so one `u64` range needs 65 buckets.
+//! All state is `AtomicU64`, making concurrent recording from sweep worker
+//! threads wait-free; snapshots are taken with relaxed loads and are
+//! therefore approximate only while writers are active.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets covering the full `u64` range (zeros + 64 bit
+/// lengths).
+pub const BUCKETS: usize = 65;
+
+/// A concurrently-updatable histogram of `u64` samples.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            log2_buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u8, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Immutable summary of an [`AtomicHistogram`] at snapshot time.
+///
+/// `log2_buckets` lists only non-empty buckets as `(bucket, count)`
+/// pairs, where bucket 0 holds zero-valued samples and bucket `i > 0`
+/// holds samples in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, or 0 when empty.
+    pub min: u64,
+    /// Largest sample, or 0 when empty.
+    pub max: u64,
+    /// Non-empty `(bucket, count)` pairs in bucket order.
+    pub log2_buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = AtomicHistogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.log2_buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn buckets_follow_bit_length() {
+        let h = AtomicHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1024 → 11; MAX → 64.
+        assert_eq!(
+            s.log2_buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1), (64, 1)]
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.sum, 4 * (999 * 1000 / 2));
+    }
+}

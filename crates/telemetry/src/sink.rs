@@ -1,0 +1,188 @@
+//! Metric sinks: where instrumented code sends its events.
+
+use crate::histogram::AtomicHistogram;
+use crate::snapshot::Snapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Receiver for telemetry events.
+///
+/// Instrumented code emits events through the process-global dispatch
+/// functions ([`crate::counter_add`], [`crate::record`]); the installed
+/// sink decides what to do with them. Implementations must be cheap and
+/// thread-safe: sweep worker threads emit concurrently, and a sink must
+/// never block them for long (see [`SharedSink`] for the aggregation
+/// contract, [`NoopSink`] for the discard contract).
+///
+/// Metric names are `&'static str` by design: the instrumentation sites
+/// are compiled in, so names need no allocation, and sinks may use the
+/// pointer-stable names as map keys.
+pub trait Sink: Send + Sync {
+    /// Adds `delta` to the monotonic counter `name`.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Records one `value` sample into the histogram `name`.
+    fn record(&self, name: &'static str, value: u64);
+}
+
+/// A sink that discards every event.
+///
+/// This is what "telemetry off" dispatches to if a caller installs it
+/// explicitly; the global dispatch short-circuits before the sink when
+/// telemetry is disabled, so the cost of an event is one relaxed atomic
+/// load either way.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn add(&self, _name: &'static str, _delta: u64) {}
+    fn record(&self, _name: &'static str, _value: u64) {}
+}
+
+/// An aggregating sink safe for parallel sweeps.
+///
+/// Counters and histograms live behind `RwLock<HashMap>` registries, but
+/// the lock is only write-acquired the first time a name appears; the
+/// steady-state path takes a shared read lock and updates an `AtomicU64`
+/// (or an atomic histogram bucket), so concurrent workers on distinct or
+/// identical metrics never serialize against each other after warmup —
+/// "lock-free enough" for sweep worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use seda_telemetry::{SharedSink, Sink};
+///
+/// let sink = SharedSink::new();
+/// sink.add("dram.reads", 2);
+/// sink.add("dram.reads", 3);
+/// sink.record("sweep.point_ns", 1500);
+/// let snap = sink.snapshot();
+/// assert_eq!(snap.counter("dram.reads"), Some(5));
+/// assert_eq!(snap.histogram("sweep.point_ns").unwrap().count, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedSink {
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<AtomicHistogram>>>,
+}
+
+/// Looks up `name` in a registry, inserting a default entry on first use.
+/// Read-locks on the hot path; write-locks only to insert.
+fn intern<T: Default>(map: &RwLock<HashMap<&'static str, Arc<T>>>, name: &'static str) -> Arc<T> {
+    // Invariant: the registry locks are only held for map operations,
+    // which do not panic, so they cannot be poisoned.
+    #[allow(clippy::expect_used)]
+    if let Some(v) = map.read().expect("telemetry registry poisoned").get(name) {
+        return Arc::clone(v);
+    }
+    #[allow(clippy::expect_used)]
+    let mut w = map.write().expect("telemetry registry poisoned");
+    Arc::clone(w.entry(name).or_default())
+}
+
+impl SharedSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time [`Snapshot`] of every metric, sorted by name.
+    ///
+    /// Taken with relaxed loads: while writers are active the snapshot is
+    /// a consistent-enough approximation; after the instrumented work
+    /// completes it is exact.
+    pub fn snapshot(&self) -> Snapshot {
+        // Invariant: see `intern` — registry locks cannot be poisoned.
+        #[allow(clippy::expect_used)]
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, v)| ((*name).to_owned(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        #[allow(clippy::expect_used)]
+        let mut histograms: Vec<_> = self
+            .histograms
+            .read()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, h)| ((*name).to_owned(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl Sink for SharedSink {
+    fn add(&self, name: &'static str, delta: u64) {
+        intern(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn record(&self, name: &'static str, value: u64) {
+        intern(&self.histograms, name).record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let sink = SharedSink::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        sink.add("t.counter", 1);
+                        sink.record("t.histogram", 7);
+                    }
+                });
+            }
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("t.counter"), Some(4000));
+        let h = snap.histogram("t.histogram").expect("recorded");
+        assert_eq!((h.count, h.sum, h.min, h.max), (4000, 28000, 7, 7));
+    }
+
+    #[test]
+    fn unknown_names_are_absent_from_snapshots() {
+        let sink = SharedSink::new();
+        sink.add("present", 1);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("present"), Some(1));
+        assert_eq!(snap.counter("absent"), None);
+        assert!(snap.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let sink = SharedSink::new();
+        for name in ["zz", "aa", "mm"] {
+            // Names must be 'static: use leaked literals via match.
+            match name {
+                "zz" => sink.add("zz", 1),
+                "aa" => sink.add("aa", 1),
+                _ => sink.add("mm", 1),
+            }
+        }
+        let snap = sink.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn noop_sink_discards_everything() {
+        let sink = NoopSink;
+        sink.add("anything", 42);
+        sink.record("anything", 42);
+    }
+}

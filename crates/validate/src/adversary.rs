@@ -9,7 +9,8 @@
 //!   must carry a typed error, and undetected integrity faults must have
 //!   actually corrupted or leaked something (no vacuous "undetected
 //!   no-op" cells).
-//! * A random single-byte flip somewhere in [`SecureMemory`] mid-
+//! * A random single-byte flip somewhere in
+//!   [`SecureMemory`](seda::functional::SecureMemory) mid-
 //!   [`run_protected`]: the inference must either abort with a localized
 //!   integrity violation or — when the flip hit a region that is
 //!   rewritten before it is ever read — finish bit-identical to the

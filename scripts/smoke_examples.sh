@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-runs every example and every bench binary once, with arguments
+# that keep each run short. Any non-zero exit fails the script and dumps
+# that run's output. CI calls this after the release build so the
+# binaries are already warm; locally, cargo builds whatever is missing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+  echo "==> $*"
+  if ! "$@" >"$tmp/last.log" 2>&1; then
+    echo "FAILED: $*"
+    cat "$tmp/last.log"
+    exit 1
+  fi
+}
+
+# Every examples/*.rs is a registered [[example]] target of seda-examples.
+for src in examples/*.rs; do
+  name="$(basename "$src" .rs)"
+  run cargo run --quiet --release -p seda-examples --example "$name"
+done
+
+# Every bench binary. File-consuming/producing binaries work inside the
+# temp dir; replay_trace replays the trace gen_trace just wrote.
+for src in crates/bench/src/bin/*.rs; do
+  name="$(basename "$src" .rs)"
+  case "$name" in
+    seda_cli)
+      run cargo run --quiet --release -p seda-bench --bin seda_cli -- \
+        --telemetry "$tmp/telemetry.json" quickstart
+      ;;
+    gen_trace)
+      run cargo run --quiet --release -p seda-bench --bin gen_trace -- \
+        let edge "$tmp/let.trace"
+      ;;
+    replay_trace)
+      run cargo run --quiet --release -p seda-bench --bin replay_trace -- \
+        "$tmp/let.trace" SeDA edge
+      ;;
+    sweep_bench)
+      run cargo run --quiet --release -p seda-bench --bin sweep_bench -- \
+        "$tmp/BENCH_sweep.json"
+      ;;
+    telemetry_overhead)
+      run cargo run --quiet --release -p seda-bench --bin telemetry_overhead -- \
+        "$tmp/BENCH_telemetry.json"
+      ;;
+    *)
+      run cargo run --quiet --release -p seda-bench --bin "$name"
+      ;;
+  esac
+done
+
+echo "smoke: every example and bench binary ran clean"

@@ -1,0 +1,165 @@
+//! Golden-figure regression suite.
+//!
+//! The paper's headline aggregates — the Table III feature matrix and the
+//! Fig. 5 (normalized traffic) / Fig. 6 (normalized runtime) numbers — are
+//! pinned as fixtures under `tests/fixtures/` and compared **bit-for-bit**
+//! against a fresh evaluation. The simulator is deterministic, so any
+//! diff, down to a single cycle, means the model changed and the figures
+//! it produces drifted.
+//!
+//! The fixtures cover a two-workload subset (LeNet + DLRM: one conv, one
+//! GEMM workload) on both NPUs so the suite stays fast in debug builds;
+//! the full 13-workload sweep exercises the same code paths.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p seda-integration-tests --test golden_figures
+//! ```
+
+use seda::experiment::{evaluate_suites, Evaluation};
+use seda::models::zoo;
+use seda::protect::paper_lineup;
+use seda::report::table3;
+use seda::scalesim::NpuConfig;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// One sweep point's raw, unnormalized outcome.
+#[derive(Serialize, Clone)]
+struct GoldenPoint {
+    npu: String,
+    workload: String,
+    scheme: String,
+    total_cycles: u64,
+    traffic_bytes: u64,
+}
+
+/// Per-NPU per-scheme arithmetic mean of the figure's normalized metric.
+#[derive(Serialize)]
+struct SchemeMean {
+    npu: String,
+    scheme: String,
+    mean: f64,
+}
+
+/// A pinned figure: the normalized means plus every raw point behind them.
+#[derive(Serialize)]
+struct GoldenFigure {
+    schema: String,
+    figure: String,
+    means: Vec<SchemeMean>,
+    points: Vec<GoldenPoint>,
+}
+
+fn evaluations() -> &'static Vec<Evaluation> {
+    static EVALS: OnceLock<Vec<Evaluation>> = OnceLock::new();
+    EVALS.get_or_init(|| {
+        let npus = [NpuConfig::server(), NpuConfig::edge()];
+        let models = [zoo::lenet(), zoo::dlrm()];
+        evaluate_suites(&npus, &models)
+    })
+}
+
+fn golden_points() -> Vec<GoldenPoint> {
+    evaluations()
+        .iter()
+        .flat_map(|eval| {
+            eval.workloads.iter().flat_map(|w| {
+                w.outcomes.iter().map(|o| GoldenPoint {
+                    npu: eval.npu.clone(),
+                    workload: w.workload.clone(),
+                    scheme: o.scheme.clone(),
+                    total_cycles: o.run.total_cycles,
+                    traffic_bytes: o.run.traffic.total(),
+                })
+            })
+        })
+        .collect()
+}
+
+fn golden_figure(
+    figure: &str,
+    mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
+) -> GoldenFigure {
+    let means = evaluations()
+        .iter()
+        .flat_map(|eval| {
+            mean_of(eval).into_iter().map(|(scheme, mean)| SchemeMean {
+                npu: eval.npu.clone(),
+                scheme,
+                mean,
+            })
+        })
+        .collect();
+    GoldenFigure {
+        schema: "seda-golden/v1".to_owned(),
+        figure: figure.to_owned(),
+        means,
+        points: golden_points(),
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Compares `generated` byte-for-byte against the named fixture, or
+/// rewrites the fixture when `UPDATE_GOLDEN` is set in the environment.
+fn check_golden(name: &str, generated: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, generated).expect("fixture directory is writable");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); bless it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        generated, pinned,
+        "{name} drifted from the pinned golden figure; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 cargo test -p \
+         seda-integration-tests --test golden_figures"
+    );
+}
+
+#[test]
+fn table3_feature_matrix_matches_golden() {
+    let infos: Vec<_> = paper_lineup().iter().map(|s| s.info()).collect();
+    check_golden("table3.golden.txt", &table3(&infos));
+}
+
+#[test]
+fn fig5_normalized_traffic_matches_golden() {
+    let fig = golden_figure("fig5_normalized_traffic", Evaluation::mean_traffic);
+    let json = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
+    check_golden("fig5_traffic.golden.json", &json);
+}
+
+#[test]
+fn fig6_normalized_runtime_matches_golden() {
+    let fig = golden_figure("fig6_normalized_runtime", Evaluation::mean_perf);
+    let json = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
+    check_golden("fig6_perf.golden.json", &json);
+}
+
+#[test]
+fn golden_compare_detects_a_one_cycle_perturbation() {
+    // Sensitivity self-test: the fixture comparison must catch the
+    // smallest possible drift — one cycle on one point.
+    let mut fig = golden_figure("fig6_normalized_runtime", Evaluation::mean_perf);
+    fig.points[0].total_cycles += 1;
+    let perturbed = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
+    let pinned = std::fs::read_to_string(fixture_path("fig6_perf.golden.json"))
+        .expect("fixture exists (bless with UPDATE_GOLDEN=1)");
+    assert_ne!(
+        perturbed, pinned,
+        "a one-cycle perturbation must change the golden snapshot"
+    );
+}

@@ -1,0 +1,69 @@
+//! End-to-end telemetry: install the shared sink once, drive both the
+//! functional crypto path and the timing sweep path, and check that every
+//! instrumented subsystem shows up in the snapshot — the same flow
+//! `seda_cli --telemetry out.json quickstart` ships.
+//!
+//! The global sink can be installed only once per process, so this file
+//! holds a single test.
+
+use seda::functional::{run_protected, run_reference};
+use seda::models::zoo;
+use seda::scalesim::NpuConfig;
+use seda::sweep::Sweep;
+use seda::telemetry;
+
+#[test]
+fn every_instrumented_subsystem_reports_through_the_shared_sink() {
+    let sink = telemetry::install_shared().expect("first and only install in this process");
+
+    // Functional path: AES/OTP/MAC counters.
+    let model = zoo::lenet();
+    let input: Vec<u8> = (0..32 * 32).map(|i| (i % 23) as u8).collect();
+    let reference = run_reference(&model, &input);
+    let protected = run_protected(&model, &input, |_| {}).expect("honest run verifies");
+    assert_eq!(protected, reference);
+
+    // Timing path: trace cache, DRAM flush, metadata caches, sweep span.
+    let results = Sweep::new()
+        .npu(NpuConfig::edge())
+        .model(zoo::lenet())
+        .schemes(["baseline", "SGX-64B", "SeDA"])
+        .run();
+    assert_eq!(results.stats.trace_misses, 1);
+
+    let snap = sink.snapshot();
+    for counter in [
+        "crypto.aes.block_evals",
+        "crypto.otp.baes.base_evals",
+        "protect.mac_cache.hits",
+        "protect.mac_cache.misses",
+        "dram.reads",
+        "dram.bus_busy_cycles",
+        "scalesim.trace_cache.misses",
+        "pipeline.inferences",
+        "sweep.points.ok",
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) > 0,
+            "counter {counter} must be nonzero after the end-to-end run"
+        );
+    }
+    for histogram in [
+        "dram.bank_occupancy_cycles",
+        "pipeline.layer_cycles",
+        "sweep.point_ns",
+    ] {
+        assert!(
+            snap.histogram(histogram).map(|h| h.count).unwrap_or(0) > 0,
+            "histogram {histogram} must have samples after the end-to-end run"
+        );
+    }
+
+    // The JSON export carries the stable schema tag and the two
+    // top-level maps of the seda-telemetry/v1 schema.
+    let json = snap.to_json();
+    assert!(json.starts_with("{\n"));
+    assert!(json.contains("\"schema\": \"seda-telemetry/v1\""));
+    assert!(json.contains("\"counters\": {"));
+    assert!(json.contains("\"histograms\": {"));
+}

@@ -230,7 +230,10 @@ impl Deserialize for f64 {
             Value::Float(f) => Ok(*f),
             Value::UInt(n) => Ok(*n as f64),
             Value::Int(n) => Ok(*n as f64),
-            _ => Err(Error::custom(format!("expected number, found {}", v.kind()))),
+            _ => Err(Error::custom(format!(
+                "expected number, found {}",
+                v.kind()
+            ))),
         }
     }
 }
@@ -269,7 +272,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::String(s) => Ok(s.clone()),
-            _ => Err(Error::custom(format!("expected string, found {}", v.kind()))),
+            _ => Err(Error::custom(format!(
+                "expected string, found {}",
+                v.kind()
+            ))),
         }
     }
 }

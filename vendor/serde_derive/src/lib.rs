@@ -23,8 +23,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize`.
@@ -56,7 +62,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
     let mut skip = false;
     while i + 1 < tokens.len() {
-        let TokenTree::Punct(p) = &tokens[i] else { break };
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
         if p.as_char() != '#' {
             break;
         }
@@ -198,7 +206,9 @@ fn parse_variants(body: TokenStream, item: &str) -> Vec<Variant> {
                 i += 1;
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                panic!("tuple variants are not supported by the offline serde derive ({item}::{name})");
+                panic!(
+                    "tuple variants are not supported by the offline serde derive ({item}::{name})"
+                );
             }
             _ => {}
         }
@@ -240,7 +250,10 @@ fn gen_struct_de(name: &str, fields: &[Field]) -> String {
                 n = f.name
             ));
         } else {
-            inits.push_str(&format!("{n}: ::serde::de_field(m, \"{n}\")?,\n", n = f.name));
+            inits.push_str(&format!(
+                "{n}: ::serde::de_field(m, \"{n}\")?,\n",
+                n = f.name
+            ));
         }
     }
     format!(

@@ -51,7 +51,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Parses a value of type `T` out of a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { s: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -177,10 +180,7 @@ impl<'a> Parser<'a> {
             self.i += 1;
             Ok(())
         } else {
-            Err(err(format!(
-                "expected `{}` at byte {}",
-                b as char, self.i
-            )))
+            Err(err(format!("expected `{}` at byte {}", b as char, self.i)))
         }
     }
 
