@@ -1,0 +1,245 @@
+//! Times the batched DRAM replay kernel against the exact per-access
+//! kernel on the headline sweep's own request streams.
+//!
+//! Every (NPU, workload, scheme) point of the Fig. 5/6 matrix is lowered
+//! once (via [`LoweredTrace`]) into the flat request stream the pipeline
+//! replays, then the stream is driven through both kernels from identical
+//! cold starts:
+//!
+//! * **per-access** — `DramSim::access` per request, the exact kernel the
+//!   batched path falls back to;
+//! * **batched** — `DramSim::run_batch`, the streak-coalescing fast path.
+//!
+//! The two must agree bit for bit — stats, elapsed clock, per-bank
+//! occupancy — on *every* stream; the binary exits non-zero otherwise, so
+//! CI's smoke step doubles as a conformance gate on real workload traffic.
+//! Alongside the timing, the run records the streams' sequential
+//! streak-length histogram (the structural property the fast path
+//! exploits) in `BENCH_dram.json` (or the path given as the first
+//! argument).
+//!
+//! Usage: `cargo run --release -p seda-bench --bin dram_bench [out.json]`
+//!
+//! [`LoweredTrace`]: seda::pipeline::LoweredTrace
+
+use seda::dram::{DramSim, Request, ACCESS_BYTES};
+use seda::experiment::scheme_names;
+use seda::models::zoo;
+use seda::pipeline::{dram_config_for, LoweredTrace};
+use seda::protect::scheme_by_name;
+use seda::scalesim::{NpuConfig, TraceCache};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One power-of-two bucket of the sequential streak-length histogram.
+#[derive(Serialize)]
+struct StreakBucket {
+    /// Inclusive lower bound of the bucket (streak length in requests).
+    min_len: u64,
+    /// Streaks whose length lands in `[min_len, 2 * min_len)`.
+    streaks: u64,
+    /// Requests covered by those streaks.
+    requests: u64,
+}
+
+/// Machine-readable record of one dram-bench run.
+#[derive(Serialize)]
+struct DramBenchRecord {
+    /// Sweep points whose streams were replayed (NPUs × workloads ×
+    /// schemes — the full headline matrix).
+    points: usize,
+    /// Total requests replayed through each kernel.
+    requests: u64,
+    /// Exact per-access kernel wall-clock, milliseconds.
+    per_access_ms: f64,
+    /// Batched kernel wall-clock, milliseconds.
+    batched_ms: f64,
+    /// Per-access kernel cost, nanoseconds per request.
+    per_access_ns_per_access: f64,
+    /// Batched kernel cost, nanoseconds per request.
+    batched_ns_per_access: f64,
+    /// per_access_ms / batched_ms — the replay-time reduction.
+    speedup: f64,
+    /// DRAM replay wall-clock per sweep point before (per-access kernel).
+    dram_replay_ms_per_point_before: f64,
+    /// DRAM replay wall-clock per sweep point after (batched kernel).
+    dram_replay_ms_per_point_after: f64,
+    /// Sequential streak lengths across all streams, power-of-two buckets.
+    streak_histogram: Vec<StreakBucket>,
+    /// Whether both kernels agreed bit for bit on every stream.
+    identical: bool,
+}
+
+/// Tallies maximal sequential streaks (consecutive 64 B blocks, same
+/// direction — the pattern the batched kernel coalesces) into
+/// power-of-two length buckets.
+#[derive(Default)]
+struct StreakHistogram {
+    /// `streaks[i]` counts streaks with length in `[2^i, 2^(i+1))`.
+    streaks: Vec<u64>,
+    /// `requests[i]` sums the requests those streaks cover.
+    requests: Vec<u64>,
+}
+
+impl StreakHistogram {
+    fn add_streak(&mut self, len: u64) {
+        let bucket = len.ilog2() as usize;
+        if self.streaks.len() <= bucket {
+            self.streaks.resize(bucket + 1, 0);
+            self.requests.resize(bucket + 1, 0);
+        }
+        self.streaks[bucket] += 1;
+        self.requests[bucket] += len;
+    }
+
+    fn scan(&mut self, stream: &[Request]) {
+        let mut len = 0u64;
+        let mut prev_block = 0u64;
+        let mut prev_write = false;
+        for req in stream {
+            let block = req.addr / ACCESS_BYTES;
+            if len > 0 && block == prev_block + 1 && req.is_write == prev_write {
+                len += 1;
+            } else {
+                if len > 0 {
+                    self.add_streak(len);
+                }
+                len = 1;
+            }
+            prev_block = block;
+            prev_write = req.is_write;
+        }
+        if len > 0 {
+            self.add_streak(len);
+        }
+    }
+
+    fn buckets(&self) -> Vec<StreakBucket> {
+        self.streaks
+            .iter()
+            .zip(&self.requests)
+            .enumerate()
+            .filter(|(_, (s, _))| **s > 0)
+            .map(|(i, (s, r))| StreakBucket {
+                min_len: 1 << i,
+                streaks: *s,
+                requests: *r,
+            })
+            .collect()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dram.json".to_owned());
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let models = zoo::all_models();
+    let cache = TraceCache::new();
+
+    let mut points = 0usize;
+    let mut requests = 0u64;
+    let mut per_access = 0.0f64;
+    let mut batched = 0.0f64;
+    let mut histogram = StreakHistogram::default();
+    let mut identical = true;
+
+    for npu in &npus {
+        let cfg = dram_config_for(npu);
+        for model in &models {
+            let sim = cache.get_or_simulate(npu, model);
+            for name in scheme_names() {
+                // Lower the point's stream exactly as the pipeline would:
+                // a fresh scheme instance rewriting the shared trace.
+                let mut scheme = scheme_by_name(name).expect("lineup name");
+                let lowered = LoweredTrace::lower(&sim, scheme.as_mut());
+                let stream = lowered.requests();
+                points += 1;
+                requests += stream.len() as u64;
+                histogram.scan(stream);
+
+                let mut exact = DramSim::new(cfg.clone());
+                let t0 = Instant::now();
+                for req in stream {
+                    exact.access(*req);
+                }
+                per_access += t0.elapsed().as_secs_f64();
+
+                let mut fast = DramSim::new(cfg.clone());
+                let t1 = Instant::now();
+                fast.run_batch(stream);
+                batched += t1.elapsed().as_secs_f64();
+
+                let agrees = exact.stats() == fast.stats()
+                    && exact.elapsed_cycles() == fast.elapsed_cycles()
+                    && exact.bank_occupancy_cycles() == fast.bank_occupancy_cycles();
+                if !agrees {
+                    identical = false;
+                    eprintln!(
+                        "KERNEL DIVERGENCE at {}/{}/{name}: \
+                         exact {:?} elapsed {} vs batched {:?} elapsed {}",
+                        npu.name,
+                        model.name(),
+                        exact.stats(),
+                        exact.elapsed_cycles(),
+                        fast.stats(),
+                        fast.elapsed_cycles()
+                    );
+                }
+            }
+        }
+    }
+
+    let record = DramBenchRecord {
+        points,
+        requests,
+        per_access_ms: per_access * 1e3,
+        batched_ms: batched * 1e3,
+        per_access_ns_per_access: per_access * 1e9 / requests.max(1) as f64,
+        batched_ns_per_access: batched * 1e9 / requests.max(1) as f64,
+        speedup: per_access / batched.max(f64::MIN_POSITIVE),
+        dram_replay_ms_per_point_before: per_access * 1e3 / points.max(1) as f64,
+        dram_replay_ms_per_point_after: batched * 1e3 / points.max(1) as f64,
+        streak_histogram: histogram.buckets(),
+        identical,
+    };
+
+    println!(
+        "dram replay: {} points, {} requests ({} workloads x {} schemes x {} NPUs)",
+        record.points,
+        record.requests,
+        models.len(),
+        scheme_names().len(),
+        npus.len()
+    );
+    println!(
+        "per-access kernel: {:8.2} ms ({:6.1} ns/access)",
+        record.per_access_ms, record.per_access_ns_per_access
+    );
+    println!(
+        "batched kernel:    {:8.2} ms ({:6.1} ns/access)",
+        record.batched_ms, record.batched_ns_per_access
+    );
+    println!(
+        "replay time per point: {:.3} ms -> {:.3} ms ({:.2}x)",
+        record.dram_replay_ms_per_point_before,
+        record.dram_replay_ms_per_point_after,
+        record.speedup
+    );
+    for b in &record.streak_histogram {
+        println!(
+            "  streak len {:>5}+: {:>8} streaks, {:>9} requests",
+            b.min_len, b.streaks, b.requests
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&record).expect("serializable");
+    std::fs::write(&out_path, json).expect("writable path");
+    eprintln!("wrote {out_path}");
+
+    if !record.identical {
+        eprintln!("FAILED: batched kernel diverged from the per-access kernel");
+        std::process::exit(1);
+    }
+    println!("identity: batched kernel bit-identical on all {points} streams");
+}

@@ -4,6 +4,7 @@
 
 use crate::pipeline::RunResult;
 use crate::sweep::{Sweep, SweepStats};
+use seda_dram::DramConfig;
 use seda_models::{zoo, Model};
 use seda_scalesim::NpuConfig;
 use serde::{Deserialize, Serialize};
@@ -110,6 +111,22 @@ pub fn evaluate_suites_with_stats(
         .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
         .collect();
     (evals, results.stats)
+}
+
+/// [`evaluate_suites`] with a per-NPU DRAM configuration override — the
+/// full lineup evaluated on a perturbed memory system. The golden-figure
+/// sensitivity self-tests use this to show that a one-cycle DRAM timing
+/// change is visible in the pinned Fig. 5/6 aggregates.
+pub fn evaluate_suites_dram_mapped(
+    npus: &[NpuConfig],
+    models: &[Model],
+    map: impl Fn(&NpuConfig) -> DramConfig + Send + Sync + 'static,
+) -> Vec<Evaluation> {
+    let results = lineup_sweep(npus, models).dram_map(map).run();
+    npus.iter()
+        .enumerate()
+        .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
+        .collect()
 }
 
 fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {

@@ -51,12 +51,14 @@ pub mod sweep;
 
 pub use error::SedaError;
 pub use experiment::{
-    evaluate, evaluate_paper_suite, evaluate_suites, evaluate_with_stats, Evaluation,
+    evaluate, evaluate_paper_suite, evaluate_suites, evaluate_suites_dram_mapped,
+    evaluate_with_stats, Evaluation,
 };
 pub use functional::{run_protected, run_reference, IntegrityViolation, SecureMemory};
 pub use pipeline::{
-    run_model, run_model_repeated, run_model_repeated_with_verifier, run_model_with_verifier,
-    run_spec, run_trace, try_run_trace, RunResult, RunSpec,
+    dram_config_for, run_model, run_model_repeated, run_model_repeated_with_verifier,
+    run_model_with_verifier, run_spec, run_trace, try_run_trace, try_run_trace_with_dram,
+    LoweredTrace, RunResult, RunSpec,
 };
 pub use sealing::{seal_model, unseal_layer, verify_model, SealedModel, SealingKeys};
 pub use sweep::{Sweep, SweepResults, SweepStats};

@@ -17,11 +17,100 @@
 //! [`Sweep`]: crate::sweep::Sweep
 
 use crate::error::SedaError;
-use seda_dram::{DramConfig, DramSim, DramStats};
+use seda_dram::{DramConfig, DramSim, DramStats, Request};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme, TrafficBreakdown};
 use seda_scalesim::{simulate_model, ModelSim, NpuConfig};
 use serde::{Deserialize, Serialize};
+
+/// The DRAM configuration the pipeline derives for an accelerator:
+/// DDR4 timing with the NPU's channel count and aggregate bandwidth.
+///
+/// Exposed so callers that need a perturbed memory system — the
+/// golden-figure sensitivity self-tests, ablation sweeps — can start from
+/// the exact configuration the default pipeline would use and hand the
+/// modified copy to [`try_run_trace_with_dram`] or
+/// [`Sweep::dram_map`](crate::sweep::Sweep::dram_map).
+pub fn dram_config_for(npu: &NpuConfig) -> DramConfig {
+    DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth)
+}
+
+/// A scheme-rewritten request stream lowered into one flat buffer with
+/// per-layer slice boundaries.
+///
+/// Lowering runs every burst of a pre-simulated trace through
+/// `scheme.transform` once and stores the emitted [`Request`]s
+/// contiguously, so the stream can be replayed through
+/// [`DramSim::run_batch`] any number of times *without regenerating it* —
+/// the replay benchmarks time the DRAM kernel in isolation this way.
+/// [`run_trace`] itself relowers per inference (reusing the allocation),
+/// because schemes are stateful: metadata caches warm across inferences,
+/// so the rewritten stream of inference *n + 1* differs from inference
+/// *n*'s.
+///
+/// # Examples
+///
+/// ```
+/// use seda::pipeline::LoweredTrace;
+/// use seda_models::zoo;
+/// use seda_protect::Unprotected;
+/// use seda_scalesim::{simulate_model, NpuConfig};
+///
+/// let npu = NpuConfig::edge();
+/// let sim = simulate_model(&npu, &zoo::lenet());
+/// let lowered = LoweredTrace::lower(&sim, &mut Unprotected::new());
+/// assert_eq!(lowered.layers(), sim.layers.len());
+/// assert!(!lowered.requests().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoweredTrace {
+    requests: Vec<Request>,
+    /// End index (exclusive) of each layer's slice in `requests`.
+    layer_ends: Vec<usize>,
+}
+
+impl LoweredTrace {
+    /// Lowers `sim`'s burst trace through `scheme` into a fresh buffer.
+    pub fn lower(sim: &ModelSim, scheme: &mut dyn ProtectionScheme) -> Self {
+        let mut lowered = Self::default();
+        lowered.relower(sim, scheme);
+        lowered
+    }
+
+    /// Re-lowers into the existing buffer, reusing its allocation. This
+    /// is the per-inference path of [`run_trace`]: scheme state advances,
+    /// but no per-request storage is reallocated.
+    pub fn relower(&mut self, sim: &ModelSim, scheme: &mut dyn ProtectionScheme) {
+        self.requests.clear();
+        self.layer_ends.clear();
+        for layer in &sim.layers {
+            for burst in &layer.bursts {
+                scheme.transform(burst, &mut |r| self.requests.push(r));
+            }
+            self.layer_ends.push(self.requests.len());
+        }
+    }
+
+    /// Number of layers in the lowered trace.
+    pub fn layers(&self) -> usize {
+        self.layer_ends.len()
+    }
+
+    /// The requests of layer `i`, in issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.layers()`.
+    pub fn layer(&self, i: usize) -> &[Request] {
+        let start = if i == 0 { 0 } else { self.layer_ends[i - 1] };
+        &self.requests[start..self.layer_ends[i]]
+    }
+
+    /// The whole flat request stream, in issue order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+}
 
 /// Per-layer timing outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -192,28 +281,51 @@ pub fn try_run_trace(
     verifier: Option<&HashEngine>,
     repeats: u32,
 ) -> Result<Vec<RunResult>, SedaError> {
+    try_run_trace_with_dram(sim, npu, scheme, verifier, repeats, dram_config_for(npu))
+}
+
+/// [`try_run_trace`] with an explicit DRAM configuration instead of the
+/// one [`dram_config_for`] derives from the NPU.
+///
+/// This is the injection point for memory-system ablations: the
+/// golden-figure suite replays the pinned workloads with a one-cycle
+/// burst-length (and refresh-window) perturbation to prove the fixtures
+/// actually pin the DRAM timing path.
+///
+/// # Errors
+///
+/// Returns [`SedaError::InvalidSpec`] when `repeats == 0`.
+pub fn try_run_trace_with_dram(
+    sim: &ModelSim,
+    npu: &NpuConfig,
+    scheme: &mut dyn ProtectionScheme,
+    verifier: Option<&HashEngine>,
+    repeats: u32,
+    dram_cfg: DramConfig,
+) -> Result<Vec<RunResult>, SedaError> {
     if repeats == 0 {
         return Err(SedaError::InvalidSpec {
             reason: "need at least one inference (repeats == 0)".to_owned(),
         });
     }
-    let dram_cfg = DramConfig::ddr4_with_bandwidth(npu.dram_channels, npu.dram_bandwidth);
     let mem_clock = dram_cfg.clock_hz;
     let mut dram = DramSim::new(dram_cfg);
 
+    // One flat request buffer for the whole run: each inference lowers
+    // the scheme-rewritten stream into it (schemes are stateful, so the
+    // stream must be regenerated per inference — see [`LoweredTrace`]),
+    // then replays layer slices through the batched DRAM kernel.
+    let mut lowered = LoweredTrace::default();
     let mut results = Vec::with_capacity(repeats as usize);
     for _ in 0..repeats {
+        lowered.relower(sim, scheme);
         let mut layers = Vec::with_capacity(sim.layers.len());
         let mut total = 0u64;
-        for layer in &sim.layers {
+        for (li, layer) in sim.layers.iter().enumerate() {
             let start = dram.elapsed_cycles();
-            let mut requests = 0u64;
-            for burst in &layer.bursts {
-                scheme.transform(burst, &mut |r| {
-                    requests += 1;
-                    dram.access(r);
-                });
-            }
+            let slice = lowered.layer(li);
+            let requests = slice.len() as u64;
+            dram.run_batch(slice);
             let mem_cycles_mem_domain = dram.elapsed_cycles() - start;
             let memory_cycles =
                 (mem_cycles_mem_domain as f64 / mem_clock * npu.clock_hz).ceil() as u64;
@@ -247,9 +359,9 @@ pub fn try_run_trace(
     // Flush dirty metadata at end of the run; the drain is exposed time,
     // charged to the last inference.
     let start = dram.elapsed_cycles();
-    scheme.finish(&mut |r| {
-        dram.access(r);
-    });
+    let mut flush = Vec::new();
+    scheme.finish(&mut |r| flush.push(r));
+    dram.run_batch(&flush);
     let drain = dram.elapsed_cycles() - start;
     // Invariant: `repeats > 0` was checked at entry, so at least one
     // result exists.
@@ -409,6 +521,68 @@ mod tests {
             .expect_err("zero repeats is malformed");
         assert!(matches!(err, SedaError::InvalidSpec { .. }));
         assert!(err.to_string().contains("repeats"));
+    }
+
+    #[test]
+    fn lowered_trace_slices_partition_the_stream() {
+        let npu = NpuConfig::edge();
+        let sim = simulate_model(&npu, &zoo::lenet());
+        let lowered = LoweredTrace::lower(&sim, &mut Unprotected::new());
+        assert_eq!(lowered.layers(), sim.layers.len());
+        let total: usize = (0..lowered.layers()).map(|i| lowered.layer(i).len()).sum();
+        assert_eq!(total, lowered.requests().len());
+        // Slices are contiguous and in issue order.
+        let flat: Vec<_> = (0..lowered.layers())
+            .flat_map(|i| lowered.layer(i).iter().copied())
+            .collect();
+        assert_eq!(flat, lowered.requests());
+    }
+
+    #[test]
+    fn relowering_a_stateless_scheme_is_idempotent() {
+        let npu = NpuConfig::edge();
+        let sim = simulate_model(&npu, &zoo::lenet());
+        let mut scheme = Unprotected::new();
+        let mut lowered = LoweredTrace::lower(&sim, &mut scheme);
+        let first = lowered.requests().to_vec();
+        lowered.relower(&sim, &mut scheme);
+        assert_eq!(lowered.requests(), first);
+    }
+
+    #[test]
+    fn explicit_default_dram_config_matches_derived() {
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let sim = simulate_model(&npu, &m);
+        let implicit = try_run_trace(&sim, &npu, &mut Unprotected::new(), None, 2).unwrap();
+        let explicit = try_run_trace_with_dram(
+            &sim,
+            &npu,
+            &mut Unprotected::new(),
+            None,
+            2,
+            dram_config_for(&npu),
+        )
+        .unwrap();
+        let cycles = |rs: &[RunResult]| rs.iter().map(|r| r.total_cycles).collect::<Vec<_>>();
+        assert_eq!(cycles(&implicit), cycles(&explicit));
+        assert_eq!(implicit.last().unwrap().dram, explicit.last().unwrap().dram);
+    }
+
+    #[test]
+    fn one_cycle_dram_perturbation_changes_the_run() {
+        let npu = NpuConfig::edge();
+        let m = zoo::lenet();
+        let sim = simulate_model(&npu, &m);
+        let base = try_run_trace(&sim, &npu, &mut Unprotected::new(), None, 1).unwrap();
+        let mut cfg = dram_config_for(&npu);
+        cfg.t_bl += 1;
+        let slower =
+            try_run_trace_with_dram(&sim, &npu, &mut Unprotected::new(), None, 1, cfg).unwrap();
+        assert!(
+            slower[0].total_cycles > base[0].total_cycles,
+            "a longer burst must slow the memory-bound layers"
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@
 //! ```
 
 use crate::error::SedaError;
-use crate::pipeline::{try_run_trace, RunResult};
+use crate::pipeline::{dram_config_for, try_run_trace_with_dram, RunResult};
+use seda_dram::DramConfig;
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme};
 use seda_scalesim::{NpuConfig, TraceCache};
@@ -46,6 +47,9 @@ use std::sync::Mutex;
 
 /// Factory producing a fresh scheme instance for one sweep point.
 type SchemeFactory = Box<dyn Fn() -> Box<dyn ProtectionScheme> + Send + Sync>;
+
+/// Per-NPU DRAM configuration override for memory-system ablations.
+type DramMap = Box<dyn Fn(&NpuConfig) -> DramConfig + Send + Sync>;
 
 struct SchemeSpec {
     label: String,
@@ -222,6 +226,7 @@ pub struct Sweep {
     verifier: Option<HashEngine>,
     repeats: u32,
     threads: Option<usize>,
+    dram_map: Option<DramMap>,
 }
 
 impl Sweep {
@@ -334,6 +339,19 @@ impl Sweep {
         self.threads(1)
     }
 
+    /// Overrides the per-NPU DRAM configuration. By default every point
+    /// uses [`dram_config_for`]; `map` receives each point's NPU and
+    /// returns the memory system to simulate instead — the injection
+    /// point for timing ablations (e.g. the golden-figure sensitivity
+    /// tests, which perturb `t_bl` by one cycle).
+    pub fn dram_map(
+        mut self,
+        map: impl Fn(&NpuConfig) -> DramConfig + Send + Sync + 'static,
+    ) -> Self {
+        self.dram_map = Some(Box::new(map));
+        self
+    }
+
     fn point_count(&self) -> usize {
         self.npus.len() * self.models.len() * self.schemes.len()
     }
@@ -353,12 +371,17 @@ impl Sweep {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let sim = cache.get_or_simulate(npu, model);
             let mut scheme = (self.schemes[idx % s].build)();
-            try_run_trace(
+            let dram_cfg = match &self.dram_map {
+                Some(map) => map(npu),
+                None => dram_config_for(npu),
+            };
+            try_run_trace_with_dram(
                 &sim,
                 npu,
                 scheme.as_mut(),
                 self.verifier.as_ref(),
                 self.repeats,
+                dram_cfg,
             )
         }))
         .unwrap_or_else(|payload| {

@@ -6,6 +6,21 @@
 //! keep the data bus busy. This captures the first-order behaviour that
 //! differentiates protection schemes — metadata accesses break row locality
 //! and add serialized activates — without a full command-level replay.
+//!
+//! Two kernels replay a request stream:
+//!
+//! * [`DramSim::access`]/[`DramSim::access_timed`] — the exact per-access
+//!   kernel, one full front-end evaluation per request.
+//! * [`DramSim::run_batch`] — the streak-batched replay kernel. DNN
+//!   traces are overwhelmingly streaming, so most per-access work is
+//!   redundant: a run of row hits on an uncontended bank advances the
+//!   bank and bus clocks by a closed-form amount. The batched kernel
+//!   detects such streaks and applies their timing and statistics in
+//!   O(1) per streak, falling back to the exact kernel on any row
+//!   change, bank conflict, direction change, or refresh-window
+//!   straddle. It is bit-identical to the per-access kernel — the
+//!   `dram-batch` family of `seda-validate` and the conformance tests
+//!   in this crate enforce that, stat for stat.
 
 use crate::config::DramConfig;
 use crate::mapping::{AddressMapping, DramCoord};
@@ -40,19 +55,19 @@ impl BankState {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Channel {
-    banks: Vec<BankState>,
+/// Per-channel clocks, kept apart from the bank array so the hot path
+/// touches one small struct per request.
+#[derive(Debug, Clone, Copy)]
+struct ChannelClock {
     /// Cycle after which the data bus is free.
     bus_free: u64,
     /// Clock of the most recent command issue (monotonic per channel).
     now: u64,
 }
 
-impl Channel {
-    fn new(bank_count: usize) -> Self {
+impl ChannelClock {
+    fn new() -> Self {
         Self {
-            banks: vec![BankState::new(); bank_count],
             bus_free: 0,
             now: 0,
         }
@@ -73,12 +88,22 @@ pub struct AccessTiming {
     pub data_end: u64,
 }
 
+/// A steady streak on one channel: the last access went to this bank and
+/// row with this direction, so the next same-key access is a pure bus-rate
+/// row hit with a closed-form issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StreakKey {
+    bank: usize,
+    row: u64,
+    is_write: bool,
+}
+
 /// A multi-channel DRAM timing simulator.
 ///
 /// Feed it a request stream with [`DramSim::access`] (or in bulk with
-/// [`DramSim::run`]) and read aggregate timing from [`DramSim::stats`].
-/// Bank and bus state persist across calls, so a whole inference can be
-/// simulated layer by layer.
+/// [`DramSim::run`]/[`DramSim::run_batch`]) and read aggregate timing from
+/// [`DramSim::stats`]. Bank and bus state persist across calls, so a
+/// whole inference can be simulated layer by layer.
 ///
 /// # Examples
 ///
@@ -97,7 +122,12 @@ pub struct AccessTiming {
 pub struct DramSim {
     config: DramConfig,
     mapping: AddressMapping,
-    channels: Vec<Channel>,
+    /// Per-channel bus/arrival clocks.
+    clocks: Vec<ChannelClock>,
+    /// All banks of all channels in one flat array, channel-major:
+    /// `channel * banks_per_channel + rank * banks + bank`.
+    banks: Vec<BankState>,
+    banks_per_channel: usize,
     stats: DramStats,
 }
 
@@ -105,13 +135,14 @@ impl DramSim {
     /// Creates a simulator with all banks precharged at cycle zero.
     pub fn new(config: DramConfig) -> Self {
         let mapping = AddressMapping::new(&config);
-        let channels = (0..config.channels)
-            .map(|_| Channel::new((config.banks * config.ranks) as usize))
-            .collect();
+        let banks_per_channel = (config.banks * config.ranks) as usize;
+        let channels = config.channels as usize;
         Self {
             config,
             mapping,
-            channels,
+            clocks: vec![ChannelClock::new(); channels],
+            banks: vec![BankState::new(); channels * banks_per_channel],
+            banks_per_channel,
             stats: DramStats::default(),
         }
     }
@@ -140,15 +171,16 @@ impl DramSim {
 
     fn access_decoded(&mut self, req: Request, coord: DramCoord) -> AccessTiming {
         let cfg = &self.config;
-        let ch = &mut self.channels[coord.channel as usize];
+        let ch = coord.channel as usize;
+        let clock = &mut self.clocks[ch];
         let bank_idx = (coord.rank * cfg.banks + coord.bank) as usize;
-        let bank = &mut ch.banks[bank_idx];
+        let bank = &mut self.banks[ch * self.banks_per_channel + bank_idx];
 
         // FR-FCFS-style front end: a request to a ready bank may issue
         // while another bank resolves a row conflict; only the data bus
         // and per-bank state serialize. `now` advances with the stream so
         // requests cannot issue before they arrive.
-        let arrival = ch.now;
+        let arrival = clock.now;
         let outcome;
         // Cycle at which the column command can be issued to this bank.
         let col_ready = match bank.open_row {
@@ -179,7 +211,7 @@ impl DramSim {
         // commands to the same bank pipeline at tCCD (= burst) spacing.
         // All-bank refresh blocks the channel for tRFC every tREFI: a
         // transfer landing inside a refresh window slips past it.
-        let mut data_start = (col_ready + cas).max(ch.bus_free);
+        let mut data_start = (col_ready + cas).max(clock.bus_free);
         if cfg.t_refi > 0 {
             let phase = data_start % cfg.t_refi;
             if phase < cfg.t_rfc {
@@ -189,10 +221,10 @@ impl DramSim {
         }
         let data_end = data_start + cfg.t_bl;
         self.stats.bus_busy_cycles += cfg.t_bl;
-        ch.bus_free = data_end;
+        clock.bus_free = data_end;
         // Arrival time advances with the bus, not with stalled banks: a
         // conflicted request does not block younger requests to other banks.
-        ch.now = ch.now.max(data_start.saturating_sub(cas + cfg.t_rcd));
+        clock.now = clock.now.max(data_start.saturating_sub(cas + cfg.t_rcd));
         bank.next_col = data_start - cas + cfg.t_bl;
         bank.busy_until = if req.is_write {
             data_end + cfg.t_wr
@@ -209,15 +241,209 @@ impl DramSim {
     }
 
     /// Simulates a request stream.
+    ///
+    /// The stream is buffered and replayed through the streak-batched
+    /// kernel, so bulk callers get the fast path automatically; results
+    /// are bit-identical to calling [`DramSim::access`] per request.
     pub fn run<I: IntoIterator<Item = Request>>(&mut self, requests: I) {
-        for r in requests {
-            self.access(r);
+        let buffer: Vec<Request> = requests.into_iter().collect();
+        self.run_batch(&buffer);
+    }
+
+    /// Streak-batched replay of a request slice, bit-identical to calling
+    /// [`DramSim::access`] on every element in order.
+    ///
+    /// The kernel exploits two structural facts:
+    ///
+    /// * **Channels are independent.** No state is shared between
+    ///   channels, and every aggregate statistic is a commutative sum, so
+    ///   requests to different channels can be timed in any order.
+    /// * **Steady row hits are bus-rate.** After any access, the bank's
+    ///   next column command plus CAS latency lands exactly when the bus
+    ///   frees (`next_col + cas == bus_free`), so a following access to
+    ///   the same bank, row, and direction starts its burst at
+    ///   `bus_free` — no front-end arbitration can change that.
+    ///
+    /// Sequential streaks (64 B slots at consecutive addresses, the shape
+    /// SCALE-Sim traces and scheme-rewritten tensor walks take) are
+    /// detected up front and applied per channel in closed form: `n` row
+    /// hits advance the bus by `n × t_bl` plus any refresh slips, which
+    /// the kernel accounts in O(refresh windows crossed) rather than
+    /// O(n). Anything that breaks the streak — a row change, a bank
+    /// conflict, a read/write turnaround, a region boundary — falls back
+    /// to the exact per-access kernel for that request.
+    pub fn run_batch(&mut self, requests: &[Request]) {
+        // The closed-form refresh walk assumes every issued burst leaves
+        // its channel with phase >= tRFC, which the per-access check only
+        // guarantees when the refresh window fits its interval. A
+        // degenerate config (tRFC >= tREFI) replays per access instead.
+        if self.config.t_refi > 0 && self.config.t_rfc >= self.config.t_refi {
+            for &r in requests {
+                self.access(r);
+            }
+            return;
         }
+        // Per-channel steady-streak state, local to this call: the key of
+        // the channel's most recent access. Local (not persisted) so that
+        // interleaved `access()` calls can never leave a stale key behind.
+        let mut streaks: Vec<Option<StreakKey>> = vec![None; self.clocks.len()];
+        let region_bits = self.mapping.region_bits();
+        let ch_bits = self.mapping.ch_bits();
+        let channels = 1usize << ch_bits;
+
+        let mut i = 0;
+        while i < requests.len() {
+            let head = requests[i];
+            let head_block = AddressMapping::block_of(head.addr);
+
+            // Detect a sequential streak: consecutive requests walking
+            // consecutive 64 B slots in one direction, within one
+            // super-row region (same (bank, rank, row) on every channel).
+            let region_end = (head_block >> region_bits).wrapping_add(1) << region_bits;
+            let max_len = (region_end - head_block).min((requests.len() - i) as u64) as usize;
+            let mut len = 1;
+            while len < max_len {
+                let r = requests[i + len];
+                if r.is_write != head.is_write
+                    || AddressMapping::block_of(r.addr) != head_block + len as u64
+                {
+                    break;
+                }
+                len += 1;
+            }
+
+            if len > channels {
+                // Heads: the first access per channel goes through the
+                // normal path (it may hit, conflict, or open an empty
+                // bank) and establishes the steady-streak invariant.
+                for j in 0..channels {
+                    self.step(requests[i + j], &mut streaks);
+                }
+                // Tail: channel of offset j is (head_block + j) mod
+                // channels; each channel's remaining accesses are steady
+                // row hits applied in closed form. Every block in the
+                // region shares one within-channel bank index.
+                let bank_in_channel = self.mapping.bank_index(head_block);
+                let extra = len - channels;
+                let per_channel = extra / channels;
+                let remainder = extra % channels;
+                for j in 0..channels {
+                    let ch = ((head_block + j as u64) & (channels as u64 - 1)) as usize;
+                    let n = per_channel + usize::from(j < remainder);
+                    if n > 0 {
+                        self.apply_streak(ch, bank_in_channel, n as u64, head.is_write);
+                    }
+                }
+                i += len;
+            } else {
+                self.step(head, &mut streaks);
+                i += 1;
+            }
+        }
+    }
+
+    /// One request through the batched kernel's scalar path: a steady
+    /// same-(bank, row, direction) follow-up takes the closed-form row-hit
+    /// step; anything else runs the exact per-access kernel.
+    #[inline]
+    fn step(&mut self, req: Request, streaks: &mut [Option<StreakKey>]) {
+        let block = AddressMapping::block_of(req.addr);
+        let ch = (block & (u64::from(self.mapping.channels()) - 1)) as usize;
+        let key = StreakKey {
+            bank: self.mapping.bank_index(block),
+            row: self.mapping.row_of(block),
+            is_write: req.is_write,
+        };
+        if streaks[ch] == Some(key) {
+            self.apply_streak(ch, key.bank, 1, req.is_write);
+        } else {
+            let coord = self.mapping.decode(req.addr);
+            let timing = self.access_decoded(req, coord);
+            self.stats.record(req, timing.outcome);
+            streaks[ch] = Some(key);
+        }
+    }
+
+    /// Applies `n` steady row hits on channel `ch`'s most recent bank in
+    /// closed form.
+    ///
+    /// Precondition (the steady-streak invariant): the channel's last
+    /// access touched the same bank, row, and direction. The exact kernel
+    /// then gives, for each of the `n` accesses,
+    /// `col_ready = next_col` (the channel's arrival clock always trails
+    /// `next_col`) and `col_ready + cas = bus_free`, so each burst starts
+    /// at `bus_free` — advanced only by refresh slips. Every statistic
+    /// the exact kernel would accumulate telescopes:
+    ///
+    /// * `data_start` advances by `t_bl` per access plus refresh slips,
+    ///   walked period-by-period (O(windows crossed), not O(n));
+    /// * each access's bank occupancy is `(Δdata_start) + cas + t_wr?`,
+    ///   so the sum is `n (t_bl + cas + t_wr?) + slips`;
+    /// * the channel arrival clock's running max is its final value.
+    fn apply_streak(&mut self, ch: usize, bank_in_channel: usize, n: u64, is_write: bool) {
+        let cfg = &self.config;
+        let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
+        let write_rec = if is_write { cfg.t_wr } else { 0 };
+        let clock = &mut self.clocks[ch];
+        // The previous access's burst start: its data_end is bus_free.
+        let ds0 = clock.bus_free - cfg.t_bl;
+
+        // Walk data_start forward n steps of t_bl, slipping past refresh
+        // windows exactly as the per-access check would: one modulo test
+        // per access, telescoped over whole tREFI periods.
+        let (mut ds, mut slip) = (ds0, 0u64);
+        let mut left = n;
+        if cfg.t_refi == 0 || cfg.t_bl == 0 {
+            // No refresh, or a zero-length burst whose phase never moves:
+            // post-check phases equal the (checked) previous phase, so no
+            // further slips are possible.
+            ds += left * cfg.t_bl;
+        } else {
+            while left > 0 {
+                // Steps whose tentative phase stays inside the current
+                // period need no check outcome change: every issued
+                // data_start has phase >= t_rfc, and phases only grow
+                // until the period wraps.
+                let phase = ds % cfg.t_refi;
+                let safe = ((cfg.t_refi - 1 - phase) / cfg.t_bl).min(left);
+                ds += safe * cfg.t_bl;
+                left -= safe;
+                if left > 0 {
+                    // This access wraps into the next period: apply the
+                    // exact kernel's single refresh check.
+                    let mut next = ds + cfg.t_bl;
+                    let phase = next % cfg.t_refi;
+                    if phase < cfg.t_rfc {
+                        slip += cfg.t_rfc - phase;
+                        next += cfg.t_rfc - phase;
+                    }
+                    ds = next;
+                    left -= 1;
+                }
+            }
+        }
+
+        // Telescoped state updates — each line is the exact kernel's
+        // per-access update summed over the n accesses.
+        self.stats.refresh_stall_cycles += slip;
+        self.stats.bus_busy_cycles += n * cfg.t_bl;
+        self.stats.row_hits += n;
+        if is_write {
+            self.stats.writes += n;
+        } else {
+            self.stats.reads += n;
+        }
+        clock.bus_free = ds + cfg.t_bl;
+        clock.now = clock.now.max(ds.saturating_sub(cas + cfg.t_rcd));
+        let bank = &mut self.banks[ch * self.banks_per_channel + bank_in_channel];
+        bank.occupied += n * (cfg.t_bl + cas + write_rec) + slip;
+        bank.next_col = ds - cas + cfg.t_bl;
+        bank.busy_until = ds + cfg.t_bl + write_rec;
     }
 
     /// Total elapsed memory-controller cycles (the slowest channel's clock).
     pub fn elapsed_cycles(&self) -> u64 {
-        self.channels.iter().map(|c| c.bus_free).max().unwrap_or(0)
+        self.clocks.iter().map(|c| c.bus_free).max().unwrap_or(0)
     }
 
     /// Elapsed time in seconds at the configured memory clock.
@@ -242,10 +468,7 @@ impl DramSim {
 
     /// Cumulative occupied cycles of every bank, channel-major.
     pub fn bank_occupancy_cycles(&self) -> Vec<u64> {
-        self.channels
-            .iter()
-            .flat_map(|c| c.banks.iter().map(|b| b.occupied))
-            .collect()
+        self.banks.iter().map(|b| b.occupied).collect()
     }
 
     /// Emits the simulator's cumulative activity to the global telemetry
@@ -260,17 +483,40 @@ impl DramSim {
         if !seda_telemetry::enabled() {
             return;
         }
+        self.emit_telemetry_to(&GlobalDispatch);
+    }
+
+    /// Emits the same metrics as [`DramSim::emit_telemetry`] into an
+    /// explicit sink, bypassing the process-global dispatch. The
+    /// `dram-batch` conformance family uses this to capture and compare
+    /// the two replay kernels' telemetry snapshots in isolation.
+    pub fn emit_telemetry_to(&self, sink: &dyn seda_telemetry::Sink) {
         let s = &self.stats;
-        seda_telemetry::counter_add("dram.reads", s.reads);
-        seda_telemetry::counter_add("dram.writes", s.writes);
-        seda_telemetry::counter_add("dram.row_hits", s.row_hits);
-        seda_telemetry::counter_add("dram.row_empties", s.row_empties);
-        seda_telemetry::counter_add("dram.row_conflicts", s.row_conflicts);
-        seda_telemetry::counter_add("dram.refresh_stall_cycles", s.refresh_stall_cycles);
-        seda_telemetry::counter_add("dram.bus_busy_cycles", s.bus_busy_cycles);
+        sink.add("dram.reads", s.reads);
+        sink.add("dram.writes", s.writes);
+        sink.add("dram.row_hits", s.row_hits);
+        sink.add("dram.row_empties", s.row_empties);
+        sink.add("dram.row_conflicts", s.row_conflicts);
+        sink.add("dram.refresh_stall_cycles", s.refresh_stall_cycles);
+        sink.add("dram.bus_busy_cycles", s.bus_busy_cycles);
         for occupied in self.bank_occupancy_cycles() {
-            seda_telemetry::record("dram.bank_occupancy_cycles", occupied);
+            sink.record("dram.bank_occupancy_cycles", occupied);
         }
+    }
+}
+
+/// Adapter routing [`seda_telemetry::Sink`] calls onto the process-global
+/// dispatch functions, so the global and sink-directed emit paths share
+/// one metric registry.
+struct GlobalDispatch;
+
+impl seda_telemetry::Sink for GlobalDispatch {
+    fn add(&self, name: &'static str, delta: u64) {
+        seda_telemetry::counter_add(name, delta);
+    }
+
+    fn record(&self, name: &'static str, value: u64) {
+        seda_telemetry::record(name, value);
     }
 }
 
@@ -382,6 +628,131 @@ mod tests {
         // roughly N/4 * tBL cycles, far below serial N * tBL.
         let cycles = s.elapsed_cycles();
         assert!(cycles < 4096 * 4 / 2, "no channel parallelism: {cycles}");
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::config::ACCESS_BYTES;
+
+    /// Replays `stream` through both kernels and asserts every observable
+    /// is bit-identical.
+    fn assert_conformant(cfg: DramConfig, stream: &[Request]) {
+        let mut exact = DramSim::new(cfg.clone());
+        for &r in stream {
+            exact.access(r);
+        }
+        let mut batched = DramSim::new(cfg);
+        batched.run_batch(stream);
+        assert_eq!(exact.stats(), batched.stats(), "stats diverged");
+        assert_eq!(
+            exact.elapsed_cycles(),
+            batched.elapsed_cycles(),
+            "elapsed cycles diverged"
+        );
+        assert_eq!(
+            exact.bank_occupancy_cycles(),
+            batched.bank_occupancy_cycles(),
+            "bank occupancy diverged"
+        );
+    }
+
+    #[test]
+    fn streaming_run_is_bit_identical() {
+        let stream: Vec<Request> = (0..50_000u64)
+            .map(|i| Request::read(i * ACCESS_BYTES))
+            .collect();
+        assert_conformant(DramConfig::server(), &stream);
+    }
+
+    #[test]
+    fn streaming_writes_are_bit_identical() {
+        let stream: Vec<Request> = (0..20_000u64)
+            .map(|i| Request::write(i * ACCESS_BYTES))
+            .collect();
+        assert_conformant(DramConfig::edge(), &stream);
+    }
+
+    #[test]
+    fn direction_turnarounds_are_bit_identical() {
+        let stream: Vec<Request> = (0..10_000u64)
+            .map(|i| {
+                if (i / 100) % 2 == 0 {
+                    Request::read(i * ACCESS_BYTES)
+                } else {
+                    Request::write(i * ACCESS_BYTES)
+                }
+            })
+            .collect();
+        assert_conformant(DramConfig::server(), &stream);
+    }
+
+    #[test]
+    fn row_thrash_is_bit_identical() {
+        let cfg = DramConfig::server();
+        let row_span = cfg.row_bytes * u64::from(cfg.channels);
+        let stream: Vec<Request> = (0..5_000u64)
+            .map(|i| Request::read((i * 7919) % 512 * row_span))
+            .collect();
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
+    fn same_slot_repeats_are_bit_identical() {
+        let stream: Vec<Request> = (0..5_000u64).map(|_| Request::read(4096)).collect();
+        assert_conformant(DramConfig::edge(), &stream);
+    }
+
+    #[test]
+    fn streaks_crossing_refresh_windows_are_bit_identical() {
+        // A long uninterrupted stream crosses many tREFI periods, so the
+        // closed-form slip walk gets exercised hard.
+        let stream: Vec<Request> = (0..400_000u64)
+            .map(|i| Request::read(i * ACCESS_BYTES))
+            .collect();
+        let cfg = DramConfig::server();
+        assert!(cfg.t_refi > 0);
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
+    fn single_channel_config_is_bit_identical() {
+        let cfg = DramConfig::ddr4_with_bandwidth(1, 5.0e9);
+        let stream: Vec<Request> = (0..30_000u64)
+            .map(|i| Request::read(i * ACCESS_BYTES))
+            .collect();
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
+    fn run_uses_the_batched_kernel() {
+        let mut a = DramSim::new(DramConfig::server());
+        a.run((0..10_000u64).map(|i| Request::read(i * ACCESS_BYTES)));
+        let mut b = DramSim::new(DramConfig::server());
+        for i in 0..10_000u64 {
+            b.access(Request::read(i * ACCESS_BYTES));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
+    }
+
+    #[test]
+    fn batch_state_carries_across_calls() {
+        // Splitting one stream across run_batch calls must equal one call:
+        // bank/bus state persists, only the local streak keys reset.
+        let stream: Vec<Request> = (0..8_192u64)
+            .map(|i| Request::read(i * ACCESS_BYTES))
+            .collect();
+        let mut whole = DramSim::new(DramConfig::server());
+        whole.run_batch(&stream);
+        let mut split = DramSim::new(DramConfig::server());
+        for chunk in stream.chunks(1000) {
+            split.run_batch(chunk);
+        }
+        assert_eq!(whole.stats(), split.stats());
+        assert_eq!(whole.elapsed_cycles(), split.elapsed_cycles());
+        assert_eq!(whole.bank_occupancy_cycles(), split.bank_occupancy_cycles());
     }
 }
 

@@ -5,9 +5,19 @@
 //! channels first (maximizing channel parallelism for streaming tensors),
 //! then walk a row's columns, then rotate banks. This matches the
 //! bandwidth-balanced mapping DNN accelerator studies assume.
+//!
+//! Every organization dimension is a power of two, so the mapping is a
+//! pure bit-slicing: decoding is shifts and masks, with no division or
+//! remainder anywhere on the path. The replay fast path decodes every
+//! request, so this is one of the hottest few instructions sequences in
+//! the workspace; the property suite in `tests/properties.rs` pins the
+//! bit-sliced form against an independent div/mod oracle.
 
 use crate::config::{DramConfig, ACCESS_BYTES};
 use serde::{Deserialize, Serialize};
+
+/// Shift from a byte address to its 64 B block index.
+const BLOCK_SHIFT: u32 = ACCESS_BYTES.trailing_zeros();
 
 /// A decoded DRAM coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -25,12 +35,22 @@ pub struct DramCoord {
 }
 
 /// Maps byte addresses to DRAM coordinates for a given organization.
+///
+/// Construction precomputes the bit widths of every field; [`decode`]
+/// and [`encode`] are then pure shift/mask pipelines.
+///
+/// [`decode`]: AddressMapping::decode
+/// [`encode`]: AddressMapping::encode
 #[derive(Debug, Clone)]
 pub struct AddressMapping {
-    channels: u64,
-    ranks: u64,
-    banks: u64,
-    columns: u64,
+    /// log2(channels).
+    ch_bits: u32,
+    /// log2(columns per row).
+    col_bits: u32,
+    /// log2(banks per rank).
+    bank_bits: u32,
+    /// log2(ranks per channel).
+    rank_bits: u32,
 }
 
 impl AddressMapping {
@@ -41,66 +61,112 @@ impl AddressMapping {
     /// Panics if channel, rank, bank, or column counts are not powers of
     /// two (required for bit-sliced decoding).
     pub fn new(config: &DramConfig) -> Self {
-        let m = Self {
-            channels: u64::from(config.channels),
-            ranks: u64::from(config.ranks),
-            banks: u64::from(config.banks),
-            columns: config.columns_per_row(),
-        };
+        let channels = u64::from(config.channels);
+        let ranks = u64::from(config.ranks);
+        let banks = u64::from(config.banks);
+        let columns = config.columns_per_row();
         assert!(
-            m.channels.is_power_of_two()
-                && m.ranks.is_power_of_two()
-                && m.banks.is_power_of_two()
-                && m.columns.is_power_of_two(),
+            channels.is_power_of_two()
+                && ranks.is_power_of_two()
+                && banks.is_power_of_two()
+                && columns.is_power_of_two(),
             "DRAM organization dims must be powers of two"
         );
-        m
+        Self {
+            ch_bits: channels.trailing_zeros(),
+            col_bits: columns.trailing_zeros(),
+            bank_bits: banks.trailing_zeros(),
+            rank_bits: ranks.trailing_zeros(),
+        }
     }
 
     /// Decodes a byte address into its DRAM coordinate.
+    #[inline]
     pub fn decode(&self, addr: u64) -> DramCoord {
-        let mut block = addr / ACCESS_BYTES;
-        let channel = block % self.channels;
-        block /= self.channels;
-        let column = block % self.columns;
-        block /= self.columns;
-        let bank = block % self.banks;
-        block /= self.banks;
-        let rank = block % self.ranks;
-        block /= self.ranks;
+        let block = addr >> BLOCK_SHIFT;
+        let channel = block & mask(self.ch_bits);
+        let column = (block >> self.ch_bits) & mask(self.col_bits);
+        let bank = (block >> (self.ch_bits + self.col_bits)) & mask(self.bank_bits);
+        let rank =
+            (block >> (self.ch_bits + self.col_bits + self.bank_bits)) & mask(self.rank_bits);
+        let row = block >> (self.ch_bits + self.col_bits + self.bank_bits + self.rank_bits);
         DramCoord {
             channel: channel as u32,
             rank: rank as u32,
             bank: bank as u32,
-            row: block,
+            row,
             column,
         }
     }
 
     /// Re-encodes a coordinate into the base byte address of its 64 B slot.
+    #[inline]
     pub fn encode(&self, coord: DramCoord) -> u64 {
         let mut block = coord.row;
-        block = block * self.ranks + u64::from(coord.rank);
-        block = block * self.banks + u64::from(coord.bank);
-        block = block * self.columns + coord.column;
-        block = block * self.channels + u64::from(coord.channel);
-        block * ACCESS_BYTES
+        block = (block << self.rank_bits) | u64::from(coord.rank);
+        block = (block << self.bank_bits) | u64::from(coord.bank);
+        block = (block << self.col_bits) | coord.column;
+        block = (block << self.ch_bits) | u64::from(coord.channel);
+        block << BLOCK_SHIFT
     }
 
     /// Number of channels the mapping stripes over.
     pub fn channels(&self) -> u32 {
-        self.channels as u32
+        1 << self.ch_bits
     }
 
     /// Number of banks per rank.
     pub fn banks(&self) -> u32 {
-        self.banks as u32
+        1 << self.bank_bits
     }
 
     /// Number of ranks per channel.
     pub fn ranks(&self) -> u32 {
-        self.ranks as u32
+        1 << self.rank_bits
     }
+
+    /// The 64 B block index of `addr` (its channel-interleaved slot).
+    #[inline]
+    pub(crate) fn block_of(addr: u64) -> u64 {
+        addr >> BLOCK_SHIFT
+    }
+
+    /// log2(channels), for the controller's channel extraction.
+    #[inline]
+    pub(crate) fn ch_bits(&self) -> u32 {
+        self.ch_bits
+    }
+
+    /// Bits below the (bank, rank, row) fields: `log2(channels × columns)`.
+    ///
+    /// Two blocks share their per-channel `(bank, rank, row)` triple
+    /// exactly when they agree above these bits, which is the streak
+    /// detector's "same super-row region" test.
+    #[inline]
+    pub(crate) fn region_bits(&self) -> u32 {
+        self.ch_bits + self.col_bits
+    }
+
+    /// The flat bank index within a channel: `rank * banks + bank`.
+    ///
+    /// Because `banks` is a power of two, this equals the `(rank, bank)`
+    /// bit fields read as one integer, so it is a single shift + mask.
+    #[inline]
+    pub(crate) fn bank_index(&self, block: u64) -> usize {
+        ((block >> self.region_bits()) & mask(self.bank_bits + self.rank_bits)) as usize
+    }
+
+    /// Row index of a block (the bits above bank and rank).
+    #[inline]
+    pub(crate) fn row_of(&self, block: u64) -> u64 {
+        block >> (self.region_bits() + self.bank_bits + self.rank_bits)
+    }
+}
+
+/// An all-ones mask of `bits` low bits.
+#[inline]
+fn mask(bits: u32) -> u64 {
+    (1 << bits) - 1
 }
 
 #[cfg(test)]
@@ -145,5 +211,25 @@ mod tests {
         let b = m.decode(row_span);
         assert_eq!(b.channel, a.channel);
         assert_ne!((b.bank, b.row), (a.bank, a.row));
+    }
+
+    #[test]
+    fn fast_field_helpers_agree_with_decode() {
+        let cfg = DramConfig::server();
+        let m = AddressMapping::new(&cfg);
+        for addr in (0u64..1 << 22).step_by(64 * 7) {
+            let c = m.decode(addr);
+            let block = AddressMapping::block_of(addr);
+            assert_eq!(
+                block & u64::from(mask_u32(m.ch_bits())),
+                u64::from(c.channel)
+            );
+            assert_eq!(m.bank_index(block), (c.rank * cfg.banks + c.bank) as usize);
+            assert_eq!(m.row_of(block), c.row);
+        }
+    }
+
+    fn mask_u32(bits: u32) -> u32 {
+        (1u32 << bits) - 1
     }
 }

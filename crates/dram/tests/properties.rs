@@ -7,6 +7,74 @@ fn configs() -> Vec<DramConfig> {
     vec![DramConfig::server(), DramConfig::edge()]
 }
 
+/// The pre-rewrite div/mod decode, kept here as an independent oracle for
+/// the bit-sliced [`AddressMapping::decode`]. The interleave order is
+/// channel : column : bank : rank : row from the least-significant block
+/// digit upward, expressed with `%` and `/` so no shift/mask logic is
+/// shared with the implementation under test.
+fn divmod_decode(cfg: &DramConfig, addr: u64) -> (u32, u32, u32, u64, u64) {
+    let block = addr / ACCESS_BYTES;
+    let channel = (block % u64::from(cfg.channels)) as u32;
+    let rest = block / u64::from(cfg.channels);
+    let column = rest % cfg.columns_per_row();
+    let rest = rest / cfg.columns_per_row();
+    let bank = (rest % u64::from(cfg.banks)) as u32;
+    let rest = rest / u64::from(cfg.banks);
+    let rank = (rest % u64::from(cfg.ranks)) as u32;
+    let row = rest / u64::from(cfg.ranks);
+    (channel, rank, bank, row, column)
+}
+
+/// A power-of-two organization from raw exponents (the randomized-config
+/// axis of the mapping properties).
+fn config_from_bits(ch_bits: u32, rank_bits: u32, bank_bits: u32, row_exp: u32) -> DramConfig {
+    let mut cfg = DramConfig::ddr4_with_bandwidth(1 << ch_bits, 16.0e9);
+    cfg.ranks = 1 << rank_bits;
+    cfg.banks = 1 << bank_bits;
+    cfg.row_bytes = 1 << row_exp;
+    cfg
+}
+
+/// Addresses that sit on (and straddle) every field boundary of the
+/// decoded coordinate: 64 B slot edges and each power of two up to the
+/// 2^42 range the sweep address space uses.
+fn boundary_addresses() -> Vec<u64> {
+    let mut addrs = vec![0, 1, 63, 64, 65, 127, 128];
+    for exp in 7..=42u32 {
+        let base = 1u64 << exp;
+        for delta in [-64i64, -1, 0, 1, 64] {
+            addrs.push(base.wrapping_add_signed(delta));
+        }
+    }
+    addrs
+}
+
+#[test]
+fn bit_sliced_decode_matches_divmod_oracle_on_boundaries() {
+    let mut all = configs();
+    for (ch, rk, bk, row) in [(0, 0, 2, 10), (1, 1, 3, 7), (2, 0, 4, 13), (3, 1, 2, 11)] {
+        all.push(config_from_bits(ch, rk, bk, row));
+    }
+    for cfg in all {
+        let m = AddressMapping::new(&cfg);
+        for addr in boundary_addresses() {
+            let c = m.decode(addr);
+            let expect = divmod_decode(&cfg, addr);
+            assert_eq!(
+                (c.channel, c.rank, c.bank, c.row, c.column),
+                expect,
+                "divmod oracle disagrees at addr {addr:#x} \
+                 (channels={} ranks={} banks={} row_bytes={})",
+                cfg.channels,
+                cfg.ranks,
+                cfg.banks,
+                cfg.row_bytes
+            );
+            assert_eq!(m.encode(c), addr / ACCESS_BYTES * ACCESS_BYTES);
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn mapping_is_a_bijection_on_slots(addr in 0u64..(1 << 42)) {
@@ -15,6 +83,21 @@ proptest! {
             let coord = m.decode(addr);
             prop_assert_eq!(m.encode(coord), addr / ACCESS_BYTES * ACCESS_BYTES);
         }
+    }
+
+    #[test]
+    fn bit_sliced_decode_matches_divmod_oracle(
+        addr in 0u64..(1 << 42),
+        ch_bits in 0u32..4,
+        rank_bits in 0u32..2,
+        bank_bits in 2u32..5,
+        row_exp in 7u32..14,
+    ) {
+        let cfg = config_from_bits(ch_bits, rank_bits, bank_bits, row_exp);
+        let m = AddressMapping::new(&cfg);
+        let c = m.decode(addr);
+        prop_assert_eq!((c.channel, c.rank, c.bank, c.row, c.column), divmod_decode(&cfg, addr));
+        prop_assert_eq!(m.encode(c), addr / ACCESS_BYTES * ACCESS_BYTES);
     }
 
     #[test]

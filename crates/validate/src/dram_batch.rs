@@ -1,0 +1,223 @@
+//! Differential conformance oracle for the batched DRAM replay kernel.
+//!
+//! [`DramSim::run_batch`] coalesces streaming streaks into closed-form
+//! timing updates; this family replays every generated stream through
+//! both the exact per-access kernel and the batched kernel from identical
+//! cold starts and demands *bit-identical* outcomes: [`seda_dram::DramStats`], the
+//! elapsed channel clock, per-bank occupancy, and the full telemetry
+//! snapshot ([`DramSim::emit_telemetry_to`] into a private sink, so the
+//! comparison never races the process-global one).
+//!
+//! Streams are chosen to hit every fast-path boundary: pure streaming
+//! (maximum coalescing), row thrash (no coalescing), refresh-straddling
+//! runs (the closed form's period walk), multi-channel interleave (the
+//! per-channel decomposition), random scatter, and read/write turnaround.
+
+use crate::ensure;
+use crate::rng::Rng;
+use seda_dram::{DramConfig, DramSim, Request, ACCESS_BYTES};
+use seda_telemetry::SharedSink;
+
+/// A randomized organization biased toward fast-path boundaries:
+/// multi-channel interleave, small rows (frequent row changes), short
+/// refresh intervals (frequent window straddles), and the degenerate
+/// `t_rfc >= t_refi` case the batched kernel must refuse to coalesce.
+fn random_config(rng: &mut Rng) -> DramConfig {
+    let channels = *rng.pick(&[1u32, 2, 4, 8]);
+    let mut cfg = DramConfig::ddr4_with_bandwidth(channels, 1.0e9 * rng.range(4, 24) as f64);
+    cfg.banks = *rng.pick(&[4u32, 8, 16]);
+    cfg.ranks = *rng.pick(&[1u32, 2]);
+    cfg.row_bytes = *rng.pick(&[1024u64, 2048, 8192]);
+    cfg.t_bl = *rng.pick(&[1u64, 2, 4, 8]);
+    cfg.t_wr = rng.range(0, 20);
+    match rng.below(4) {
+        0 => cfg.t_refi = 0, // refresh disabled
+        1 => {
+            // Aggressive refresh: streaks straddle many windows.
+            cfg.t_refi = rng.range(100, 1200);
+            cfg.t_rfc = rng.range(1, cfg.t_refi - 1);
+        }
+        2 => {
+            // Pathological: the blocking window covers the whole interval,
+            // which forces run_batch onto its exact per-access fallback.
+            cfg.t_refi = rng.range(16, 64);
+            cfg.t_rfc = cfg.t_refi + rng.range(0, 8);
+        }
+        _ => {} // DDR4 defaults
+    }
+    cfg
+}
+
+/// The generated stream shapes, one per oracle emphasis.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// Long sequential runs — maximum coalescing.
+    Streaming,
+    /// Alternating far-apart rows on one bank — zero coalescing.
+    RowThrash,
+    /// Sequential runs long enough to straddle refresh windows.
+    RefreshStraddle,
+    /// Sequential runs, so every consecutive pair lands on a different
+    /// channel — exercises the per-channel streak decomposition.
+    Interleave,
+    /// Uniform scatter with mixed directions.
+    Random,
+}
+
+const SHAPES: [Shape; 5] = [
+    Shape::Streaming,
+    Shape::RowThrash,
+    Shape::RefreshStraddle,
+    Shape::Interleave,
+    Shape::Random,
+];
+
+fn stream_of(shape: Shape, rng: &mut Rng, cfg: &DramConfig, len: usize) -> Vec<Request> {
+    let mut stream = Vec::with_capacity(len);
+    match shape {
+        Shape::Streaming | Shape::Interleave => {
+            // One long sequential walk with occasional direction flips and
+            // rare jumps; under a multi-channel config this *is* the
+            // interleave case, since consecutive lines alternate channels.
+            let mut addr = rng.below(1 << 22) * ACCESS_BYTES;
+            let mut write = false;
+            while stream.len() < len {
+                if rng.coin(1, 64) {
+                    addr = rng.below(1 << 22) * ACCESS_BYTES;
+                }
+                if rng.coin(1, 24) {
+                    write = !write;
+                }
+                stream.push(Request {
+                    addr,
+                    is_write: write,
+                });
+                addr += ACCESS_BYTES;
+            }
+        }
+        Shape::RowThrash => {
+            // Two rows of the same bank: every access conflicts, so the
+            // batched path must degrade to the exact kernel per request.
+            let row_span = cfg.row_bytes / ACCESS_BYTES * u64::from(cfg.channels) * ACCESS_BYTES;
+            let bank_span = row_span * u64::from(cfg.banks) * u64::from(cfg.ranks);
+            let base = rng.below(1 << 12) * bank_span;
+            for i in 0..len {
+                let row = (i as u64 % 2) * bank_span;
+                stream.push(Request::read(base + row));
+            }
+        }
+        Shape::RefreshStraddle => {
+            // Long same-row bursts: with a short t_refi each burst crosses
+            // several refresh windows, exercising the closed-form walk.
+            let mut addr = rng.below(1 << 20) * ACCESS_BYTES;
+            while stream.len() < len {
+                for _ in 0..rng.range(64, 256) {
+                    stream.push(Request::read(addr));
+                    addr += ACCESS_BYTES;
+                }
+                addr += rng.below(1 << 16) * ACCESS_BYTES;
+            }
+            stream.truncate(len);
+        }
+        Shape::Random => {
+            for _ in 0..len {
+                let addr = rng.below(1 << 22) * ACCESS_BYTES;
+                stream.push(if rng.coin(1, 3) {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                });
+            }
+        }
+    }
+    stream
+}
+
+/// Replays `stream` through the exact per-access kernel.
+fn replay_exact(cfg: &DramConfig, stream: &[Request]) -> DramSim {
+    let mut sim = DramSim::new(cfg.clone());
+    for req in stream {
+        sim.access(*req);
+    }
+    sim
+}
+
+/// Replays `stream` through the batched kernel, split at a random point
+/// so streaks also cross `run_batch` call boundaries.
+fn replay_batched(cfg: &DramConfig, stream: &[Request], split: usize) -> DramSim {
+    let mut sim = DramSim::new(cfg.clone());
+    let (a, b) = stream.split_at(split.min(stream.len()));
+    sim.run_batch(a);
+    sim.run_batch(b);
+    sim
+}
+
+fn telemetry_snapshot(sim: &DramSim) -> seda_telemetry::Snapshot {
+    let sink = SharedSink::new();
+    sim.emit_telemetry_to(&sink);
+    sink.snapshot()
+}
+
+/// One randomized case: one config, all five stream shapes, bit-identity
+/// of the batched kernel against the exact kernel on each.
+pub fn check_case(rng: &mut Rng) -> Result<(), String> {
+    let cfg = random_config(rng);
+    for shape in SHAPES {
+        let stream = stream_of(shape, rng, &cfg, 1500);
+        let split = rng.below(stream.len() as u64 + 1) as usize;
+        let ctx = format!(
+            "{shape:?}: channels={} ranks={} banks={} row={} t_bl={} t_wr={} \
+             t_refi={} t_rfc={} split={split}",
+            cfg.channels,
+            cfg.ranks,
+            cfg.banks,
+            cfg.row_bytes,
+            cfg.t_bl,
+            cfg.t_wr,
+            cfg.t_refi,
+            cfg.t_rfc
+        );
+
+        let exact = replay_exact(&cfg, &stream);
+        let batched = replay_batched(&cfg, &stream, split);
+
+        ensure!(
+            exact.stats() == batched.stats(),
+            "{ctx}: stats diverge\n  exact:   {:?}\n  batched: {:?}",
+            exact.stats(),
+            batched.stats()
+        );
+        ensure!(
+            exact.elapsed_cycles() == batched.elapsed_cycles(),
+            "{ctx}: elapsed {} (exact) != {} (batched)",
+            exact.elapsed_cycles(),
+            batched.elapsed_cycles()
+        );
+        ensure!(
+            exact.bank_occupancy_cycles() == batched.bank_occupancy_cycles(),
+            "{ctx}: per-bank occupancy diverges"
+        );
+        ensure!(
+            telemetry_snapshot(&exact) == telemetry_snapshot(&batched),
+            "{ctx}: telemetry snapshots diverge\n  exact:   {}\n  batched: {}",
+            telemetry_snapshot(&exact).to_json(),
+            telemetry_snapshot(&batched).to_json()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_family, Family};
+
+    #[test]
+    fn dram_batch_family_passes_fixed_seed() {
+        let report = run_family(
+            Family::DramBatch,
+            0xD1FF_0005,
+            Family::DramBatch.default_cases(),
+        );
+        assert!(report.passed(), "{report}");
+    }
+}

@@ -4,7 +4,7 @@
 //! analytical and a cycle-accurate compute model, a streamed and a
 //! per-segment B-AES pad path, scheme-level traffic models and the
 //! functional crypto path — and this crate cross-checks them with seeded
-//! randomized oracles instead of hand-picked shapes. Six families:
+//! randomized oracles instead of hand-picked shapes. Seven families:
 //!
 //! * [`gemm`] — `exact_gemm` vs `gemm_cycles` and MAC totals over random
 //!   shapes for both dataflows, including fold/remainder edges.
@@ -20,6 +20,11 @@
 //! * [`dram`] — DRAM timing invariants (monotone channel clocks, burst
 //!   length from config, refresh-window exclusion, achieved bandwidth at
 //!   or below peak) over randomized request streams.
+//! * [`dram_batch`] — the batched replay kernel (`DramSim::run_batch`)
+//!   against the exact per-access kernel: bit-identical stats, elapsed
+//!   clock, bank occupancy, and telemetry snapshots over streaming,
+//!   row-thrash, refresh-straddling, channel-interleaved, and random
+//!   streams.
 //! * [`pipeline`] — `run_trace` totals invariant under `TraceCache` reuse
 //!   and sweep parallelism.
 //! * [`adversary`] — random fault-injection cells from `seda-adversary`'s
@@ -44,6 +49,7 @@
 
 pub mod adversary;
 pub mod dram;
+pub mod dram_batch;
 pub mod gemm;
 pub mod otp;
 pub mod pipeline;
@@ -53,7 +59,7 @@ pub mod schemes;
 use rng::Rng;
 use std::fmt;
 
-/// The six oracle/invariant families of the harness.
+/// The seven oracle/invariant families of the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Cycle-accurate vs analytical systolic-array model.
@@ -64,6 +70,8 @@ pub enum Family {
     Schemes,
     /// DRAM timing invariants over random request streams.
     Dram,
+    /// Batched vs per-access DRAM replay kernels, bit for bit.
+    DramBatch,
     /// Pipeline totals under trace caching and sweep parallelism.
     Pipeline,
     /// Fault-injection verdicts vs the paper-claimed detection matrix.
@@ -72,12 +80,13 @@ pub enum Family {
 
 impl Family {
     /// All families in canonical order.
-    pub fn all() -> [Family; 6] {
+    pub fn all() -> [Family; 7] {
         [
             Family::Gemm,
             Family::Otp,
             Family::Schemes,
             Family::Dram,
+            Family::DramBatch,
             Family::Pipeline,
             Family::Adversary,
         ]
@@ -90,13 +99,14 @@ impl Family {
             Family::Otp => "otp",
             Family::Schemes => "schemes",
             Family::Dram => "dram",
+            Family::DramBatch => "dram-batch",
             Family::Pipeline => "pipeline",
             Family::Adversary => "adversary",
         }
     }
 
-    /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `pipeline`,
-    /// `adversary`).
+    /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `dram-batch`,
+    /// `pipeline`, `adversary`).
     pub fn parse(s: &str) -> Option<Family> {
         Family::all().into_iter().find(|f| f.name() == s)
     }
@@ -109,6 +119,7 @@ impl Family {
             Family::Otp => 48,
             Family::Schemes => 32,
             Family::Dram => 12,
+            Family::DramBatch => 12,
             Family::Pipeline => 4,
             Family::Adversary => 16,
         }
@@ -207,6 +218,7 @@ fn checker(family: Family) -> fn(&mut Rng) -> Result<(), String> {
         Family::Otp => otp::check_case,
         Family::Schemes => schemes::check_case,
         Family::Dram => dram::check_case,
+        Family::DramBatch => dram_batch::check_case,
         Family::Pipeline => pipeline::check_case,
         Family::Adversary => adversary::check_case,
     }

@@ -33,6 +33,11 @@ fn dram_invariants() {
 }
 
 #[test]
+fn dram_batch_conformance() {
+    assert_family(Family::DramBatch);
+}
+
+#[test]
 fn pipeline_invariants() {
     assert_family(Family::Pipeline);
 }

@@ -45,6 +45,10 @@ for src in crates/bench/src/bin/*.rs; do
       run cargo run --quiet --release -p seda-bench --bin sweep_bench -- \
         "$tmp/BENCH_sweep.json"
       ;;
+    dram_bench)
+      run cargo run --quiet --release -p seda-bench --bin dram_bench -- \
+        "$tmp/BENCH_dram.json"
+      ;;
     telemetry_overhead)
       run cargo run --quiet --release -p seda-bench --bin telemetry_overhead -- \
         "$tmp/BENCH_telemetry.json"

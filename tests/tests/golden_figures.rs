@@ -62,8 +62,8 @@ fn evaluations() -> &'static Vec<Evaluation> {
     })
 }
 
-fn golden_points() -> Vec<GoldenPoint> {
-    evaluations()
+fn golden_points(evals: &[Evaluation]) -> Vec<GoldenPoint> {
+    evals
         .iter()
         .flat_map(|eval| {
             eval.workloads.iter().flat_map(|w| {
@@ -79,11 +79,12 @@ fn golden_points() -> Vec<GoldenPoint> {
         .collect()
 }
 
-fn golden_figure(
+fn golden_figure_of(
+    evals: &[Evaluation],
     figure: &str,
     mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
 ) -> GoldenFigure {
-    let means = evaluations()
+    let means = evals
         .iter()
         .flat_map(|eval| {
             mean_of(eval).into_iter().map(|(scheme, mean)| SchemeMean {
@@ -97,8 +98,15 @@ fn golden_figure(
         schema: "seda-golden/v1".to_owned(),
         figure: figure.to_owned(),
         means,
-        points: golden_points(),
+        points: golden_points(evals),
     }
+}
+
+fn golden_figure(
+    figure: &str,
+    mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
+) -> GoldenFigure {
+    golden_figure_of(evaluations(), figure, mean_of)
 }
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -147,6 +155,65 @@ fn fig6_normalized_runtime_matches_golden() {
     let fig = golden_figure("fig6_normalized_runtime", Evaluation::mean_perf);
     let json = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
     check_golden("fig6_perf.golden.json", &json);
+}
+
+/// Renders the Fig. 6 snapshot the pinned shape would produce under a
+/// perturbed per-NPU DRAM configuration.
+fn fig6_with_dram_map(
+    map: impl Fn(&NpuConfig) -> seda_dram::DramConfig + Send + Sync + 'static,
+) -> String {
+    let npus = [NpuConfig::server(), NpuConfig::edge()];
+    let models = [zoo::lenet(), zoo::dlrm()];
+    let evals = seda::experiment::evaluate_suites_dram_mapped(&npus, &models, map);
+    let fig = golden_figure_of(&evals, "fig6_normalized_runtime", Evaluation::mean_perf);
+    serde_json::to_string_pretty(&fig).expect("golden figure serializes")
+}
+
+#[test]
+fn one_cycle_burst_perturbation_flips_the_fig6_comparison() {
+    // The fixtures must pin the DRAM timing path, not just the compute
+    // model: lengthening every data burst by a single memory cycle has to
+    // produce a different Fig. 6 snapshot than the pinned one.
+    let perturbed = fig6_with_dram_map(|npu| {
+        let mut cfg = seda::pipeline::dram_config_for(npu);
+        cfg.t_bl += 1;
+        cfg
+    });
+    let pinned = std::fs::read_to_string(fixture_path("fig6_perf.golden.json"))
+        .expect("fixture exists (bless with UPDATE_GOLDEN=1)");
+    assert_ne!(
+        perturbed, pinned,
+        "a one-cycle t_bl perturbation must change the golden snapshot"
+    );
+}
+
+#[test]
+fn one_cycle_refresh_window_perturbation_flips_the_fig6_comparison() {
+    let perturbed = fig6_with_dram_map(|npu| {
+        let mut cfg = seda::pipeline::dram_config_for(npu);
+        cfg.t_rfc += 1;
+        cfg
+    });
+    let pinned = std::fs::read_to_string(fixture_path("fig6_perf.golden.json"))
+        .expect("fixture exists (bless with UPDATE_GOLDEN=1)");
+    assert_ne!(
+        perturbed, pinned,
+        "a one-cycle refresh-window perturbation must change the golden snapshot"
+    );
+}
+
+#[test]
+fn unperturbed_dram_map_reproduces_the_pinned_fig6() {
+    // Control for the two sensitivity tests above: the same override
+    // path with the *unmodified* configuration must land exactly on the
+    // fixture, so the flips can only come from the perturbations.
+    let same = fig6_with_dram_map(seda::pipeline::dram_config_for);
+    let pinned = std::fs::read_to_string(fixture_path("fig6_perf.golden.json"))
+        .expect("fixture exists (bless with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        same, pinned,
+        "the dram_map override path must be bit-identical to the default path"
+    );
 }
 
 #[test]
