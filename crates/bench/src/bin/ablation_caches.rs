@@ -1,51 +1,23 @@
 //! Ablation: SGX metadata-cache size sensitivity.
 //!
-//! Sweeps the VN and MAC cache capacities around the paper's 16 KB/8 KB
-//! operating point and reports SGX-64B traffic overhead on ResNet-18,
-//! showing the paper's configuration sits on the flat part of the curve
-//! (DNN streaming defeats metadata caching; capacity barely helps).
+//! Thin wrapper over the registered `ablation_caches` scenario: VN and
+//! MAC cache capacities swept around the paper's 16 KB/8 KB operating
+//! point on ResNet-18, showing the configuration sits on the flat part of
+//! the curve (DNN streaming defeats metadata caching; capacity barely
+//! helps). The grid lives in `scenarios/ablation_caches.json`.
 //!
 //! Usage: `cargo run --release -p seda-bench --bin ablation_caches`
 
-use seda::models::zoo;
-use seda::pipeline::run_model;
-use seda::protect::{BlockMacKind, BlockMacScheme, Unprotected, PROTECTED_BYTES};
-use seda::scalesim::NpuConfig;
+use seda::scenario;
 
 fn main() {
-    let npu = NpuConfig::edge();
-    let model = zoo::resnet18();
-    let base = run_model(&npu, &model, &mut Unprotected::new());
-    println!("Ablation: SGX-64B metadata cache sensitivity (rest, edge NPU)");
-    println!(
-        "{:>10} {:>10} {:>16} {:>12}",
-        "VN cache", "MAC cache", "traffic overhead", "slowdown"
-    );
-    for (vn_kb, mac_kb) in [
-        (4u64, 2u64),
-        (8, 4),
-        (16, 8), // paper operating point
-        (32, 16),
-        (64, 32),
-        (256, 128),
-    ] {
-        let mut scheme = BlockMacScheme::with_caches(
-            BlockMacKind::Sgx,
-            64,
-            PROTECTED_BYTES,
-            mac_kb << 10,
-            vn_kb << 10,
-        );
-        let run = run_model(&npu, &model, &mut scheme);
-        println!(
-            "{:>7} KB {:>7} KB {:>15.2}% {:>11.4}x",
-            vn_kb,
-            mac_kb,
-            (run.traffic.total() as f64 / base.traffic.total() as f64 - 1.0) * 100.0,
-            run.total_cycles as f64 / base.total_cycles as f64,
-        );
-    }
-    println!();
+    let run = scenario::load("ablation_caches")
+        .and_then(|s| s.run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", run.render());
     println!("Streaming tensors have little metadata reuse, so growing the VN/MAC");
     println!("caches yields diminishing returns — the motivation for eliminating");
     println!("the metadata rather than caching it (SeDA).");

@@ -1,76 +1,23 @@
 //! Extension experiment: DRAM energy per protection scheme.
 //!
 //! The paper evaluates traffic and time; metadata also costs DRAM energy —
-//! extra bursts and, for scattered metadata, extra row activates. This
-//! binary reports per-scheme DRAM energy on both NPUs (DDR4 energies for
-//! the server, LPDDR4 for the edge).
-//!
-//! Runs as one parallel sweep on the unified engine; each scheme starts
-//! cold on each workload, so per-workload energy is accounted
-//! independently (the old hand-rolled loop leaked warm metadata caches
-//! from one workload into the next).
+//! extra bursts and, for scattered metadata, extra row activates. Thin
+//! wrapper over the registered `ablation_energy` scenario, which reports
+//! per-scheme DRAM energy on both NPUs (DDR4 energies for the server,
+//! LPDDR4 for the edge).
 //!
 //! Usage: `cargo run --release -p seda-bench --bin ablation_energy`
 
-use seda::dram::{estimate_energy, EnergyParams};
-use seda::experiment::scheme_names;
-use seda::models::zoo;
-use seda::scalesim::NpuConfig;
-use seda::sweep::Sweep;
+use seda::scenario;
 
 fn main() {
-    let npus = [NpuConfig::server(), NpuConfig::edge()];
-    let models = [zoo::resnet18(), zoo::alexnet()];
-    let results = Sweep::new()
-        .npus(npus.iter().cloned())
-        .models(models.iter().cloned())
-        .schemes(scheme_names())
-        .run();
-
-    println!("Extension: DRAM energy per protection scheme (ResNet-18 + AlexNet)");
-    for (ni, (npu, params, mem)) in [
-        (&npus[0], EnergyParams::ddr4(), "DDR4"),
-        (&npus[1], EnergyParams::lpddr4(), "LPDDR4"),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        println!("\n-- {} NPU ({mem}) --", npu.name);
-        println!(
-            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
-            "scheme", "act mJ", "read mJ", "write mJ", "bkgd mJ", "total mJ", "vs base"
-        );
-        let mut base_total = None;
-        for (si, name) in scheme_names().into_iter().enumerate() {
-            let mut energy_acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-            for mi in 0..models.len() {
-                let r = results.at(ni, mi, si);
-                let secs: f64 = r
-                    .layers
-                    .iter()
-                    .map(|l| l.memory_cycles as f64 / npu.clock_hz)
-                    .sum();
-                let e = estimate_energy(&params, &r.dram, secs);
-                energy_acc.0 += e.activate_mj;
-                energy_acc.1 += e.read_mj;
-                energy_acc.2 += e.write_mj;
-                energy_acc.3 += e.background_mj;
-            }
-            let total = energy_acc.0 + energy_acc.1 + energy_acc.2 + energy_acc.3;
-            let base = *base_total.get_or_insert(total);
-            println!(
-                "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>8.2}%",
-                name,
-                energy_acc.0,
-                energy_acc.1,
-                energy_acc.2,
-                energy_acc.3,
-                total,
-                (total / base - 1.0) * 100.0
-            );
-        }
-    }
-    println!();
+    let run = scenario::load("ablation_energy")
+        .and_then(|s| s.run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", run.render());
     println!("Energy overhead tracks traffic overhead plus an activate term for");
     println!("schemes whose metadata breaks row locality; SeDA's energy cost is");
     println!("as negligible as its traffic cost.");

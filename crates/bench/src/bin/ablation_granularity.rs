@@ -1,55 +1,23 @@
 //! Ablation: protection granularity sweep for the MGX-style scheme.
 //!
-//! Sweeps the MAC protection-block size from 64 B to 4 KB on three
-//! workloads, exposing the tension Table I describes: coarse blocks cut
-//! metadata but pay alignment overfetch and read-modify-write fills where
-//! tiling produces short runs. The whole grid runs as one parallel sweep;
-//! each workload's trace is simulated once and shared by all eight
-//! scheme points.
+//! Thin wrapper over the registered `ablation_granularity` scenario: MAC
+//! protection-block sizes from 64 B to 4 KB on three workloads, exposing
+//! the tension Table I describes — coarse blocks cut metadata but pay
+//! alignment overfetch and read-modify-write fills where tiling produces
+//! short runs. The grid lives in `scenarios/ablation_granularity.json`.
 //!
 //! Usage: `cargo run --release -p seda-bench --bin ablation_granularity`
 
-use seda::models::zoo;
-use seda::protect::{BlockMacKind, BlockMacScheme, PROTECTED_BYTES};
-use seda::scalesim::NpuConfig;
-use seda::sweep::Sweep;
-
-const GRANULARITIES: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+use seda::scenario;
 
 fn main() {
-    let models = [zoo::alexnet(), zoo::mobilenet(), zoo::transformer_fwd()];
-    let mut sweep = Sweep::new()
-        .npu(NpuConfig::edge())
-        .models(models.iter().cloned())
-        .scheme("baseline");
-    for g in GRANULARITIES {
-        sweep = sweep.scheme_with(&format!("MGX-{g}B"), move || {
-            Box::new(BlockMacScheme::new(BlockMacKind::Mgx, g, PROTECTED_BYTES))
+    let run = scenario::load("ablation_granularity")
+        .and_then(|s| s.run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         });
-    }
-    let results = sweep.run();
-
-    println!("Ablation: MGX protection granularity sweep (edge NPU)");
-    println!(
-        "{:<10} {:>7} {:>13} {:>13} {:>16} {:>11}",
-        "workload", "g", "MAC bytes", "overfetch B", "traffic overhead", "slowdown"
-    );
-    for (mi, model) in models.iter().enumerate() {
-        let base = results.at(0, mi, 0);
-        for (gi, g) in GRANULARITIES.iter().enumerate() {
-            let run = results.at(0, mi, gi + 1);
-            println!(
-                "{:<10} {:>6}B {:>13} {:>13} {:>15.2}% {:>10.4}x",
-                model.name(),
-                g,
-                run.traffic.mac_read + run.traffic.mac_write,
-                run.traffic.overfetch_read,
-                (run.traffic.total() as f64 / base.traffic.total() as f64 - 1.0) * 100.0,
-                run.total_cycles as f64 / base.total_cycles as f64,
-            );
-        }
-        println!();
-    }
+    print!("{}", run.render());
     println!("MAC metadata shrinks with granularity while overfetch grows: the");
     println!("optimum is workload-dependent, motivating SeDA's per-layer optBlk.");
 }

@@ -1,47 +1,27 @@
 //! Regenerates Fig. 5: normalized memory traffic of the five protection
 //! schemes over the 13 workloads, on both NPUs.
 //!
-//! Both NPUs run as one parallel sweep on the unified engine: every
-//! (NPU, model) trace is simulated once and shared across the six
-//! schemes.
+//! Thin wrapper over the registered `fig5` scenario — the axes live in
+//! `scenarios/fig5.json` and execute through the declarative scenario
+//! engine (one parallel sweep; every (NPU, model) trace is simulated once
+//! and shared across the six schemes).
 //!
 //! Usage: `cargo run --release -p seda-bench --bin fig5_memory_traffic`
 //! Pass a path as the first argument to also dump the raw evaluation JSON.
 
-use seda::experiment::evaluate_suites;
-use seda::models::zoo;
-use seda::report::figure5;
-use seda::scalesim::NpuConfig;
+use seda::scenario;
 
 fn main() {
     let json_path = std::env::args().nth(1);
-    let npus = [NpuConfig::server(), NpuConfig::edge()];
-    let evals = evaluate_suites(&npus, &zoo::all_models());
-    for (npu, eval) in npus.iter().zip(&evals) {
-        print!("{}", figure5(eval));
-        println!();
-        print!(
-            "{}",
-            seda::report::bar_chart(
-                &format!("mean normalized traffic — {} NPU", npu.name),
-                &eval.mean_traffic(),
-                48
-            )
-        );
-        println!();
-        for (scheme, t) in eval.mean_traffic() {
-            if scheme != "baseline" {
-                println!(
-                    "  {} NPU {scheme}: traffic overhead {:+.2}%",
-                    npu.name,
-                    (t - 1.0) * 100.0
-                );
-            }
-        }
-        println!();
-    }
+    let run = scenario::load("fig5")
+        .and_then(|s| s.run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", run.render());
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&evals).expect("serializable");
+        let json = serde_json::to_string_pretty(&run.evaluations).expect("serializable");
         std::fs::write(&path, json).expect("writable path");
         eprintln!("wrote {path}");
     }

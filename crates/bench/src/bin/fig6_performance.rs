@@ -1,43 +1,19 @@
 //! Regenerates Fig. 6(a)/(b): normalized runtime of the five protection
 //! schemes over the 13 workloads, on the server and edge NPUs.
 //!
-//! Both panels come from one parallel sweep on the unified engine.
+//! Thin wrapper over the registered `fig6` scenario
+//! (`scenarios/fig6.json`); both panels come from one parallel sweep.
 //!
 //! Usage: `cargo run --release -p seda-bench --bin fig6_performance`
 
-use seda::experiment::evaluate_suites;
-use seda::models::zoo;
-use seda::report::figure6;
-use seda::scalesim::NpuConfig;
+use seda::scenario;
 
 fn main() {
-    let npus = [NpuConfig::server(), NpuConfig::edge()];
-    let evals = evaluate_suites(&npus, &zoo::all_models());
-    for ((panel, npu), eval) in [("(a)", &npus[0]), ("(b)", &npus[1])]
-        .into_iter()
-        .zip(&evals)
-    {
-        println!("Fig. 6{panel}");
-        print!("{}", figure6(eval));
-        println!();
-        print!(
-            "{}",
-            seda::report::bar_chart(
-                &format!("mean normalized runtime — {} NPU", npu.name),
-                &eval.mean_perf(),
-                48
-            )
-        );
-        println!();
-        for (scheme, p) in eval.mean_perf() {
-            if scheme != "baseline" {
-                println!(
-                    "  {} NPU {scheme}: slowdown {:+.2}%",
-                    npu.name,
-                    (p - 1.0) * 100.0
-                );
-            }
-        }
-        println!();
-    }
+    let run = scenario::load("fig6")
+        .and_then(|s| s.run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", run.render());
 }

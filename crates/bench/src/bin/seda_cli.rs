@@ -1,11 +1,12 @@
 //! Umbrella CLI: one entry point that lists and dispatches every
-//! experiment, table, figure, ablation, and validation binary.
+//! experiment, table, figure, ablation, and validation binary, plus the
+//! declarative scenario zoo.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p seda-bench --bin seda_cli -- list
 //! cargo run --release -p seda-bench --bin seda_cli -- table 3
-//! cargo run --release -p seda-bench --bin seda_cli -- fig 4
+//! cargo run --release -p seda-bench --bin seda_cli -- scenario run fig6
 //! cargo run --release -p seda-bench --bin seda_cli -- run rest edge SeDA
 //! ```
 
@@ -15,19 +16,11 @@ use seda::pipeline::{run_spec, RunSpec};
 use seda::protect::{paper_lineup, scheme_by_name};
 use seda::report::{table1, table2, table3};
 use seda::scalesim::{AddressMap, NpuConfig};
+use seda::scenario;
 use seda::sweep::Sweep;
 use seda::telemetry;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    (
-        "table1_granularity",
-        "Table I: multi-level MAC granularity comparison",
-    ),
-    ("table2_configs", "Table II: server/edge NPU configurations"),
-    (
-        "table3_schemes",
-        "Table III: protection-scheme feature matrix",
-    ),
     (
         "fig4_area_power",
         "Fig. 4: T-AES vs B-AES area/power scaling",
@@ -87,8 +80,13 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 
 fn usage() -> ! {
     eprintln!("usage: seda_cli [--telemetry <out.json>] <command>");
-    eprintln!("  list                 enumerate all experiment binaries");
+    eprintln!("  list                 enumerate experiment binaries and scenarios");
     eprintln!("  table <1|2|3>        print a paper table");
+    eprintln!("  scenario list        enumerate the scenario zoo");
+    eprintln!("  scenario describe <name>      show one scenario's axes");
+    eprintln!("  scenario run <name> [--json <out.json>]");
+    eprintln!("                       execute a scenario (optionally dump the");
+    eprintln!("                       seda-scenario/v1 snapshot as JSON)");
     eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
     eprintln!("  quickstart           functional + timing demo on LeNet");
     eprintln!("  workloads            list workload names");
@@ -97,6 +95,82 @@ fn usage() -> ! {
     eprintln!("  --telemetry <path>   export a seda-telemetry/v1 metric");
     eprintln!("                       snapshot of the run as JSON");
     std::process::exit(2);
+}
+
+/// Terminates with the error on stderr (exit code 1).
+fn die(e: seda::SedaError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+/// `scenario <list|describe|run>`: the declarative scenario zoo.
+fn scenario_cmd(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let scenarios = scenario::list().unwrap_or_else(|e| die(e));
+            println!("registered scenarios (run with `seda_cli scenario run <name>`):\n");
+            for s in &scenarios {
+                println!("  {:<22} {}", s.name, s.title);
+            }
+        }
+        Some("describe") => {
+            let Some(name) = args.get(1) else { usage() };
+            let s = scenario::load(name).unwrap_or_else(|e| die(e));
+            println!("{}: {}", s.name, s.title);
+            println!("  npus:      {}", s.npus.join(", "));
+            println!("  workloads:");
+            for w in &s.workloads {
+                // Validated on load, so every spec resolves.
+                let model = w.resolve().unwrap_or_else(|e| die(e.into()));
+                println!(
+                    "    {:<16} {:>3} layers {:>14} MACs",
+                    model.name(),
+                    model.layers().len(),
+                    model.total_macs()
+                );
+            }
+            let labels: Vec<String> = s.schemes.iter().map(|sc| sc.label()).collect();
+            println!("  schemes:   {}", labels.join(", "));
+            if let Some(d) = &s.dram {
+                println!(
+                    "  dram override: {}",
+                    serde_json::to_string(d).unwrap_or_default()
+                );
+            }
+            if let Some(v) = &s.verifier {
+                println!(
+                    "  verifier:  {} B/cycle, {} cycles latency",
+                    v.bytes_per_cycle, v.latency_cycles
+                );
+            }
+            if let Some(n) = s.repeats {
+                println!("  repeats:   {n}");
+            }
+            let outputs: Vec<&str> = s.outputs.iter().map(|o| o.as_str()).collect();
+            println!("  outputs:   {}", outputs.join(", "));
+        }
+        Some("run") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let json_path = rest.iter().position(|a| a == "--json").map(|i| {
+                if i + 1 >= rest.len() {
+                    eprintln!("--json needs an output path");
+                    std::process::exit(2);
+                }
+                let path = rest.remove(i + 1);
+                rest.remove(i);
+                path
+            });
+            let Some(name) = rest.first() else { usage() };
+            let s = scenario::load(name).unwrap_or_else(|e| die(e));
+            let run = s.run().unwrap_or_else(|e| die(e));
+            print!("{}", run.render());
+            if let Some(path) = json_path {
+                std::fs::write(&path, run.snapshot_json()).expect("writable snapshot path");
+                eprintln!("scenario snapshot written to {path}");
+            }
+        }
+        _ => usage(),
+    }
 }
 
 /// Removes a `--telemetry <path>` flag from `args`, returning the path.
@@ -170,16 +244,30 @@ fn main() {
             for (name, what) in EXPERIMENTS {
                 println!("  {name:<24} {what}");
             }
+            println!();
+            println!("paper tables: `seda_cli table <1|2|3>`");
+            println!("scenario zoo: `seda_cli scenario list` (fig5/fig6 and the");
+            println!("ablations are scenario-driven; the fig/ablation binaries are");
+            println!("thin wrappers over `scenarios/<name>.json`)");
         }
         Some("table") => match args.get(1).map(String::as_str) {
             Some("1") => print!("{}", table1()),
             Some("2") => print!("{}", table2(&[NpuConfig::server(), NpuConfig::edge()])),
             Some("3") => {
-                let infos: Vec<_> = paper_lineup().iter().map(|s| s.info()).collect();
+                // The paper's Table III covers the five headline schemes
+                // of the Fig. 5/6 lineup; append the Securator row as
+                // implemented for the ablations.
+                let infos: Vec<_> = seda::experiment::scheme_names()
+                    .into_iter()
+                    .filter(|n| *n != "baseline")
+                    .chain(["Securator"])
+                    .map(|n| scheme_by_name(n).expect("registry name").info())
+                    .collect();
                 print!("{}", table3(&infos));
             }
             _ => usage(),
         },
+        Some("scenario") => scenario_cmd(&args[1..]),
         Some("run") => {
             let workload = args.get(1).map(String::as_str).unwrap_or("rest");
             let npu = match args.get(2).map(String::as_str) {

@@ -9,6 +9,7 @@
 //! panics the stack; it degrades into one of these variants.**
 
 use crate::functional::IntegrityViolation;
+use crate::scenario::ScenarioError;
 use seda_crypto::mac::TagMismatch;
 use seda_protect::ProtectError;
 use std::error::Error;
@@ -44,6 +45,8 @@ pub enum SedaError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A declarative scenario file failed to parse or validate.
+    Scenario(ScenarioError),
 }
 
 impl fmt::Display for SedaError {
@@ -60,6 +63,7 @@ impl fmt::Display for SedaError {
             SedaError::PointPanicked { point, message } => {
                 write!(f, "sweep point {point} panicked: {message}")
             }
+            SedaError::Scenario(s) => write!(f, "{s}"),
         }
     }
 }
@@ -70,6 +74,7 @@ impl Error for SedaError {
             SedaError::Integrity(v) => Some(v),
             SedaError::Tag(t) => Some(t),
             SedaError::Protect(p) => Some(p),
+            SedaError::Scenario(s) => Some(s),
             _ => None,
         }
     }
@@ -90,6 +95,12 @@ impl From<TagMismatch> for SedaError {
 impl From<ProtectError> for SedaError {
     fn from(p: ProtectError) -> Self {
         SedaError::Protect(p)
+    }
+}
+
+impl From<ScenarioError> for SedaError {
+    fn from(s: ScenarioError) -> Self {
+        SedaError::Scenario(s)
     }
 }
 
@@ -146,5 +157,17 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("0x40") && msg.contains("128") && msg.contains("96"));
+    }
+
+    #[test]
+    fn scenario_errors_convert_and_chain() {
+        let s = ScenarioError::UnknownScheme {
+            name: "SGX-63B".to_owned(),
+        };
+        let e = SedaError::from(s);
+        assert!(matches!(e, SedaError::Scenario(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("SGX-63B"), "{msg}");
+        assert!(e.source().is_some(), "scenario errors chain their source");
     }
 }

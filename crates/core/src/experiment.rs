@@ -3,7 +3,7 @@
 //! five protection schemes, on both NPUs.
 
 use crate::pipeline::RunResult;
-use crate::sweep::{Sweep, SweepStats};
+use crate::sweep::{Sweep, SweepResults, SweepStats};
 use seda_dram::DramConfig;
 use seda_models::{zoo, Model};
 use seda_scalesim::NpuConfig;
@@ -61,13 +61,21 @@ impl Evaluation {
     }
 
     fn mean_of(&self, f: impl Fn(&SchemeOutcome) -> f64) -> Vec<(String, f64)> {
+        // Label-driven, not pinned to the Fig. 5/6 lineup: custom scheme
+        // sets (scenario files, granularity ablations) average the same
+        // way. Workloads in one evaluation share a scheme axis, so the
+        // first workload's outcome labels are the evaluation's labels.
         let n = self.workloads.len() as f64;
-        scheme_names()
+        let Some(first) = self.workloads.first() else {
+            return Vec::new();
+        };
+        first
+            .outcomes
             .iter()
             .enumerate()
-            .map(|(i, name)| {
+            .map(|(i, o)| {
                 let sum: f64 = self.workloads.iter().map(|w| f(&w.outcomes[i])).sum();
-                ((*name).to_owned(), sum / n)
+                (o.scheme.clone(), sum / n)
             })
             .collect()
     }
@@ -86,7 +94,7 @@ pub fn evaluate(npu: &NpuConfig, models: &[Model]) -> Evaluation {
 /// number of `simulate_model` calls the sweep actually performed.
 pub fn evaluate_with_stats(npu: &NpuConfig, models: &[Model]) -> (Evaluation, SweepStats) {
     let results = lineup_sweep(std::slice::from_ref(npu), models).run();
-    (evaluation_of(&results, 0, &npu.name, models), results.stats)
+    (evaluation_of(&results, 0), results.stats)
 }
 
 /// Evaluates `models` under the full lineup on several NPUs as *one*
@@ -105,11 +113,7 @@ pub fn evaluate_suites_with_stats(
     models: &[Model],
 ) -> (Vec<Evaluation>, SweepStats) {
     let results = lineup_sweep(npus, models).run();
-    let evals = npus
-        .iter()
-        .enumerate()
-        .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
-        .collect();
+    let evals = evaluations_of(&results);
     (evals, results.stats)
 }
 
@@ -123,10 +127,25 @@ pub fn evaluate_suites_dram_mapped(
     map: impl Fn(&NpuConfig) -> DramConfig + Send + Sync + 'static,
 ) -> Vec<Evaluation> {
     let results = lineup_sweep(npus, models).dram_map(map).run();
-    npus.iter()
-        .enumerate()
-        .map(|(ni, npu)| evaluation_of(&results, ni, &npu.name, models))
-        .collect()
+    evaluations_of(&results)
+}
+
+/// Normalizes a completed [`SweepResults`] into one [`Evaluation`] per
+/// NPU, taking all labels from the sweep itself.
+///
+/// This is the generic form behind [`evaluate_suites`]: it works for any
+/// scheme set (the declarative scenario engine routes custom lineups and
+/// cache-varied schemes through it), with the sweep's **first scheme** as
+/// the normalization baseline. For the standard lineup the output is
+/// bit-identical to [`evaluate_suites`].
+///
+/// # Panics
+///
+/// Panics if the sweep has a failed point or an empty scheme axis; check
+/// [`SweepResults::failures`] first for fault-tolerant handling.
+pub fn evaluations_of(results: &SweepResults) -> Vec<Evaluation> {
+    let (n_npus, _, _) = results.shape();
+    (0..n_npus).map(|ni| evaluation_of(results, ni)).collect()
 }
 
 fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {
@@ -136,25 +155,18 @@ fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {
         .schemes(scheme_names())
 }
 
-fn evaluation_of(
-    results: &crate::sweep::SweepResults,
-    ni: usize,
-    npu_name: &str,
-    models: &[Model],
-) -> Evaluation {
-    let workloads = models
-        .iter()
-        .enumerate()
-        .map(|(mi, model)| {
+fn evaluation_of(results: &SweepResults, ni: usize) -> Evaluation {
+    let (_, n_models, n_schemes) = results.shape();
+    assert!(n_schemes > 0, "an evaluation needs at least one scheme");
+    let workloads = (0..n_models)
+        .map(|mi| {
             let base = results.at(ni, mi, 0);
             let (t0, c0) = (base.traffic.total() as f64, base.total_cycles as f64);
-            let outcomes = scheme_names()
-                .iter()
-                .enumerate()
-                .map(|(si, name)| {
+            let outcomes = (0..n_schemes)
+                .map(|si| {
                     let run = results.at(ni, mi, si);
                     SchemeOutcome {
-                        scheme: (*name).to_owned(),
+                        scheme: results.scheme_labels()[si].clone(),
                         traffic_norm: run.traffic.total() as f64 / t0,
                         perf_norm: run.total_cycles as f64 / c0,
                         run: run.clone(),
@@ -162,13 +174,13 @@ fn evaluation_of(
                 })
                 .collect();
             WorkloadEval {
-                workload: model.name().to_owned(),
+                workload: results.model_labels()[mi].clone(),
                 outcomes,
             }
         })
         .collect();
     Evaluation {
-        npu: npu_name.to_owned(),
+        npu: results.npu_labels()[ni].clone(),
         workloads,
     }
 }
@@ -220,6 +232,36 @@ mod tests {
             stats.trace_hits,
             (models.len() * (scheme_names().len() - 1)) as u64
         );
+    }
+
+    #[test]
+    fn evaluations_of_uses_sweep_labels_for_custom_schemes() {
+        // Cache-varied BlockMac instances all *name* themselves
+        // "SGX-64B"; the evaluation must carry the sweep labels instead,
+        // or custom lineups would collapse into indistinguishable columns.
+        use seda_protect::{BlockMacKind, BlockMacScheme, PROTECTED_BYTES};
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline")
+            .scheme_with("SGX-64B+tiny", || {
+                Box::new(BlockMacScheme::with_caches(
+                    BlockMacKind::Sgx,
+                    64,
+                    PROTECTED_BYTES,
+                    2 << 10,
+                    4 << 10,
+                ))
+            })
+            .run();
+        let evals = evaluations_of(&results);
+        assert_eq!(evals.len(), 1);
+        let outcomes = &evals[0].workloads[0].outcomes;
+        assert_eq!(outcomes[0].scheme, "baseline");
+        assert_eq!(outcomes[1].scheme, "SGX-64B+tiny");
+        assert_eq!(outcomes[0].traffic_norm, 1.0);
+        let means = evals[0].mean_traffic();
+        assert_eq!(means[1].0, "SGX-64B+tiny");
     }
 
     #[test]

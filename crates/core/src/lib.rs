@@ -46,13 +46,14 @@ pub mod functional;
 pub mod optblk;
 pub mod pipeline;
 pub mod report;
+pub mod scenario;
 pub mod sealing;
 pub mod sweep;
 
 pub use error::SedaError;
 pub use experiment::{
     evaluate, evaluate_paper_suite, evaluate_suites, evaluate_suites_dram_mapped,
-    evaluate_with_stats, Evaluation,
+    evaluate_with_stats, evaluations_of, Evaluation,
 };
 pub use functional::{run_protected, run_reference, IntegrityViolation, SecureMemory};
 pub use pipeline::{
@@ -60,6 +61,7 @@ pub use pipeline::{
     run_model_with_verifier, run_spec, run_trace, try_run_trace, try_run_trace_with_dram,
     LoweredTrace, RunResult, RunSpec,
 };
+pub use scenario::{Scenario, ScenarioError, ScenarioRun};
 pub use sealing::{seal_model, unseal_layer, verify_model, SealedModel, SealingKeys};
 pub use sweep::{Sweep, SweepResults, SweepStats};
 

@@ -1,0 +1,1283 @@
+//! Declarative scenario engine: experiments as data, not binaries.
+//!
+//! A [`Scenario`] is a serializable description of one experiment —
+//! which workloads (zoo names or parametric generators), which NPUs,
+//! which protection schemes, an optional DRAM-configuration override,
+//! repeat/verifier settings, and which outputs to render. Scenarios live
+//! as JSON files in the repository's top-level `scenarios/` directory
+//! and execute through the existing [`Sweep`] engine, so a scenario run
+//! is bit-identical to the hand-coded experiment it replaced.
+//!
+//! The figure/table/ablation binaries are thin wrappers over registered
+//! scenarios, and `seda_cli scenario list|describe|run <name>` drives the
+//! zoo interactively. Every scenario's headline numbers can be pinned as
+//! a golden fixture via [`ScenarioRun::snapshot_json`], which makes the
+//! zoo a regression surface: adding a JSON file adds an experiment *and*
+//! its drift detector.
+//!
+//! # Examples
+//!
+//! ```
+//! use seda::scenario::Scenario;
+//!
+//! let text = r#"{
+//!   "name": "demo",
+//!   "title": "LeNet under SeDA on the edge NPU",
+//!   "npus": ["edge"],
+//!   "workloads": ["let"],
+//!   "schemes": ["baseline", "SeDA"],
+//!   "outputs": ["traffic"]
+//! }"#;
+//! let scenario = Scenario::from_json(text).expect("valid scenario");
+//! let run = scenario.run().expect("runs clean");
+//! let outcomes = &run.evaluations[0].workloads[0].outcomes;
+//! assert_eq!(outcomes[0].scheme, "baseline");
+//! assert!(outcomes[1].traffic_norm >= 1.0 - 1e-9);
+//! ```
+
+use crate::error::SedaError;
+use crate::experiment::{evaluations_of, Evaluation};
+use crate::pipeline::dram_config_for;
+use crate::report;
+use crate::sweep::Sweep;
+use seda_dram::{estimate_energy, DramConfig, EnergyParams};
+use seda_models::{zoo, Model};
+use seda_protect::{BlockMacKind, BlockMacScheme, HashEngine, PROTECTED_BYTES};
+use seda_scalesim::NpuConfig;
+use serde::{Deserialize, Serialize, Value};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the scenario directory location.
+pub const SCENARIOS_ENV: &str = "SEDA_SCENARIOS";
+
+/// What went wrong while parsing or validating a scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A workload name did not resolve in the model zoo.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A scheme name did not resolve in the protection registry.
+    UnknownScheme {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An NPU name was neither `server` nor `edge`.
+    UnknownNpu {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A DRAM override field had a value the timing model cannot use.
+    BadDramOverride {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The scenario was structurally well-formed but semantically invalid.
+    BadSpec {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The scenario file was not readable or not valid scenario JSON.
+    Parse {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownModel { name } => {
+                write!(f, "unknown workload {name:?} (try `seda_cli workloads`)")
+            }
+            ScenarioError::UnknownScheme { name } => {
+                write!(f, "unknown scheme {name:?} (try `seda_cli schemes`)")
+            }
+            ScenarioError::UnknownNpu { name } => {
+                write!(f, "unknown NPU {name:?} (expected \"server\" or \"edge\")")
+            }
+            ScenarioError::BadDramOverride { reason } => {
+                write!(f, "bad DRAM override: {reason}")
+            }
+            ScenarioError::BadSpec { reason } => write!(f, "bad scenario: {reason}"),
+            ScenarioError::Parse { reason } => write!(f, "scenario parse error: {reason}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+/// A workload selection: a zoo name or a parametric generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// A registered zoo model, looked up case-insensitively by name.
+    Zoo {
+        /// The zoo label (e.g. `"rest"`).
+        name: String,
+    },
+    /// [`zoo::transformer_decode`]: one-token autoregressive decode
+    /// against a KV cache of `context` past tokens.
+    TransformerDecode {
+        /// Cached context length in tokens.
+        context: u32,
+    },
+    /// [`zoo::dlrm_gather`]: scattered embedding-table gathers that
+    /// stress the singleton-streak DRAM replay fallback.
+    DlrmGather {
+        /// Number of embedding tables.
+        tables: u32,
+        /// Embedding vector dimension.
+        embedding_dim: u32,
+        /// Lookups per table (batch size).
+        lookups: u32,
+    },
+}
+
+impl WorkloadSpec {
+    /// Resolves the spec into a concrete [`Model`].
+    pub fn resolve(&self) -> Result<Model, ScenarioError> {
+        match self {
+            WorkloadSpec::Zoo { name } => {
+                zoo::by_name(name).ok_or_else(|| ScenarioError::UnknownModel { name: name.clone() })
+            }
+            WorkloadSpec::TransformerDecode { context } => {
+                if *context == 0 {
+                    return Err(ScenarioError::BadSpec {
+                        reason: "transformer_decode needs context > 0".to_owned(),
+                    });
+                }
+                Ok(zoo::transformer_decode(*context))
+            }
+            WorkloadSpec::DlrmGather {
+                tables,
+                embedding_dim,
+                lookups,
+            } => {
+                if *tables == 0 || *embedding_dim == 0 || *lookups == 0 {
+                    return Err(ScenarioError::BadSpec {
+                        reason: "dlrm_gather needs tables, embedding_dim, lookups > 0".to_owned(),
+                    });
+                }
+                Ok(zoo::dlrm_gather(*tables, *embedding_dim, *lookups))
+            }
+        }
+    }
+}
+
+// Mixed string/object JSON ("rest" vs {"transformer_decode": {...}}) is
+// outside what the vendored derive emits, so the impls are hand-written
+// against the Value tree.
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            WorkloadSpec::Zoo { name } => Value::String(name.clone()),
+            WorkloadSpec::TransformerDecode { context } => {
+                let mut inner = serde::Map::new();
+                inner.insert("context", context.to_value());
+                let mut outer = serde::Map::new();
+                outer.insert("transformer_decode", Value::Object(inner));
+                Value::Object(outer)
+            }
+            WorkloadSpec::DlrmGather {
+                tables,
+                embedding_dim,
+                lookups,
+            } => {
+                let mut inner = serde::Map::new();
+                inner.insert("tables", tables.to_value());
+                inner.insert("embedding_dim", embedding_dim.to_value());
+                inner.insert("lookups", lookups.to_value());
+                let mut outer = serde::Map::new();
+                outer.insert("dlrm_gather", Value::Object(inner));
+                Value::Object(outer)
+            }
+        }
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(name) => Ok(WorkloadSpec::Zoo { name: name.clone() }),
+            Value::Object(m) => {
+                if let Some(inner) = m.get("transformer_decode") {
+                    let im = inner.as_object().ok_or_else(|| {
+                        serde::Error::custom("transformer_decode takes an object of parameters")
+                    })?;
+                    Ok(WorkloadSpec::TransformerDecode {
+                        context: serde::de_field(im, "context")?,
+                    })
+                } else if let Some(inner) = m.get("dlrm_gather") {
+                    let im = inner.as_object().ok_or_else(|| {
+                        serde::Error::custom("dlrm_gather takes an object of parameters")
+                    })?;
+                    Ok(WorkloadSpec::DlrmGather {
+                        tables: serde::de_field(im, "tables")?,
+                        embedding_dim: serde::de_field(im, "embedding_dim")?,
+                        lookups: serde::de_field(im, "lookups")?,
+                    })
+                } else {
+                    Err(serde::Error::custom(
+                        "workload object must be {\"transformer_decode\": ...} or \
+                         {\"dlrm_gather\": ...}",
+                    ))
+                }
+            }
+            other => Err(serde::Error::custom(format!(
+                "workload must be a zoo name or a generator object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A scheme selection: a registry name or a parameterized block-MAC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeSpec {
+    /// A scheme from the [`seda_protect`] registry, by exact name.
+    Registry {
+        /// The registry name (e.g. `"SeDA"`).
+        name: String,
+    },
+    /// A [`BlockMacScheme`] outside the registry: SGX- or MGX-style
+    /// metadata at an arbitrary granularity, with optional metadata-cache
+    /// capacity overrides (for granularity and cache ablations).
+    BlockMac {
+        /// `"sgx"` or `"mgx"` (case-insensitive).
+        kind: String,
+        /// Protection-block granularity in bytes (positive multiple of 64).
+        granularity: u64,
+        /// MAC cache capacity override in KB (default 8).
+        mac_cache_kb: Option<u64>,
+        /// VN cache capacity override in KB (default 16).
+        vn_cache_kb: Option<u64>,
+    },
+}
+
+impl SchemeSpec {
+    /// The column label this scheme carries through sweeps and reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::Registry { name } => name.clone(),
+            SchemeSpec::BlockMac {
+                kind,
+                granularity,
+                mac_cache_kb,
+                vn_cache_kb,
+            } => {
+                let mut label = format!("{}-{granularity}B", kind.to_ascii_uppercase());
+                if mac_cache_kb.is_some() || vn_cache_kb.is_some() {
+                    let _ = write!(
+                        label,
+                        "/m{}v{}",
+                        mac_cache_kb.unwrap_or(8),
+                        vn_cache_kb.unwrap_or(16)
+                    );
+                }
+                label
+            }
+        }
+    }
+
+    fn block_mac_kind(kind: &str) -> Result<BlockMacKind, ScenarioError> {
+        match kind.to_ascii_lowercase().as_str() {
+            "sgx" => Ok(BlockMacKind::Sgx),
+            "mgx" => Ok(BlockMacKind::Mgx),
+            _ => Err(ScenarioError::UnknownScheme {
+                name: format!("block_mac kind {kind:?}"),
+            }),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        match self {
+            SchemeSpec::Registry { name } => match seda_protect::scheme_by_name(name) {
+                Some(_) => Ok(()),
+                None => Err(ScenarioError::UnknownScheme { name: name.clone() }),
+            },
+            SchemeSpec::BlockMac {
+                kind,
+                granularity,
+                mac_cache_kb,
+                vn_cache_kb,
+            } => {
+                Self::block_mac_kind(kind)?;
+                if *granularity == 0 || granularity % 64 != 0 {
+                    return Err(ScenarioError::BadSpec {
+                        reason: format!(
+                            "block_mac granularity must be a positive multiple of 64, got \
+                             {granularity}"
+                        ),
+                    });
+                }
+                if matches!(mac_cache_kb, Some(0)) || matches!(vn_cache_kb, Some(0)) {
+                    return Err(ScenarioError::BadSpec {
+                        reason: "block_mac metadata caches need a nonzero capacity".to_owned(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn add_to(&self, sweep: Sweep) -> Sweep {
+        match self {
+            SchemeSpec::Registry { name } => sweep.scheme(name),
+            SchemeSpec::BlockMac {
+                kind,
+                granularity,
+                mac_cache_kb,
+                vn_cache_kb,
+            } => {
+                // Validated before execution, so the kind parses here.
+                let kind = Self::block_mac_kind(kind).unwrap_or(BlockMacKind::Sgx);
+                let g = *granularity;
+                let mac = mac_cache_kb.map(|kb| kb << 10);
+                let vn = vn_cache_kb.map(|kb| kb << 10);
+                sweep.scheme_with(&self.label(), move || match (mac, vn) {
+                    (None, None) => Box::new(BlockMacScheme::new(kind, g, PROTECTED_BYTES)),
+                    (mac, vn) => Box::new(BlockMacScheme::with_caches(
+                        kind,
+                        g,
+                        PROTECTED_BYTES,
+                        mac.unwrap_or(8 << 10),
+                        vn.unwrap_or(16 << 10),
+                    )),
+                })
+            }
+        }
+    }
+}
+
+impl Serialize for SchemeSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            SchemeSpec::Registry { name } => Value::String(name.clone()),
+            SchemeSpec::BlockMac {
+                kind,
+                granularity,
+                mac_cache_kb,
+                vn_cache_kb,
+            } => {
+                let mut inner = serde::Map::new();
+                inner.insert("kind", kind.to_value());
+                inner.insert("granularity", granularity.to_value());
+                if let Some(kb) = mac_cache_kb {
+                    inner.insert("mac_cache_kb", kb.to_value());
+                }
+                if let Some(kb) = vn_cache_kb {
+                    inner.insert("vn_cache_kb", kb.to_value());
+                }
+                let mut outer = serde::Map::new();
+                outer.insert("block_mac", Value::Object(inner));
+                Value::Object(outer)
+            }
+        }
+    }
+}
+
+impl Deserialize for SchemeSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(name) => Ok(SchemeSpec::Registry { name: name.clone() }),
+            Value::Object(m) => {
+                let inner = m.get("block_mac").ok_or_else(|| {
+                    serde::Error::custom("scheme object must be {\"block_mac\": ...}")
+                })?;
+                let im = inner.as_object().ok_or_else(|| {
+                    serde::Error::custom("block_mac takes an object of parameters")
+                })?;
+                Ok(SchemeSpec::BlockMac {
+                    kind: serde::de_field(im, "kind")?,
+                    granularity: serde::de_field(im, "granularity")?,
+                    mac_cache_kb: serde::de_field(im, "mac_cache_kb")?,
+                    vn_cache_kb: serde::de_field(im, "vn_cache_kb")?,
+                })
+            }
+            other => Err(serde::Error::custom(format!(
+                "scheme must be a registry name or a block_mac object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Field-level overrides applied on top of each NPU's default
+/// [`DramConfig`] (the [`Sweep::dram_map`] surface, as data).
+///
+/// Absent fields keep the default value, so an override like
+/// `{"channels": 8}` perturbs exactly one knob. Overrides are raw: the
+/// derived fields of the default configuration (e.g. the per-channel
+/// clock computed from the NPU's aggregate bandwidth) are not rebalanced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DramOverride {
+    /// Independent channels.
+    pub channels: Option<u32>,
+    /// Ranks per channel.
+    pub ranks: Option<u32>,
+    /// Banks per rank.
+    pub banks: Option<u32>,
+    /// Row (page) size in bytes.
+    pub row_bytes: Option<u64>,
+    /// Memory clock in Hz.
+    pub clock_hz: Option<f64>,
+    /// ACT-to-column-command delay.
+    pub t_rcd: Option<u64>,
+    /// Precharge latency.
+    pub t_rp: Option<u64>,
+    /// Read column-access latency.
+    pub t_cl: Option<u64>,
+    /// Write column-access latency.
+    pub t_cwl: Option<u64>,
+    /// Minimum row-open time.
+    pub t_ras: Option<u64>,
+    /// Data burst length in memory cycles.
+    pub t_bl: Option<u64>,
+    /// Write recovery time.
+    pub t_wr: Option<u64>,
+    /// Refresh interval (0 disables refresh).
+    pub t_refi: Option<u64>,
+    /// Refresh cycle time.
+    pub t_rfc: Option<u64>,
+}
+
+// Hand-written so absent overrides serialize as absent fields rather
+// than 14 explicit nulls (the derive writes every `Option` as `null`).
+macro_rules! dram_override_fields {
+    ($macro_cb:ident) => {
+        $macro_cb!(
+            channels, ranks, banks, row_bytes, clock_hz, t_rcd, t_rp, t_cl, t_cwl, t_ras, t_bl,
+            t_wr, t_refi, t_rfc
+        );
+    };
+}
+
+impl Serialize for DramOverride {
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        macro_rules! put {
+            ($($field:ident),*) => {$(
+                if let Some(v) = &self.$field {
+                    m.insert(stringify!($field), v.to_value());
+                }
+            )*};
+        }
+        dram_override_fields!(put);
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for DramOverride {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("dram override must be an object"))?;
+        let mut out = DramOverride::default();
+        macro_rules! take {
+            ($($field:ident),*) => {$(
+                out.$field = serde::de_field(m, stringify!($field))?;
+            )*};
+        }
+        dram_override_fields!(take);
+        Ok(out)
+    }
+}
+
+impl DramOverride {
+    /// Applies the overrides to a base configuration.
+    pub fn apply(&self, mut cfg: DramConfig) -> DramConfig {
+        if let Some(v) = self.channels {
+            cfg.channels = v;
+        }
+        if let Some(v) = self.ranks {
+            cfg.ranks = v;
+        }
+        if let Some(v) = self.banks {
+            cfg.banks = v;
+        }
+        if let Some(v) = self.row_bytes {
+            cfg.row_bytes = v;
+        }
+        if let Some(v) = self.clock_hz {
+            cfg.clock_hz = v;
+        }
+        if let Some(v) = self.t_rcd {
+            cfg.t_rcd = v;
+        }
+        if let Some(v) = self.t_rp {
+            cfg.t_rp = v;
+        }
+        if let Some(v) = self.t_cl {
+            cfg.t_cl = v;
+        }
+        if let Some(v) = self.t_cwl {
+            cfg.t_cwl = v;
+        }
+        if let Some(v) = self.t_ras {
+            cfg.t_ras = v;
+        }
+        if let Some(v) = self.t_bl {
+            cfg.t_bl = v;
+        }
+        if let Some(v) = self.t_wr {
+            cfg.t_wr = v;
+        }
+        if let Some(v) = self.t_refi {
+            cfg.t_refi = v;
+        }
+        if let Some(v) = self.t_rfc {
+            cfg.t_rfc = v;
+        }
+        cfg
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let pow2 = [
+            ("channels", self.channels.map(u64::from)),
+            ("ranks", self.ranks.map(u64::from)),
+            ("banks", self.banks.map(u64::from)),
+            ("row_bytes", self.row_bytes),
+        ];
+        for (field, v) in pow2 {
+            if let Some(v) = v {
+                if v == 0 || !v.is_power_of_two() {
+                    return Err(ScenarioError::BadDramOverride {
+                        reason: format!(
+                            "{field} must be a nonzero power of two (address bits are \
+                             shift/mask-decoded), got {v}"
+                        ),
+                    });
+                }
+            }
+        }
+        if self.t_bl == Some(0) {
+            return Err(ScenarioError::BadDramOverride {
+                reason: "t_bl must be nonzero (every data transfer occupies the bus)".to_owned(),
+            });
+        }
+        if let Some(hz) = self.clock_hz {
+            if !(hz.is_finite() && hz > 0.0) {
+                return Err(ScenarioError::BadDramOverride {
+                    reason: format!("clock_hz must be positive and finite, got {hz}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Integrity-verifier engine model settings ([`HashEngine`], as data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifierSpec {
+    /// Hash throughput in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Pipeline latency per verification in cycles.
+    pub latency_cycles: u64,
+}
+
+/// Which report sections a scenario run renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Normalized memory traffic per scheme (Fig. 5 shape).
+    Traffic,
+    /// Normalized runtime per scheme (Fig. 6 shape).
+    Runtime,
+    /// DRAM energy per scheme (DDR4 for server, LPDDR4 for edge).
+    Energy,
+    /// Note that a telemetry snapshot should be exported by the driver.
+    Telemetry,
+}
+
+impl OutputKind {
+    /// The lowercase JSON spelling of this output kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutputKind::Traffic => "traffic",
+            OutputKind::Runtime => "runtime",
+            OutputKind::Energy => "energy",
+            OutputKind::Telemetry => "telemetry",
+        }
+    }
+}
+
+impl Serialize for OutputKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for OutputKind {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("traffic") => Ok(OutputKind::Traffic),
+            Some("runtime") => Ok(OutputKind::Runtime),
+            Some("energy") => Ok(OutputKind::Energy),
+            Some("telemetry") => Ok(OutputKind::Telemetry),
+            _ => Err(serde::Error::custom(format!(
+                "output must be one of traffic|runtime|energy|telemetry, found {v:?}"
+            ))),
+        }
+    }
+}
+
+/// A declarative experiment: everything the sweep engine needs, as data.
+///
+/// The **first scheme is the normalization baseline** for the traffic and
+/// runtime outputs, matching the Fig. 5/6 convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Registry name (the `scenarios/<name>.json` stem).
+    pub name: String,
+    /// One-line human description.
+    pub title: String,
+    /// NPU suite (`"server"` / `"edge"`), in sweep order.
+    pub npus: Vec<String>,
+    /// Workload selections, in sweep order.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Scheme selections, baseline first.
+    pub schemes: Vec<SchemeSpec>,
+    /// Optional DRAM-configuration override applied to every NPU.
+    pub dram: Option<DramOverride>,
+    /// Back-to-back inferences per point (default 1).
+    pub repeats: Option<u32>,
+    /// Optional integrity-verifier engine model.
+    pub verifier: Option<VerifierSpec>,
+    /// Report sections to render, in order.
+    pub outputs: Vec<OutputKind>,
+}
+
+fn npu_by_name(name: &str) -> Result<NpuConfig, ScenarioError> {
+    match name.to_ascii_lowercase().as_str() {
+        "server" => Ok(NpuConfig::server()),
+        "edge" => Ok(NpuConfig::edge()),
+        _ => Err(ScenarioError::UnknownNpu {
+            name: name.to_owned(),
+        }),
+    }
+}
+
+impl Scenario {
+    /// Parses and validates a scenario from its JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SedaError> {
+        let scenario: Scenario = serde_json::from_str(text).map_err(|e| ScenarioError::Parse {
+            reason: e.to_string(),
+        })?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Serializes the scenario as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        // The Value tree for a validated scenario contains no non-finite
+        // floats, so serialization cannot fail.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Checks every reference and parameter, reporting the first problem
+    /// as a typed [`ScenarioError`] (wrapped in [`SedaError::Scenario`]).
+    pub fn validate(&self) -> Result<(), SedaError> {
+        let bad = |reason: &str| {
+            Err(SedaError::Scenario(ScenarioError::BadSpec {
+                reason: reason.to_owned(),
+            }))
+        };
+        if self.name.is_empty() {
+            return bad("scenario needs a name");
+        }
+        if self.npus.is_empty() {
+            return bad("scenario needs at least one NPU");
+        }
+        if self.workloads.is_empty() {
+            return bad("scenario needs at least one workload");
+        }
+        if self.schemes.is_empty() {
+            return bad("scenario needs at least one scheme (the first is the baseline)");
+        }
+        for npu in &self.npus {
+            npu_by_name(npu)?;
+        }
+        for w in &self.workloads {
+            w.resolve()?;
+        }
+        let mut labels = Vec::new();
+        for s in &self.schemes {
+            s.validate()?;
+            let label = s.label();
+            if labels.contains(&label) {
+                return bad(&format!("duplicate scheme label {label:?}"));
+            }
+            labels.push(label);
+        }
+        if let Some(d) = &self.dram {
+            d.validate()?;
+        }
+        if self.repeats == Some(0) {
+            return bad("repeats must be at least 1");
+        }
+        if let Some(v) = &self.verifier {
+            if !(v.bytes_per_cycle.is_finite() && v.bytes_per_cycle > 0.0) {
+                return bad("verifier bytes_per_cycle must be positive and finite");
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the configured [`Sweep`] without executing it.
+    fn sweep(&self) -> Result<Sweep, SedaError> {
+        self.validate()?;
+        let mut sweep = Sweep::new();
+        for npu in &self.npus {
+            sweep = sweep.npu(npu_by_name(npu)?);
+        }
+        for w in &self.workloads {
+            sweep = sweep.model(w.resolve()?);
+        }
+        for s in &self.schemes {
+            sweep = s.add_to(sweep);
+        }
+        if let Some(v) = &self.verifier {
+            sweep = sweep.verifier(HashEngine::new(v.bytes_per_cycle, v.latency_cycles));
+        }
+        if let Some(n) = self.repeats {
+            sweep = sweep.repeats(n);
+        }
+        if let Some(d) = self.dram.clone() {
+            sweep = sweep.dram_map(move |npu| d.apply(dram_config_for(npu)));
+        }
+        Ok(sweep)
+    }
+
+    /// Executes the scenario through the sweep engine.
+    ///
+    /// The whole cross-product runs as one parallel sweep (one simulated
+    /// trace per distinct NPU × workload pair); a failed point surfaces
+    /// as that point's [`SedaError`] instead of a panic.
+    pub fn run(&self) -> Result<ScenarioRun, SedaError> {
+        let results = self.sweep()?.run();
+        if let Some((npu, model, scheme, e)) = results.failures().next() {
+            return Err(SedaError::InvalidSpec {
+                reason: format!(
+                    "scenario {}: point {npu}/{model}/{scheme} failed: {e}",
+                    self.name
+                ),
+            });
+        }
+        Ok(ScenarioRun {
+            scenario: self.clone(),
+            evaluations: evaluations_of(&results),
+        })
+    }
+}
+
+/// A completed scenario execution: the scenario plus its per-NPU
+/// normalized evaluations.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// One evaluation per NPU, in scenario order.
+    pub evaluations: Vec<Evaluation>,
+}
+
+/// One raw sweep point in a scenario snapshot.
+#[derive(Serialize)]
+struct SnapshotPoint {
+    npu: String,
+    workload: String,
+    scheme: String,
+    total_cycles: u64,
+    traffic_bytes: u64,
+}
+
+/// Per-NPU per-scheme normalized means in a scenario snapshot.
+#[derive(Serialize)]
+struct SnapshotMean {
+    npu: String,
+    scheme: String,
+    mean_traffic: f64,
+    mean_runtime: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    schema: String,
+    scenario: String,
+    means: Vec<SnapshotMean>,
+    points: Vec<SnapshotPoint>,
+}
+
+impl ScenarioRun {
+    /// Renders the scenario's selected outputs as a report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Scenario {}: {}",
+            self.scenario.name, self.scenario.title
+        );
+        let _ = writeln!(out);
+        for kind in &self.scenario.outputs {
+            match kind {
+                OutputKind::Traffic => self.render_traffic(&mut out),
+                OutputKind::Runtime => self.render_runtime(&mut out),
+                OutputKind::Energy => self.render_energy(&mut out),
+                OutputKind::Telemetry => {
+                    let _ = writeln!(
+                        out,
+                        "telemetry: run under `seda_cli --telemetry <out.json> scenario run {}` \
+                         to export the metric snapshot",
+                        self.scenario.name
+                    );
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out
+    }
+
+    fn render_traffic(&self, out: &mut String) {
+        for eval in &self.evaluations {
+            let _ = write!(out, "{}", report::figure5(eval));
+            let _ = writeln!(out);
+            let _ = write!(
+                out,
+                "{}",
+                report::bar_chart(
+                    &format!("mean normalized traffic — {} NPU", eval.npu),
+                    &eval.mean_traffic(),
+                    48
+                )
+            );
+            let _ = writeln!(out);
+            for (scheme, t) in eval.mean_traffic().iter().skip(1) {
+                let _ = writeln!(
+                    out,
+                    "  {} NPU {scheme}: traffic overhead {:+.2}%",
+                    eval.npu,
+                    (t - 1.0) * 100.0
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    fn render_runtime(&self, out: &mut String) {
+        for eval in &self.evaluations {
+            let _ = write!(out, "{}", report::figure6(eval));
+            let _ = writeln!(out);
+            let _ = write!(
+                out,
+                "{}",
+                report::bar_chart(
+                    &format!("mean normalized runtime — {} NPU", eval.npu),
+                    &eval.mean_perf(),
+                    48
+                )
+            );
+            let _ = writeln!(out);
+            for (scheme, p) in eval.mean_perf().iter().skip(1) {
+                let _ = writeln!(
+                    out,
+                    "  {} NPU {scheme}: slowdown {:+.2}%",
+                    eval.npu,
+                    (p - 1.0) * 100.0
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    fn render_energy(&self, out: &mut String) {
+        for eval in &self.evaluations {
+            // LPDDR4 energies for the edge-class part, DDR4 otherwise,
+            // matching the energy ablation's pairing.
+            let (params, mem) = if eval.npu.eq_ignore_ascii_case("edge") {
+                (EnergyParams::lpddr4(), "LPDDR4")
+            } else {
+                (EnergyParams::ddr4(), "DDR4")
+            };
+            let _ = writeln!(out, "DRAM energy — {} NPU ({mem})", eval.npu);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
+                "scheme", "act mJ", "read mJ", "write mJ", "bkgd mJ", "total mJ", "vs base"
+            );
+            let n_schemes = eval.workloads.first().map_or(0, |w| w.outcomes.len());
+            let mut base_total = None;
+            for si in 0..n_schemes {
+                let mut acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                let mut label = String::new();
+                for w in &eval.workloads {
+                    let o = &w.outcomes[si];
+                    label = o.scheme.clone();
+                    let secs: f64 = o
+                        .run
+                        .layers
+                        .iter()
+                        .map(|l| l.memory_cycles as f64 / o.run.clock_hz)
+                        .sum();
+                    let e = estimate_energy(&params, &o.run.dram, secs);
+                    acc.0 += e.activate_mj;
+                    acc.1 += e.read_mj;
+                    acc.2 += e.write_mj;
+                    acc.3 += e.background_mj;
+                }
+                let total = acc.0 + acc.1 + acc.2 + acc.3;
+                let base = *base_total.get_or_insert(total);
+                let _ = writeln!(
+                    out,
+                    "{label:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>8.2}%",
+                    acc.0,
+                    acc.1,
+                    acc.2,
+                    acc.3,
+                    total,
+                    (total / base - 1.0) * 100.0
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    /// The scenario's headline numbers as stable JSON (schema
+    /// `seda-scenario/v1`) — the payload the golden fixtures pin.
+    pub fn snapshot_json(&self) -> String {
+        let means = self
+            .evaluations
+            .iter()
+            .flat_map(|eval| {
+                eval.mean_traffic().into_iter().zip(eval.mean_perf()).map(
+                    |((scheme, mean_traffic), (_, mean_runtime))| SnapshotMean {
+                        npu: eval.npu.clone(),
+                        scheme,
+                        mean_traffic,
+                        mean_runtime,
+                    },
+                )
+            })
+            .collect();
+        let points = self
+            .evaluations
+            .iter()
+            .flat_map(|eval| {
+                eval.workloads.iter().flat_map(|w| {
+                    w.outcomes.iter().map(|o| SnapshotPoint {
+                        npu: eval.npu.clone(),
+                        workload: w.workload.clone(),
+                        scheme: o.scheme.clone(),
+                        total_cycles: o.run.total_cycles,
+                        traffic_bytes: o.run.traffic.total(),
+                    })
+                })
+            })
+            .collect();
+        let snapshot = Snapshot {
+            schema: "seda-scenario/v1".to_owned(),
+            scenario: self.scenario.name.clone(),
+            means,
+            points,
+        };
+        serde_json::to_string_pretty(&snapshot).unwrap_or_default()
+    }
+}
+
+/// Locates the scenario registry directory: `$SEDA_SCENARIOS` if set,
+/// otherwise the nearest `scenarios/` directory walking up from the
+/// current working directory (so the registry resolves from the repo
+/// root, from a crate directory under `cargo test`, and from CI).
+pub fn scenarios_dir() -> Result<PathBuf, SedaError> {
+    if let Some(dir) = std::env::var_os(SCENARIOS_ENV) {
+        let dir = PathBuf::from(dir);
+        if dir.is_dir() {
+            return Ok(dir);
+        }
+        return Err(SedaError::Scenario(ScenarioError::Parse {
+            reason: format!("{SCENARIOS_ENV}={} is not a directory", dir.display()),
+        }));
+    }
+    let mut cur = std::env::current_dir().map_err(|e| {
+        SedaError::Scenario(ScenarioError::Parse {
+            reason: format!("cannot resolve working directory: {e}"),
+        })
+    })?;
+    loop {
+        let candidate = cur.join("scenarios");
+        if candidate.is_dir() {
+            return Ok(candidate);
+        }
+        if !cur.pop() {
+            return Err(SedaError::Scenario(ScenarioError::Parse {
+                reason: format!(
+                    "no scenarios/ directory found above the working directory (set \
+                     {SCENARIOS_ENV} to point at one)"
+                ),
+            }));
+        }
+    }
+}
+
+fn load_file(path: &Path) -> Result<Scenario, SedaError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        SedaError::Scenario(ScenarioError::Parse {
+            reason: format!("cannot read {}: {e}", path.display()),
+        })
+    })?;
+    Scenario::from_json(&text)
+}
+
+/// Loads and validates a registered scenario by name (or an explicit
+/// path to a `.json` file).
+pub fn load(name: &str) -> Result<Scenario, SedaError> {
+    let explicit = Path::new(name);
+    if name.ends_with(".json") && explicit.is_file() {
+        return load_file(explicit);
+    }
+    load_file(&scenarios_dir()?.join(format!("{name}.json")))
+}
+
+/// Loads every registered scenario, sorted by name.
+///
+/// A file that fails to parse or validate fails the whole listing — the
+/// registry is a regression surface and must stay uniformly loadable.
+pub fn list() -> Result<Vec<Scenario>, SedaError> {
+    let dir = scenarios_dir()?;
+    let entries = std::fs::read_dir(&dir).map_err(|e| {
+        SedaError::Scenario(ScenarioError::Parse {
+            reason: format!("cannot list {}: {e}", dir.display()),
+        })
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_file(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_scenario() -> Scenario {
+        Scenario {
+            name: "round-trip".to_owned(),
+            title: "every feature of the schema in one scenario".to_owned(),
+            npus: vec!["server".to_owned(), "edge".to_owned()],
+            workloads: vec![
+                WorkloadSpec::Zoo {
+                    name: "let".to_owned(),
+                },
+                WorkloadSpec::TransformerDecode { context: 2048 },
+                WorkloadSpec::DlrmGather {
+                    tables: 26,
+                    embedding_dim: 64,
+                    lookups: 128,
+                },
+            ],
+            schemes: vec![
+                SchemeSpec::Registry {
+                    name: "baseline".to_owned(),
+                },
+                SchemeSpec::BlockMac {
+                    kind: "mgx".to_owned(),
+                    granularity: 256,
+                    mac_cache_kb: None,
+                    vn_cache_kb: None,
+                },
+                SchemeSpec::BlockMac {
+                    kind: "sgx".to_owned(),
+                    granularity: 64,
+                    mac_cache_kb: Some(4),
+                    vn_cache_kb: Some(8),
+                },
+                SchemeSpec::Registry {
+                    name: "SeDA".to_owned(),
+                },
+            ],
+            dram: Some(DramOverride {
+                channels: Some(8),
+                row_bytes: Some(1024),
+                t_rfc: Some(313),
+                ..DramOverride::default()
+            }),
+            repeats: Some(2),
+            verifier: Some(VerifierSpec {
+                bytes_per_cycle: 32.0,
+                latency_cycles: 80,
+            }),
+            outputs: vec![OutputKind::Traffic, OutputKind::Runtime, OutputKind::Energy],
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = full_scenario();
+        let json = scenario.to_json_pretty();
+        let back = Scenario::from_json(&json).expect("round-trip parses");
+        assert_eq!(back, scenario);
+        // And the round-trip is a fixed point of serialization.
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    fn minimal_json() -> String {
+        r#"{
+            "name": "t", "title": "t",
+            "npus": ["edge"],
+            "workloads": ["let"],
+            "schemes": ["baseline", "SeDA"],
+            "outputs": ["traffic"]
+        }"#
+        .to_owned()
+    }
+
+    fn expect_scenario_err(json: &str) -> ScenarioError {
+        match Scenario::from_json(json) {
+            Err(SedaError::Scenario(e)) => e,
+            other => panic!("expected a scenario error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_typed() {
+        let json = minimal_json().replace("\"let\"", "\"not-a-model\"");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::UnknownModel { ref name } if name == "not-a-model"));
+        assert!(e.to_string().contains("not-a-model"), "{e}");
+    }
+
+    #[test]
+    fn unknown_scheme_is_typed() {
+        let json = minimal_json().replace("\"SeDA\"", "\"NotAScheme\"");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::UnknownScheme { ref name } if name == "NotAScheme"));
+    }
+
+    #[test]
+    fn unknown_npu_is_typed() {
+        let json = minimal_json().replace("\"edge\"", "\"tpu-v9\"");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::UnknownNpu { ref name } if name == "tpu-v9"));
+    }
+
+    #[test]
+    fn bad_dram_override_is_typed() {
+        let json =
+            minimal_json().replace("\"outputs\"", "\"dram\": {\"channels\": 3}, \"outputs\"");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::BadDramOverride { .. }), "{e}");
+        assert!(e.to_string().contains("channels"), "{e}");
+    }
+
+    #[test]
+    fn bad_generator_parameters_are_typed() {
+        let json = minimal_json().replace("\"let\"", "{\"transformer_decode\": {\"context\": 0}}");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::BadSpec { .. }), "{e}");
+    }
+
+    #[test]
+    fn bad_granularity_is_typed() {
+        let json = minimal_json().replace(
+            "\"SeDA\"",
+            "{\"block_mac\": {\"kind\": \"mgx\", \"granularity\": 100}}",
+        );
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::BadSpec { .. }), "{e}");
+        assert!(e.to_string().contains("granularity"), "{e}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let e = expect_scenario_err("{ this is not json");
+        assert!(matches!(e, ScenarioError::Parse { .. }), "{e}");
+        let e = expect_scenario_err("{\"name\": \"x\"}");
+        assert!(
+            matches!(e, ScenarioError::Parse { .. }),
+            "missing fields: {e}"
+        );
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let json = minimal_json().replace("[\"baseline\", \"SeDA\"]", "[]");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::BadSpec { .. }), "{e}");
+        let json = minimal_json().replace("[\"let\"]", "[]");
+        let e = expect_scenario_err(&json);
+        assert!(matches!(e, ScenarioError::BadSpec { .. }), "{e}");
+    }
+
+    #[test]
+    fn duplicate_scheme_labels_are_rejected() {
+        let json = minimal_json().replace("\"SeDA\"", "\"baseline\"");
+        let e = expect_scenario_err(&json);
+        assert!(e.to_string().contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn scenario_run_matches_the_direct_sweep_path() {
+        // A scenario run must be bit-identical to driving the Sweep
+        // engine by hand with the same axes.
+        let scenario = Scenario::from_json(&minimal_json()).expect("valid");
+        let run = scenario.run().expect("runs clean");
+        let direct = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .schemes(["baseline", "SeDA"])
+            .run();
+        let direct_evals = evaluations_of(&direct);
+        assert_eq!(run.evaluations.len(), direct_evals.len());
+        for (a, b) in run.evaluations.iter().zip(&direct_evals) {
+            assert_eq!(a.npu, b.npu);
+            for (wa, wb) in a.workloads.iter().zip(&b.workloads) {
+                assert_eq!(wa.workload, wb.workload);
+                for (oa, ob) in wa.outcomes.iter().zip(&wb.outcomes) {
+                    assert_eq!(oa.scheme, ob.scheme);
+                    assert_eq!(oa.run.total_cycles, ob.run.total_cycles);
+                    assert_eq!(oa.run.traffic, ob.run.traffic);
+                }
+            }
+        }
+        let rendered = run.render();
+        assert!(rendered.contains("mean normalized traffic"), "{rendered}");
+        let snapshot = run.snapshot_json();
+        assert!(snapshot.contains("seda-scenario/v1"), "{snapshot}");
+    }
+
+    #[test]
+    fn dram_override_changes_the_outcome() {
+        let base = Scenario::from_json(&minimal_json()).expect("valid");
+        let mut overridden = base.clone();
+        overridden.dram = Some(DramOverride {
+            t_bl: Some(dram_config_for(&NpuConfig::edge()).t_bl + 1),
+            ..DramOverride::default()
+        });
+        let a = base.run().expect("base runs");
+        let b = overridden.run().expect("override runs");
+        assert_ne!(
+            a.evaluations[0].workloads[0].outcomes[0].run.total_cycles,
+            b.evaluations[0].workloads[0].outcomes[0].run.total_cycles,
+            "a one-cycle burst-length override must be visible"
+        );
+    }
+
+    #[test]
+    fn block_mac_labels_are_stable() {
+        let plain = SchemeSpec::BlockMac {
+            kind: "mgx".to_owned(),
+            granularity: 256,
+            mac_cache_kb: None,
+            vn_cache_kb: None,
+        };
+        assert_eq!(plain.label(), "MGX-256B");
+        let cached = SchemeSpec::BlockMac {
+            kind: "sgx".to_owned(),
+            granularity: 64,
+            mac_cache_kb: Some(4),
+            vn_cache_kb: Some(8),
+        };
+        assert_eq!(cached.label(), "SGX-64B/m4v8");
+    }
+}

@@ -191,6 +191,16 @@ impl SweepResults {
     pub fn scheme_labels(&self) -> &[String] {
         &self.schemes
     }
+
+    /// NPU labels in sweep order.
+    pub fn npu_labels(&self) -> &[String] {
+        &self.npus
+    }
+
+    /// Model labels in sweep order.
+    pub fn model_labels(&self) -> &[String] {
+        &self.models
+    }
 }
 
 /// Builder for a parallel model × scheme × NPU evaluation.

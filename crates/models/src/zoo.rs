@@ -421,8 +421,73 @@ pub fn all_models() -> Vec<Model> {
 }
 
 /// Looks a workload up by its paper label (e.g. `"rest"` for ResNet-18).
+/// Matching is ASCII case-insensitive: scenario files and CLI arguments
+/// reference models by string, so `"REST"` and `"Rest"` resolve too.
 pub fn by_name(name: &str) -> Option<Model> {
-    all_models().into_iter().find(|m| m.name() == name)
+    all_models()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+/// Transformer autoregressive decode step (`trf-dec<context>`): a single
+/// new token through the six [`transformer_fwd`] decoder blocks against a
+/// KV cache of `context` past tokens.
+///
+/// Every GEMM has `m = 1`, so the workload is dominated by streaming
+/// weight and cached-KV *reads* with almost no output writes — the
+/// read-heavy serving pattern that per-block metadata schemes pay for on
+/// every token.
+///
+/// # Panics
+///
+/// Panics if `context` is zero (a decode step attends to at least the
+/// token being generated).
+pub fn transformer_decode(context: u32) -> Model {
+    const D: u32 = 512;
+    const FF: u32 = 2048;
+    const VOCAB: u32 = 32000;
+    assert!(context > 0, "decode attends to at least one cached token");
+    let mut layers = Vec::new();
+    for b in 0..6 {
+        layers.push(Layer::gemm(&format!("b{b}_qkv"), 1, D, 3 * D));
+        // Attention over the KV cache: Q·Kᵀ against `context` cached keys,
+        // then the probability-weighted sum over `context` cached values.
+        layers.push(Layer::gemm(&format!("b{b}_scores"), 1, D, context));
+        layers.push(Layer::gemm(&format!("b{b}_context"), 1, context, D));
+        layers.push(Layer::gemm(&format!("b{b}_out"), 1, D, D));
+        layers.push(Layer::gemm(&format!("b{b}_ff1"), 1, D, FF));
+        layers.push(Layer::gemm(&format!("b{b}_ff2"), 1, FF, D));
+    }
+    layers.push(Layer::gemm("logits", 1, D, VOCAB));
+    Model::new(&format!("trf-dec{context}"), layers)
+}
+
+/// DLRM embedding-gather stress workload (`dlrm-emb<tables>x<dim>`): one
+/// tiny `lookups × embedding_dim` gather per embedding table followed by
+/// the feature-interaction top MLP.
+///
+/// Each per-table gather is a degenerate `k = 1` GEMM whose operands are
+/// far too small to fill a DRAM row, so the burst stream degenerates into
+/// scattered short runs — deliberately stressing the singleton-streak
+/// fallback of the batched DRAM replay kernel.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero.
+pub fn dlrm_gather(tables: u32, embedding_dim: u32, lookups: u32) -> Model {
+    assert!(tables > 0, "need at least one embedding table");
+    assert!(embedding_dim > 0, "embedding vectors need a dimension");
+    assert!(lookups > 0, "need at least one lookup per table");
+    let mut layers = Vec::new();
+    for t in 0..tables {
+        layers.push(Layer::gemm(&format!("emb{t}"), lookups, 1, embedding_dim));
+    }
+    // Concatenated embeddings feed the over-arch MLP, as in DLRM proper.
+    let features = tables * embedding_dim;
+    layers.push(Layer::gemm("top1", lookups, features, 1024));
+    layers.push(Layer::gemm("top2", lookups, 1024, 256));
+    layers.push(Layer::gemm("top3", lookups, 256, 1));
+    Model::new(&format!("dlrm-emb{tables}x{embedding_dim}"), layers)
 }
 
 #[cfg(test)]
@@ -447,6 +512,58 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("rest").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        for spelled in ["REST", "Rest", "rEsT"] {
+            let m = by_name(spelled).expect("case-insensitive lookup");
+            assert_eq!(m.name(), "rest");
+        }
+    }
+
+    #[test]
+    fn every_model_round_trips_through_by_name() {
+        // Scenario files reference workloads by string, so lookup must be
+        // total over the zoo: every registered name (in any case) resolves
+        // back to the same model.
+        for model in all_models() {
+            let found = by_name(model.name())
+                .unwrap_or_else(|| panic!("{} missing from by_name", model.name()));
+            assert_eq!(found.name(), model.name());
+            assert_eq!(found.layers().len(), model.layers().len());
+            let upper = model.name().to_ascii_uppercase();
+            assert_eq!(
+                by_name(&upper).expect("uppercase resolves").name(),
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_decode_is_read_heavy_and_parametric() {
+        let m = transformer_decode(2048);
+        assert_eq!(m.name(), "trf-dec2048");
+        // 6 blocks × 6 GEMMs + logits.
+        assert_eq!(m.layers().len(), 37);
+        // Every decode GEMM emits a single output row: weight/KV reads
+        // dominate writes by construction.
+        let shorter = transformer_decode(128);
+        assert!(
+            m.weight_bytes() > shorter.weight_bytes(),
+            "a longer KV cache means more streamed bytes per token"
+        );
+    }
+
+    #[test]
+    fn dlrm_gather_is_parametric() {
+        let m = dlrm_gather(26, 64, 128);
+        assert_eq!(m.name(), "dlrm-emb26x64");
+        assert_eq!(m.layers().len(), 26 + 3);
+        // Each gather reads a lookups×1 index column and a 1×dim embedding
+        // row: tiny operands that cannot fill a DRAM row.
+        let emb = &m.layers()[0];
+        assert!(emb.ifmap_bytes() + emb.filter_bytes() < 4096);
     }
 
     #[test]

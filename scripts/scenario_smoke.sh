@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Smoke-runs every file in scenarios/ through `seda_cli scenario run`,
+# proving the whole zoo stays loadable and executable end-to-end. Any
+# non-zero exit fails the script and dumps that run's output. CI calls
+# this after the release build; locally, cargo builds whatever is
+# missing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+ran=0
+for src in scenarios/*.json; do
+  name="$(basename "$src" .json)"
+  echo "==> scenario run $name"
+  if ! cargo run --quiet --release -p seda-bench --bin seda_cli -- \
+    scenario run "$name" >"$tmp/last.log" 2>&1; then
+    echo "FAILED: scenario run $name"
+    cat "$tmp/last.log"
+    exit 1
+  fi
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "FAILED: no scenarios found under scenarios/"
+  exit 1
+fi
+echo "smoke: all $ran scenarios ran clean"

@@ -32,6 +32,16 @@ for src in crates/bench/src/bin/*.rs; do
     seda_cli)
       run cargo run --quiet --release -p seda-bench --bin seda_cli -- \
         --telemetry "$tmp/telemetry.json" quickstart
+      # Paper tables (the table binaries folded into the CLI) and the
+      # declarative scenario zoo. `golden_subset` is the smallest scenario
+      # that still exercises the full paper lineup on both NPUs.
+      for t in 1 2 3; do
+        run cargo run --quiet --release -p seda-bench --bin seda_cli -- table "$t"
+      done
+      run cargo run --quiet --release -p seda-bench --bin seda_cli -- scenario list
+      run cargo run --quiet --release -p seda-bench --bin seda_cli -- scenario describe fig6
+      run cargo run --quiet --release -p seda-bench --bin seda_cli -- \
+        scenario run golden_subset --json "$tmp/golden_subset.json"
       ;;
     gen_trace)
       run cargo run --quiet --release -p seda-bench --bin gen_trace -- \

@@ -1,1 +1,133 @@
 //! Cross-crate integration tests for the SeDA workspace.
+//!
+//! The library half holds the golden-fixture machinery shared by the
+//! regression suites under `tests/`: the pinned-figure schema, the
+//! fixture path resolution, and the `UPDATE_GOLDEN=1` blessing flow.
+
+pub mod golden {
+    //! Golden-figure fixtures: schema types and the compare/bless helper.
+    //!
+    //! Figures are pinned as `seda-golden/v1` JSON under
+    //! `tests/fixtures/` and compared **bit-for-bit**; the simulator is
+    //! deterministic, so any diff means the model changed.
+
+    use seda::experiment::Evaluation;
+    use serde::Serialize;
+    use std::path::PathBuf;
+
+    /// One sweep point's raw, unnormalized outcome.
+    #[derive(Serialize, Clone)]
+    pub struct GoldenPoint {
+        /// NPU label.
+        pub npu: String,
+        /// Workload label.
+        pub workload: String,
+        /// Scheme label.
+        pub scheme: String,
+        /// Total runtime in accelerator cycles.
+        pub total_cycles: u64,
+        /// Total off-chip traffic in bytes.
+        pub traffic_bytes: u64,
+    }
+
+    /// Per-NPU per-scheme arithmetic mean of the figure's normalized
+    /// metric.
+    #[derive(Serialize)]
+    pub struct SchemeMean {
+        /// NPU label.
+        pub npu: String,
+        /// Scheme label.
+        pub scheme: String,
+        /// Mean of the normalized metric over the workloads.
+        pub mean: f64,
+    }
+
+    /// A pinned figure: the normalized means plus every raw point behind
+    /// them.
+    #[derive(Serialize)]
+    pub struct GoldenFigure {
+        /// Always `"seda-golden/v1"`.
+        pub schema: String,
+        /// Figure label (e.g. `"fig5_normalized_traffic"`).
+        pub figure: String,
+        /// Normalized per-scheme means.
+        pub means: Vec<SchemeMean>,
+        /// Raw sweep points.
+        pub points: Vec<GoldenPoint>,
+    }
+
+    fn golden_points(evals: &[Evaluation]) -> Vec<GoldenPoint> {
+        evals
+            .iter()
+            .flat_map(|eval| {
+                eval.workloads.iter().flat_map(|w| {
+                    w.outcomes.iter().map(|o| GoldenPoint {
+                        npu: eval.npu.clone(),
+                        workload: w.workload.clone(),
+                        scheme: o.scheme.clone(),
+                        total_cycles: o.run.total_cycles,
+                        traffic_bytes: o.run.traffic.total(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Builds the pinned-figure payload for a set of evaluations.
+    pub fn golden_figure_of(
+        evals: &[Evaluation],
+        figure: &str,
+        mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
+    ) -> GoldenFigure {
+        let means = evals
+            .iter()
+            .flat_map(|eval| {
+                mean_of(eval).into_iter().map(|(scheme, mean)| SchemeMean {
+                    npu: eval.npu.clone(),
+                    scheme,
+                    mean,
+                })
+            })
+            .collect();
+        GoldenFigure {
+            schema: "seda-golden/v1".to_owned(),
+            figure: figure.to_owned(),
+            means,
+            points: golden_points(evals),
+        }
+    }
+
+    /// Absolute path of a fixture under `tests/fixtures/`.
+    pub fn fixture_path(name: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name)
+    }
+
+    /// Compares `generated` byte-for-byte against the named fixture, or
+    /// rewrites the fixture when `UPDATE_GOLDEN` is set in the
+    /// environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fixture is missing or `generated` drifts from it.
+    pub fn check_golden(name: &str, generated: &str) {
+        let path = fixture_path(name);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, generated).expect("fixture directory is writable");
+            return;
+        }
+        let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); bless it with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            generated, pinned,
+            "{name} drifted from the pinned golden figure; if the change is \
+             intentional, regenerate with UPDATE_GOLDEN=1 cargo test -p \
+             seda-integration-tests"
+        );
+    }
+}

@@ -22,36 +22,8 @@ use seda::models::zoo;
 use seda::protect::paper_lineup;
 use seda::report::table3;
 use seda::scalesim::NpuConfig;
-use serde::Serialize;
-use std::path::PathBuf;
+use seda_integration_tests::golden::{check_golden, fixture_path, golden_figure_of, GoldenFigure};
 use std::sync::OnceLock;
-
-/// One sweep point's raw, unnormalized outcome.
-#[derive(Serialize, Clone)]
-struct GoldenPoint {
-    npu: String,
-    workload: String,
-    scheme: String,
-    total_cycles: u64,
-    traffic_bytes: u64,
-}
-
-/// Per-NPU per-scheme arithmetic mean of the figure's normalized metric.
-#[derive(Serialize)]
-struct SchemeMean {
-    npu: String,
-    scheme: String,
-    mean: f64,
-}
-
-/// A pinned figure: the normalized means plus every raw point behind them.
-#[derive(Serialize)]
-struct GoldenFigure {
-    schema: String,
-    figure: String,
-    means: Vec<SchemeMean>,
-    points: Vec<GoldenPoint>,
-}
 
 fn evaluations() -> &'static Vec<Evaluation> {
     static EVALS: OnceLock<Vec<Evaluation>> = OnceLock::new();
@@ -62,79 +34,11 @@ fn evaluations() -> &'static Vec<Evaluation> {
     })
 }
 
-fn golden_points(evals: &[Evaluation]) -> Vec<GoldenPoint> {
-    evals
-        .iter()
-        .flat_map(|eval| {
-            eval.workloads.iter().flat_map(|w| {
-                w.outcomes.iter().map(|o| GoldenPoint {
-                    npu: eval.npu.clone(),
-                    workload: w.workload.clone(),
-                    scheme: o.scheme.clone(),
-                    total_cycles: o.run.total_cycles,
-                    traffic_bytes: o.run.traffic.total(),
-                })
-            })
-        })
-        .collect()
-}
-
-fn golden_figure_of(
-    evals: &[Evaluation],
-    figure: &str,
-    mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
-) -> GoldenFigure {
-    let means = evals
-        .iter()
-        .flat_map(|eval| {
-            mean_of(eval).into_iter().map(|(scheme, mean)| SchemeMean {
-                npu: eval.npu.clone(),
-                scheme,
-                mean,
-            })
-        })
-        .collect();
-    GoldenFigure {
-        schema: "seda-golden/v1".to_owned(),
-        figure: figure.to_owned(),
-        means,
-        points: golden_points(evals),
-    }
-}
-
 fn golden_figure(
     figure: &str,
     mean_of: impl Fn(&Evaluation) -> Vec<(String, f64)>,
 ) -> GoldenFigure {
     golden_figure_of(evaluations(), figure, mean_of)
-}
-
-fn fixture_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("fixtures")
-        .join(name)
-}
-
-/// Compares `generated` byte-for-byte against the named fixture, or
-/// rewrites the fixture when `UPDATE_GOLDEN` is set in the environment.
-fn check_golden(name: &str, generated: &str) {
-    let path = fixture_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&path, generated).expect("fixture directory is writable");
-        return;
-    }
-    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden fixture {} ({e}); bless it with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        generated, pinned,
-        "{name} drifted from the pinned golden figure; if the change is \
-         intentional, regenerate with UPDATE_GOLDEN=1 cargo test -p \
-         seda-integration-tests --test golden_figures"
-    );
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Scenario-engine golden suite.
+//!
+//! Two jobs:
+//!
+//! 1. **Fixture identity.** The `golden_subset` scenario mirrors the
+//!    golden-figure axes (LeNet + DLRM x server/edge x the full paper
+//!    lineup). Running it through the declarative scenario path must
+//!    reproduce the pinned `fig5`/`fig6` fixtures **byte-for-byte** —
+//!    the scenario engine is a refactor of the experiment binaries, not
+//!    a new model. These comparisons read the fixtures directly and
+//!    never rewrite them: `UPDATE_GOLDEN=1` cannot re-bless the paper
+//!    figures through this suite.
+//!
+//! 2. **New-scenario pins.** The two workload scenarios introduced with
+//!    the zoo — transformer autoregressive decode and DLRM
+//!    embedding-gather — get their own `seda-scenario/v1` snapshot
+//!    fixtures, blessed the usual way:
+//!
+//!    ```text
+//!    UPDATE_GOLDEN=1 cargo test -p seda-integration-tests --test scenario_golden
+//!    ```
+
+use seda::experiment::Evaluation;
+use seda::protect::scheme_by_name;
+use seda::report::table3;
+use seda::scenario::{self, ScenarioRun, SchemeSpec};
+use seda_integration_tests::golden::{check_golden, fixture_path, golden_figure_of};
+use std::sync::OnceLock;
+
+fn golden_subset_run() -> &'static ScenarioRun {
+    static RUN: OnceLock<ScenarioRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        scenario::load("golden_subset")
+            .and_then(|s| s.run())
+            .expect("golden_subset scenario runs")
+    })
+}
+
+fn pinned(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name))
+        .expect("fixture exists (bless with UPDATE_GOLDEN=1 --test golden_figures)")
+}
+
+#[test]
+fn scenario_path_reproduces_the_pinned_fig5_fixture() {
+    let run = golden_subset_run();
+    let fig = golden_figure_of(
+        &run.evaluations,
+        "fig5_normalized_traffic",
+        Evaluation::mean_traffic,
+    );
+    let json = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
+    assert_eq!(
+        json,
+        pinned("fig5_traffic.golden.json"),
+        "the scenario engine must be bit-identical to the direct fig5 path"
+    );
+}
+
+#[test]
+fn scenario_path_reproduces_the_pinned_fig6_fixture() {
+    let run = golden_subset_run();
+    let fig = golden_figure_of(
+        &run.evaluations,
+        "fig6_normalized_runtime",
+        Evaluation::mean_perf,
+    );
+    let json = serde_json::to_string_pretty(&fig).expect("golden figure serializes");
+    assert_eq!(
+        json,
+        pinned("fig6_perf.golden.json"),
+        "the scenario engine must be bit-identical to the direct fig6 path"
+    );
+}
+
+#[test]
+fn scenario_scheme_labels_reproduce_the_pinned_table3() {
+    // The golden_subset lineup is spelled as registry names in JSON; the
+    // labels must resolve to the same schemes (and thus the same Table
+    // III feature matrix) as the hand-built paper lineup.
+    let s = scenario::load("golden_subset").expect("golden_subset scenario loads");
+    let infos: Vec<_> = s
+        .schemes
+        .iter()
+        .map(|spec| {
+            assert!(matches!(spec, SchemeSpec::Registry { .. }));
+            scheme_by_name(&spec.label())
+                .expect("scenario labels are registry names")
+                .info()
+        })
+        .collect();
+    assert_eq!(
+        table3(&infos),
+        pinned("table3.golden.txt"),
+        "scenario scheme labels must resolve to the pinned Table III lineup"
+    );
+}
+
+#[test]
+fn transformer_decode_scenario_matches_golden() {
+    let run = scenario::load("transformer_decode")
+        .and_then(|s| s.run())
+        .expect("transformer_decode scenario runs");
+    check_golden(
+        "scenario_transformer_decode.golden.json",
+        &run.snapshot_json(),
+    );
+}
+
+#[test]
+fn dlrm_gather_scenario_matches_golden() {
+    let run = scenario::load("dlrm_gather")
+        .and_then(|s| s.run())
+        .expect("dlrm_gather scenario runs");
+    check_golden("scenario_dlrm_gather.golden.json", &run.snapshot_json());
+}
