@@ -2,13 +2,15 @@
 //! kernel on the headline sweep's own request streams.
 //!
 //! Every (NPU, workload, scheme) point of the Fig. 5/6 matrix is lowered
-//! once (via [`LoweredTrace`]) into the flat request stream the pipeline
-//! replays, then the stream is driven through both kernels from identical
-//! cold starts:
+//! once (via [`LoweredTrace`]) into the flat *packed* request stream the
+//! pipeline replays (8 B per request — see `Request::pack`), then the
+//! stream is driven through both kernels from identical cold starts:
 //!
 //! * **per-access** — `DramSim::access` per request, the exact kernel the
 //!   batched path falls back to;
-//! * **batched** — `DramSim::run_batch`, the streak-coalescing fast path.
+//! * **batched** — `DramSim::run_batch_packed`, the streak-coalescing
+//!   fast path on the packed stream, exactly as `pipeline::run_trace`
+//!   replays layer slices.
 //!
 //! The two must agree bit for bit — stats, elapsed clock, per-bank
 //! occupancy — on *every* stream; the binary exits non-zero otherwise, so
@@ -16,18 +18,26 @@
 //! Alongside the timing, the run records the streams' sequential
 //! streak-length histogram (the structural property the fast path
 //! exploits) in `BENCH_dram.json` (or the path given as the first
-//! argument).
+//! non-flag argument). Floats are rounded to six decimals
+//! ([`seda_bench::round6`]) so archived artifacts diff cleanly.
 //!
-//! Usage: `cargo run --release -p seda-bench --bin dram_bench [out.json]`
+//! With `--max-ms-per-point <ms>` the run additionally acts as a
+//! performance regression gate: it exits non-zero when the batched
+//! kernel's per-point replay time exceeds the threshold, so CI pins the
+//! fast path's speed alongside its correctness.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin dram_bench
+//! [out.json] [--max-ms-per-point <ms>]`
 //!
 //! [`LoweredTrace`]: seda::pipeline::LoweredTrace
 
-use seda::dram::{DramSim, Request, ACCESS_BYTES};
+use seda::dram::{DramSim, Request};
 use seda::experiment::scheme_names;
 use seda::models::zoo;
 use seda::pipeline::{dram_config_for, LoweredTrace};
 use seda::protect::scheme_by_name;
 use seda::scalesim::{NpuConfig, TraceCache};
+use seda_bench::round6;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -92,13 +102,13 @@ impl StreakHistogram {
         self.requests[bucket] += len;
     }
 
-    fn scan(&mut self, stream: &[Request]) {
+    /// Scans a packed stream: a streak extends while the packed word
+    /// advances by exactly 2 (next block, same direction).
+    fn scan(&mut self, stream: &[u64]) {
         let mut len = 0u64;
-        let mut prev_block = 0u64;
-        let mut prev_write = false;
-        for req in stream {
-            let block = req.addr / ACCESS_BYTES;
-            if len > 0 && block == prev_block + 1 && req.is_write == prev_write {
+        let mut prev = u64::MAX;
+        for &p in stream {
+            if len > 0 && p == prev + 2 {
                 len += 1;
             } else {
                 if len > 0 {
@@ -106,8 +116,7 @@ impl StreakHistogram {
                 }
                 len = 1;
             }
-            prev_block = block;
-            prev_write = req.is_write;
+            prev = p;
         }
         if len > 0 {
             self.add_streak(len);
@@ -130,9 +139,17 @@ impl StreakHistogram {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_dram.json".to_owned());
+    let mut out_path = "BENCH_dram.json".to_owned();
+    let mut max_ms_per_point: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--max-ms-per-point" {
+            let v = args.next().expect("--max-ms-per-point needs a value");
+            max_ms_per_point = Some(v.parse().expect("--max-ms-per-point must be a number"));
+        } else {
+            out_path = arg;
+        }
+    }
     let npus = [NpuConfig::server(), NpuConfig::edge()];
     let models = zoo::all_models();
     let cache = TraceCache::new();
@@ -160,14 +177,14 @@ fn main() {
 
                 let mut exact = DramSim::new(cfg.clone());
                 let t0 = Instant::now();
-                for req in stream {
-                    exact.access(*req);
+                for &p in stream {
+                    exact.access(Request::unpack(p));
                 }
                 per_access += t0.elapsed().as_secs_f64();
 
                 let mut fast = DramSim::new(cfg.clone());
                 let t1 = Instant::now();
-                fast.run_batch(stream);
+                fast.run_batch_packed(stream);
                 batched += t1.elapsed().as_secs_f64();
 
                 let agrees = exact.stats() == fast.stats()
@@ -193,13 +210,13 @@ fn main() {
     let record = DramBenchRecord {
         points,
         requests,
-        per_access_ms: per_access * 1e3,
-        batched_ms: batched * 1e3,
-        per_access_ns_per_access: per_access * 1e9 / requests.max(1) as f64,
-        batched_ns_per_access: batched * 1e9 / requests.max(1) as f64,
-        speedup: per_access / batched.max(f64::MIN_POSITIVE),
-        dram_replay_ms_per_point_before: per_access * 1e3 / points.max(1) as f64,
-        dram_replay_ms_per_point_after: batched * 1e3 / points.max(1) as f64,
+        per_access_ms: round6(per_access * 1e3),
+        batched_ms: round6(batched * 1e3),
+        per_access_ns_per_access: round6(per_access * 1e9 / requests.max(1) as f64),
+        batched_ns_per_access: round6(batched * 1e9 / requests.max(1) as f64),
+        speedup: round6(per_access / batched.max(f64::MIN_POSITIVE)),
+        dram_replay_ms_per_point_before: round6(per_access * 1e3 / points.max(1) as f64),
+        dram_replay_ms_per_point_after: round6(batched * 1e3 / points.max(1) as f64),
         streak_histogram: histogram.buckets(),
         identical,
     };
@@ -242,4 +259,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("identity: batched kernel bit-identical on all {points} streams");
+
+    if let Some(limit) = max_ms_per_point {
+        if record.dram_replay_ms_per_point_after > limit {
+            eprintln!(
+                "FAILED: batched replay {:.3} ms/point exceeds the {limit} ms gate",
+                record.dram_replay_ms_per_point_after
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "regression gate: {:.3} ms/point within the {limit} ms budget",
+            record.dram_replay_ms_per_point_after
+        );
+    }
 }

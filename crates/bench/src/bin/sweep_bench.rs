@@ -18,6 +18,7 @@ use seda::models::zoo;
 use seda::pipeline::run_model;
 use seda::protect::scheme_by_name;
 use seda::scalesim::NpuConfig;
+use seda_bench::round6;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -97,12 +98,13 @@ fn main() {
         points,
         trace_misses: stats.trace_misses,
         trace_hits: stats.trace_hits,
-        trace_hit_rate: stats.trace_hits as f64
-            / (stats.trace_hits + stats.trace_misses).max(1) as f64,
-        serial_ms: serial.as_secs_f64() * 1e3,
-        engine_ms: engine.as_secs_f64() * 1e3,
-        speedup: serial.as_secs_f64() / engine.as_secs_f64(),
-        dram_replay_ms_per_point: engine.as_secs_f64() * 1e3 / points as f64,
+        trace_hit_rate: round6(
+            stats.trace_hits as f64 / (stats.trace_hits + stats.trace_misses).max(1) as f64,
+        ),
+        serial_ms: round6(serial.as_secs_f64() * 1e3),
+        engine_ms: round6(engine.as_secs_f64() * 1e3),
+        speedup: round6(serial.as_secs_f64() / engine.as_secs_f64()),
+        dram_replay_ms_per_point: round6(engine.as_secs_f64() * 1e3 / points as f64),
         host_cpus,
         parallel_engaged: host_cpus > 1,
         identical: serial_total == engine_total,

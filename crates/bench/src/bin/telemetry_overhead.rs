@@ -24,6 +24,7 @@ use seda::experiment::evaluate_suites_with_stats;
 use seda::models::zoo;
 use seda::scalesim::NpuConfig;
 use seda::telemetry;
+use seda_bench::round6;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -95,11 +96,11 @@ fn main() {
 
     let record = OverheadRecord {
         trials: TRIALS,
-        disabled_ms,
-        noop_ms,
-        delta: noop_ms / disabled_ms - 1.0,
-        disabled_trials_ms,
-        noop_trials_ms,
+        disabled_ms: round6(disabled_ms),
+        noop_ms: round6(noop_ms),
+        delta: round6(noop_ms / disabled_ms - 1.0),
+        disabled_trials_ms: disabled_trials_ms.iter().copied().map(round6).collect(),
+        noop_trials_ms: noop_trials_ms.iter().copied().map(round6).collect(),
     };
     println!(
         "best of {TRIALS}: disabled {:.2} ms, noop-sink {:.2} ms, delta {:+.2}%",

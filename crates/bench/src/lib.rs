@@ -1,1 +1,33 @@
 //! SeDA benchmark harness (see bins and benches).
+
+/// Rounds a benchmark float to six decimal places.
+///
+/// The bench binaries archive their records as JSON artifacts; raw
+/// `f64` arithmetic leaks representation noise into the serialization
+/// (`459.59137400000003` instead of `459.591374`), so consecutive runs
+/// with identical measurements still diff. Six decimals keeps
+/// sub-microsecond resolution on millisecond-scale figures while making
+/// the artifacts diff cleanly.
+pub fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::round6;
+
+    #[test]
+    fn round6_strips_representation_noise() {
+        assert_eq!(round6(459.591_374_000_000_03), 459.591_374);
+        assert_eq!(round6(2.0), 2.0);
+        assert_eq!(round6(-1.234_567_89), -1.234_568);
+        assert_eq!(round6(0.0), 0.0);
+    }
+
+    #[test]
+    fn round6_keeps_six_decimals() {
+        let x = round6(1.000_000_4);
+        assert_eq!(x, 1.0);
+        assert_eq!(round6(1.000_000_6), 1.000_001);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::functional::IntegrityViolation;
 use crate::scenario::ScenarioError;
 use seda_crypto::mac::TagMismatch;
+use seda_crypto::EngineSizingError;
 use seda_protect::ProtectError;
 use std::error::Error;
 use std::fmt;
@@ -47,6 +48,9 @@ pub enum SedaError {
     },
     /// A declarative scenario file failed to parse or validate.
     Scenario(ScenarioError),
+    /// An AES engine-sizing query had no meaningful answer (zero,
+    /// negative, or non-finite bandwidth).
+    EngineSizing(EngineSizingError),
 }
 
 impl fmt::Display for SedaError {
@@ -64,6 +68,7 @@ impl fmt::Display for SedaError {
                 write!(f, "sweep point {point} panicked: {message}")
             }
             SedaError::Scenario(s) => write!(f, "{s}"),
+            SedaError::EngineSizing(e) => write!(f, "{e}"),
         }
     }
 }
@@ -75,6 +80,7 @@ impl Error for SedaError {
             SedaError::Tag(t) => Some(t),
             SedaError::Protect(p) => Some(p),
             SedaError::Scenario(s) => Some(s),
+            SedaError::EngineSizing(e) => Some(e),
             _ => None,
         }
     }
@@ -101,6 +107,12 @@ impl From<ProtectError> for SedaError {
 impl From<ScenarioError> for SedaError {
     fn from(s: ScenarioError) -> Self {
         SedaError::Scenario(s)
+    }
+}
+
+impl From<EngineSizingError> for SedaError {
+    fn from(e: EngineSizingError) -> Self {
+        SedaError::EngineSizing(e)
     }
 }
 
@@ -157,6 +169,19 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("0x40") && msg.contains("128") && msg.contains("96"));
+    }
+
+    #[test]
+    fn engine_sizing_errors_convert_and_chain() {
+        let inner = EngineSizingError {
+            memory_bandwidth: 20.0e9,
+            pad_bandwidth: 0.0,
+        };
+        let e = SedaError::from(inner);
+        assert!(matches!(e, SedaError::EngineSizing(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("cannot size"), "{msg}");
+        assert!(e.source().is_some(), "sizing errors chain their source");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! [`Sweep`]: crate::sweep::Sweep
 
 use crate::error::SedaError;
-use seda_dram::{DramConfig, DramSim, DramStats, Request};
+use seda_dram::{DramConfig, DramSim, DramStats};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme, TrafficBreakdown};
 use seda_scalesim::{simulate_model, ModelSim, NpuConfig};
@@ -39,10 +39,16 @@ pub fn dram_config_for(npu: &NpuConfig) -> DramConfig {
 /// per-layer slice boundaries.
 ///
 /// Lowering runs every burst of a pre-simulated trace through
-/// `scheme.transform` once and stores the emitted [`Request`]s
-/// contiguously, so the stream can be replayed through
-/// [`DramSim::run_batch`] any number of times *without regenerating it* —
-/// the replay benchmarks time the DRAM kernel in isolation this way.
+/// `scheme.transform` once and stores the emitted requests contiguously
+/// in *packed* form ([`Request::pack`]: `(block << 1) | is_write`, 8 B
+/// per request), so the stream can be replayed through
+/// [`DramSim::run_batch_packed`] any number of times *without
+/// regenerating it* — the replay benchmarks time the DRAM kernel in
+/// isolation this way. Packing matters because both sides of the trace
+/// are memory-bound at this scale: lowering writes, and every replay
+/// reads, half the bytes a `Vec<Request>` would. The DRAM model is
+/// block-granular, so no timing information is lost.
+///
 /// [`run_trace`] itself relowers per inference (reusing the allocation),
 /// because schemes are stateful: metadata caches warm across inferences,
 /// so the rewritten stream of inference *n + 1* differs from inference
@@ -52,6 +58,7 @@ pub fn dram_config_for(npu: &NpuConfig) -> DramConfig {
 ///
 /// ```
 /// use seda::pipeline::LoweredTrace;
+/// use seda_dram::Request;
 /// use seda_models::zoo;
 /// use seda_protect::Unprotected;
 /// use seda_scalesim::{simulate_model, NpuConfig};
@@ -61,11 +68,19 @@ pub fn dram_config_for(npu: &NpuConfig) -> DramConfig {
 /// let lowered = LoweredTrace::lower(&sim, &mut Unprotected::new());
 /// assert_eq!(lowered.layers(), sim.layers.len());
 /// assert!(!lowered.requests().is_empty());
+/// // Each packed word unpacks to the original (block-aligned) request.
+/// let first = Request::unpack(lowered.requests()[0]);
+/// assert_eq!(first.addr % 64, 0);
 /// ```
+///
+/// [`Request::pack`]: seda_dram::Request::pack
 #[derive(Debug, Clone, Default)]
 pub struct LoweredTrace {
-    requests: Vec<Request>,
-    /// End index (exclusive) of each layer's slice in `requests`.
+    /// The packed request stream ([`Request::pack`] encoding).
+    ///
+    /// [`Request::pack`]: seda_dram::Request::pack
+    packed: Vec<u64>,
+    /// End index (exclusive) of each layer's slice in `packed`.
     layer_ends: Vec<usize>,
 }
 
@@ -81,13 +96,13 @@ impl LoweredTrace {
     /// is the per-inference path of [`run_trace`]: scheme state advances,
     /// but no per-request storage is reallocated.
     pub fn relower(&mut self, sim: &ModelSim, scheme: &mut dyn ProtectionScheme) {
-        self.requests.clear();
+        self.packed.clear();
         self.layer_ends.clear();
         for layer in &sim.layers {
             for burst in &layer.bursts {
-                scheme.transform(burst, &mut |r| self.requests.push(r));
+                scheme.transform(burst, &mut |r| self.packed.push(r.pack()));
             }
-            self.layer_ends.push(self.requests.len());
+            self.layer_ends.push(self.packed.len());
         }
     }
 
@@ -96,19 +111,23 @@ impl LoweredTrace {
         self.layer_ends.len()
     }
 
-    /// The requests of layer `i`, in issue order.
+    /// The packed requests of layer `i`, in issue order — the slice
+    /// [`DramSim::run_batch_packed`] replays.
     ///
     /// # Panics
     ///
     /// Panics when `i >= self.layers()`.
-    pub fn layer(&self, i: usize) -> &[Request] {
+    pub fn layer(&self, i: usize) -> &[u64] {
         let start = if i == 0 { 0 } else { self.layer_ends[i - 1] };
-        &self.requests[start..self.layer_ends[i]]
+        &self.packed[start..self.layer_ends[i]]
     }
 
-    /// The whole flat request stream, in issue order.
-    pub fn requests(&self) -> &[Request] {
-        &self.requests
+    /// The whole flat packed request stream, in issue order. Decode
+    /// individual elements with [`Request::unpack`].
+    ///
+    /// [`Request::unpack`]: seda_dram::Request::unpack
+    pub fn requests(&self) -> &[u64] {
+        &self.packed
     }
 }
 
@@ -303,13 +322,34 @@ pub fn try_run_trace_with_dram(
     repeats: u32,
     dram_cfg: DramConfig,
 ) -> Result<Vec<RunResult>, SedaError> {
+    try_run_trace_with_dram_sim(sim, npu, scheme, verifier, repeats, DramSim::new(dram_cfg))
+}
+
+/// [`try_run_trace_with_dram`] with a fully constructed simulator instead
+/// of a configuration — the injection point for simulator-level knobs that
+/// are not part of [`DramConfig`], such as the batched replay's worker cap
+/// ([`DramSim::set_replay_threads`], which
+/// [`Sweep::dram_replay_threads`](crate::sweep::Sweep::dram_replay_threads)
+/// threads through here). The simulator should be freshly constructed;
+/// pre-existing bank or clock state would be charged to this run.
+///
+/// # Errors
+///
+/// Returns [`SedaError::InvalidSpec`] when `repeats == 0`.
+pub fn try_run_trace_with_dram_sim(
+    sim: &ModelSim,
+    npu: &NpuConfig,
+    scheme: &mut dyn ProtectionScheme,
+    verifier: Option<&HashEngine>,
+    repeats: u32,
+    mut dram: DramSim,
+) -> Result<Vec<RunResult>, SedaError> {
     if repeats == 0 {
         return Err(SedaError::InvalidSpec {
             reason: "need at least one inference (repeats == 0)".to_owned(),
         });
     }
-    let mem_clock = dram_cfg.clock_hz;
-    let mut dram = DramSim::new(dram_cfg);
+    let mem_clock = dram.config().clock_hz;
 
     // One flat request buffer for the whole run: each inference lowers
     // the scheme-rewritten stream into it (schemes are stateful, so the
@@ -325,7 +365,7 @@ pub fn try_run_trace_with_dram(
             let start = dram.elapsed_cycles();
             let slice = lowered.layer(li);
             let requests = slice.len() as u64;
-            dram.run_batch(slice);
+            dram.run_batch_packed(slice);
             let mem_cycles_mem_domain = dram.elapsed_cycles() - start;
             let memory_cycles =
                 (mem_cycles_mem_domain as f64 / mem_clock * npu.clock_hz).ceil() as u64;

@@ -36,8 +36,8 @@
 //! ```
 
 use crate::error::SedaError;
-use crate::pipeline::{dram_config_for, try_run_trace_with_dram, RunResult};
-use seda_dram::DramConfig;
+use crate::pipeline::{dram_config_for, try_run_trace_with_dram_sim, RunResult};
+use seda_dram::{DramConfig, DramSim};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme};
 use seda_scalesim::{NpuConfig, TraceCache};
@@ -237,6 +237,7 @@ pub struct Sweep {
     repeats: u32,
     threads: Option<usize>,
     dram_map: Option<DramMap>,
+    dram_replay_threads: Option<usize>,
 }
 
 impl Sweep {
@@ -338,9 +339,40 @@ impl Sweep {
 
     /// Caps the worker thread count (`1` forces serial execution).
     /// Defaults to the machine's available parallelism.
+    ///
+    /// `0` is clamped to `1` (serial): a thread cap of zero can only mean
+    /// "as serial as possible", and the former `assert!` here was the one
+    /// panic left in an otherwise typed-error builder pipeline. Callers
+    /// that want a zero cap rejected loudly use [`Sweep::try_threads`].
     pub fn threads(mut self, n: usize) -> Self {
-        assert!(n > 0, "need at least one thread");
-        self.threads = Some(n);
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Fallible form of [`Sweep::threads`]: rejects a zero thread cap
+    /// with a typed error instead of clamping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::InvalidSpec`] when `n == 0`.
+    pub fn try_threads(self, n: usize) -> Result<Self, SedaError> {
+        if n == 0 {
+            return Err(SedaError::InvalidSpec {
+                reason: "need at least one sweep worker thread (threads == 0)".to_owned(),
+            });
+        }
+        Ok(self.threads(n))
+    }
+
+    /// Caps the worker threads the DRAM simulator may shard each point's
+    /// batched replay across ([`DramSim::set_replay_threads`]); `1`
+    /// forces serial replay, `0` is clamped to `1`. Defaults to the
+    /// simulator's automatic sizing. Replay results are bit-identical at
+    /// any setting, so this is purely a host-resource knob — useful to
+    /// keep a parallel sweep from oversubscribing cores with per-point
+    /// replay workers.
+    pub fn dram_replay_threads(mut self, n: usize) -> Self {
+        self.dram_replay_threads = Some(n.max(1));
         self
     }
 
@@ -385,13 +417,17 @@ impl Sweep {
                 Some(map) => map(npu),
                 None => dram_config_for(npu),
             };
-            try_run_trace_with_dram(
+            let mut dram = DramSim::new(dram_cfg);
+            if let Some(n) = self.dram_replay_threads {
+                dram.set_replay_threads(n);
+            }
+            try_run_trace_with_dram_sim(
                 &sim,
                 npu,
                 scheme.as_mut(),
                 self.verifier.as_ref(),
                 self.repeats,
-                dram_cfg,
+                dram,
             )
         }))
         .unwrap_or_else(|payload| {
@@ -605,5 +641,63 @@ mod tests {
             .scheme_with("poison", || panic!("injected factory failure"))
             .run();
         let _ = results.at(0, 0, 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        // Regression: `threads(0)` used to hit a bare `assert!`. The
+        // documented contract is a clamp to 1, so a zero cap must run and
+        // produce results bit-identical to an explicit serial sweep.
+        let base = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline");
+        assert_eq!(base.threads, None);
+        let clamped = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline")
+            .threads(0);
+        assert_eq!(clamped.threads, Some(1));
+        let zero = clamped.run();
+        let serial = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline")
+            .serial()
+            .run();
+        assert_eq!(
+            zero.at(0, 0, 0).total_cycles,
+            serial.at(0, 0, 0).total_cycles
+        );
+    }
+
+    #[test]
+    fn try_threads_rejects_zero_with_a_typed_error() {
+        let err = Sweep::new()
+            .try_threads(0)
+            .map(|_| ())
+            .expect_err("zero worker threads is malformed");
+        assert!(matches!(err, SedaError::InvalidSpec { .. }));
+        assert!(err.to_string().contains("thread"), "{err}");
+        let ok = Sweep::new().try_threads(3).expect("positive cap is fine");
+        assert_eq!(ok.threads, Some(3));
+    }
+
+    #[test]
+    fn dram_replay_thread_cap_is_bit_identical() {
+        // The replay worker cap is a host-resource knob, not a model
+        // parameter: any setting (including the 0 -> 1 clamp) must leave
+        // every result bit-identical.
+        let base = headline_sweep().serial().run();
+        for cap in [0usize, 1, 4] {
+            let capped = headline_sweep().serial().dram_replay_threads(cap).run();
+            for (b, c) in base.iter().zip(capped.iter()) {
+                for (br, cr) in b.3.iter().zip(c.3.iter()) {
+                    assert_eq!(br.total_cycles, cr.total_cycles, "cap={cap}");
+                    assert_eq!(br.dram, cr.dram, "cap={cap}");
+                }
+            }
+        }
     }
 }

@@ -16,12 +16,45 @@
 //! before it is hidden by precomputation.
 
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 
 /// AES-128 round count (plus the initial AddRoundKey, folded in).
 pub const AES_ROUNDS: u64 = 11;
 
 /// Bytes produced per AES evaluation.
 pub const PAD_BYTES: u64 = 16;
+
+/// An engine-sizing query that has no meaningful answer: the pad or
+/// memory bandwidth was zero, negative, or not finite, so the engine
+/// count `ceil(memory / pad)` is undefined.
+///
+/// Before this error existed, a zero pad bandwidth (an
+/// [`EngineTiming`] built by struct literal around the `new` guard, or a
+/// degenerate deserialized config) sailed through the division as
+/// `inf` and the `as u32` cast silently saturated the answer to
+/// `u32::MAX` engines — an absurd sizing that poisoned everything
+/// downstream without a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSizingError {
+    /// The requested memory bandwidth, bytes/second.
+    pub memory_bandwidth: f64,
+    /// The engine's effective pad bandwidth, bytes/second.
+    pub pad_bandwidth: f64,
+}
+
+impl fmt::Display for EngineSizingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot size AES engines: memory bandwidth {} B/s over pad bandwidth {} B/s \
+             is not a finite positive ratio",
+            self.memory_bandwidth, self.pad_bandwidth
+        )
+    }
+}
+
+impl Error for EngineSizingError {}
 
 /// AES engine micro-architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -73,21 +106,61 @@ impl EngineTiming {
     /// Engine instances needed to keep up with `memory_bandwidth`
     /// (bytes/second) under T-AES, where every 16 B segment pays a full
     /// evaluation.
-    pub fn taes_engines_for(&self, memory_bandwidth: f64) -> u32 {
-        (memory_bandwidth / self.pad_bandwidth()).ceil().max(1.0) as u32
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineSizingError`] when either bandwidth is zero,
+    /// negative, or not finite — the former silent failure mode, where a
+    /// zero pad bandwidth divided to `inf` and the cast saturated the
+    /// answer to `u32::MAX` engines.
+    pub fn taes_engines_for(&self, memory_bandwidth: f64) -> Result<u32, EngineSizingError> {
+        self.engines_for_ratio(memory_bandwidth, self.pad_bandwidth())
     }
 
     /// Engine instances needed under B-AES, where one evaluation covers
     /// [`crate::otp::PADS_PER_SCHEDULE`] segments via round-key XORs.
-    pub fn baes_engines_for(&self, memory_bandwidth: f64) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineSizingError`] under the same conditions as
+    /// [`EngineTiming::taes_engines_for`].
+    pub fn baes_engines_for(&self, memory_bandwidth: f64) -> Result<u32, EngineSizingError> {
         let effective = self.pad_bandwidth() * crate::otp::PADS_PER_SCHEDULE as f64;
-        (memory_bandwidth / effective).ceil().max(1.0) as u32
+        self.engines_for_ratio(memory_bandwidth, effective)
     }
 
     /// Bandwidth multiple (Fig. 4's x-axis) an accelerator with
     /// `memory_bandwidth` demands of this engine.
-    pub fn bandwidth_multiple(&self, memory_bandwidth: f64) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineSizingError`] under the same conditions as
+    /// [`EngineTiming::taes_engines_for`].
+    pub fn bandwidth_multiple(&self, memory_bandwidth: f64) -> Result<u32, EngineSizingError> {
         self.taes_engines_for(memory_bandwidth)
+    }
+
+    /// `max(1, ceil(memory / pad))` with the degenerate inputs rejected
+    /// up front: both bandwidths must be finite and positive for the
+    /// engine count to mean anything.
+    fn engines_for_ratio(
+        &self,
+        memory_bandwidth: f64,
+        pad_bandwidth: f64,
+    ) -> Result<u32, EngineSizingError> {
+        let ratio = memory_bandwidth / pad_bandwidth;
+        let sizable = memory_bandwidth > 0.0
+            && memory_bandwidth.is_finite()
+            && pad_bandwidth > 0.0
+            && pad_bandwidth.is_finite()
+            && ratio <= f64::from(u32::MAX);
+        if !sizable {
+            return Err(EngineSizingError {
+                memory_bandwidth,
+                pad_bandwidth,
+            });
+        }
+        Ok(ratio.ceil().max(1.0) as u32)
     }
 }
 
@@ -116,16 +189,17 @@ mod tests {
         // Server NPU: 20 GB/s at 1 GHz → 14 iterative engines for T-AES,
         // but only 2 for B-AES.
         let e = EngineTiming::new(EngineKind::Iterative, 1.0e9);
-        assert_eq!(e.taes_engines_for(20.0e9), 14);
-        assert_eq!(e.baes_engines_for(20.0e9), 2);
+        assert_eq!(e.taes_engines_for(20.0e9), Ok(14));
+        assert_eq!(e.baes_engines_for(20.0e9), Ok(2));
+        assert_eq!(e.bandwidth_multiple(20.0e9), Ok(14));
     }
 
     #[test]
     fn edge_npu_needs_fewer() {
         // Edge: 10 GB/s at 2.75 GHz.
         let e = EngineTiming::new(EngineKind::Iterative, 2.75e9);
-        assert_eq!(e.taes_engines_for(10.0e9), 3);
-        assert_eq!(e.baes_engines_for(10.0e9), 1);
+        assert_eq!(e.taes_engines_for(10.0e9), Ok(3));
+        assert_eq!(e.baes_engines_for(10.0e9), Ok(1));
     }
 
     #[test]
@@ -133,7 +207,7 @@ mod tests {
         let e = EngineTiming::new(EngineKind::Iterative, 1.5e9);
         for gbps in [1.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
             let bw = gbps * 1e9;
-            assert!(e.baes_engines_for(bw) <= e.taes_engines_for(bw));
+            assert!(e.baes_engines_for(bw).unwrap() <= e.taes_engines_for(bw).unwrap());
         }
     }
 
@@ -141,5 +215,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_clock_rejected() {
         let _ = EngineTiming::new(EngineKind::Iterative, 0.0);
+    }
+
+    #[test]
+    fn zero_pad_bandwidth_is_a_typed_error_not_u32_max() {
+        // Regression: a zero-clock engine (constructed around the `new`
+        // guard, as a deserialized or literal config could be) used to
+        // divide to infinity and silently saturate to u32::MAX engines.
+        let e = EngineTiming {
+            kind: EngineKind::Iterative,
+            clock_hz: 0.0,
+        };
+        assert_eq!(e.pad_bandwidth(), 0.0);
+        let err = e.taes_engines_for(20.0e9).expect_err("zero pad bandwidth");
+        assert_eq!(err.pad_bandwidth, 0.0);
+        assert_eq!(err.memory_bandwidth, 20.0e9);
+        assert!(err.to_string().contains("cannot size"), "{err}");
+        assert!(e.baes_engines_for(20.0e9).is_err());
+        assert!(e.bandwidth_multiple(20.0e9).is_err());
+    }
+
+    #[test]
+    fn degenerate_memory_bandwidths_are_typed_errors() {
+        let e = EngineTiming::new(EngineKind::Iterative, 1.0e9);
+        for bad in [0.0, -5.0e9, f64::INFINITY, f64::NAN] {
+            assert!(
+                e.taes_engines_for(bad).is_err(),
+                "memory bandwidth {bad} must not size an engine bank"
+            );
+        }
+        // Astronomically mismatched bandwidths would overflow the count.
+        assert!(e.taes_engines_for(f64::MAX).is_err());
     }
 }

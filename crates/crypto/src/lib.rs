@@ -52,7 +52,7 @@ pub mod sha256;
 
 pub use aes::Aes128;
 pub use ctr::{AesCtr, CounterSeed};
-pub use engine::{EngineKind, EngineTiming};
+pub use engine::{EngineKind, EngineSizingError, EngineTiming};
 pub use mac::{
     BlockPosition, MacTag, PositionBoundMac, PositionlessMac, TagMismatch, XorAccumulator,
 };

@@ -7,25 +7,38 @@
 //! differentiates protection schemes — metadata accesses break row locality
 //! and add serialized activates — without a full command-level replay.
 //!
-//! Two kernels replay a request stream:
+//! Three kernels replay a request stream:
 //!
 //! * [`DramSim::access`]/[`DramSim::access_timed`] — the exact per-access
 //!   kernel, one full front-end evaluation per request.
-//! * [`DramSim::run_batch`] — the streak-batched replay kernel. DNN
-//!   traces are overwhelmingly streaming, so most per-access work is
-//!   redundant: a run of row hits on an uncontended bank advances the
-//!   bank and bus clocks by a closed-form amount. The batched kernel
-//!   detects such streaks and applies their timing and statistics in
-//!   O(1) per streak, falling back to the exact kernel on any row
-//!   change, bank conflict, direction change, or refresh-window
-//!   straddle. It is bit-identical to the per-access kernel — the
-//!   `dram-batch` family of `seda-validate` and the conformance tests
-//!   in this crate enforce that, stat for stat.
+//! * The **long-streak kernel** inside [`DramSim::run_batch_packed`]
+//!   (and its [`DramSim::run_batch`] shim): runs of consecutive 64 B
+//!   slots longer than the channel count advance every channel by a
+//!   closed-form amount (telescoped row hits plus an O(periods-crossed)
+//!   refresh walk).
+//! * The **mixed-streak kernel**, also inside
+//!   [`DramSim::run_batch_packed`]: everything too short for the
+//!   long-streak kernel — singletons, short runs, read/write turnarounds
+//!   — is decoded once into packed per-channel substreams and replayed
+//!   lane by lane, so repeated keys coalesce and no request pays a second
+//!   decode. On multi-core hosts the lanes shard across scoped threads
+//!   (channel state is disjoint by construction, every statistic is a
+//!   commutative sum).
+//!
+//! All three are bit-identical, access for access — the `dram-batch`
+//! family of `seda-validate` and the conformance tests in this crate
+//! enforce that, stat for stat, for serial and sharded replays alike.
 
 use crate::config::DramConfig;
-use crate::mapping::{AddressMapping, DramCoord};
+use crate::mapping::AddressMapping;
 use crate::request::{Request, RowOutcome};
 use crate::stats::DramStats;
+
+/// Buffered mixed-streak requests below this count replay serially even
+/// when `replay_threads` is unset: thread spawn/join latency dwarfs the
+/// replay itself for small flushes. An explicit
+/// [`DramSim::set_replay_threads`] bypasses the threshold.
+const SHARD_MIN_REQUESTS: usize = 64 * 1024;
 
 #[derive(Debug, Clone, Copy)]
 struct BankState {
@@ -63,6 +76,12 @@ struct ChannelClock {
     bus_free: u64,
     /// Clock of the most recent command issue (monotonic per channel).
     now: u64,
+    /// Largest multiple of `t_refi` at or below the channel's last
+    /// checked burst start. Caches the refresh-phase floor so the hot
+    /// path computes `data_start % t_refi` by subtraction instead of a
+    /// 64-bit division: burst starts are monotone per channel and rarely
+    /// advance more than one refresh period between checks.
+    refi_epoch: u64,
 }
 
 impl ChannelClock {
@@ -70,7 +89,31 @@ impl ChannelClock {
         Self {
             bus_free: 0,
             now: 0,
+            refi_epoch: 0,
         }
+    }
+
+    /// `ds % t_refi`, computed incrementally from the cached epoch.
+    ///
+    /// Precondition: `ds` is monotone per channel (every burst start is),
+    /// so the epoch never has to move backward. The common case advances
+    /// the epoch zero or one period; a large jump (idle channel, row
+    /// conflict penalty far exceeding a pathological tiny `t_refi`) takes
+    /// one division to resynchronize.
+    #[inline]
+    fn refresh_phase(&mut self, ds: u64, t_refi: u64) -> u64 {
+        let mut gap = ds - self.refi_epoch;
+        if gap >= t_refi {
+            if gap >= t_refi.saturating_mul(64) {
+                self.refi_epoch = ds - ds % t_refi;
+                return ds - self.refi_epoch;
+            }
+            while gap >= t_refi {
+                self.refi_epoch += t_refi;
+                gap -= t_refi;
+            }
+        }
+        gap
     }
 }
 
@@ -88,14 +131,263 @@ pub struct AccessTiming {
     pub data_end: u64,
 }
 
-/// A steady streak on one channel: the last access went to this bank and
-/// row with this direction, so the next same-key access is a pure bus-rate
-/// row hit with a closed-form issue time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct StreakKey {
-    bank: usize,
-    row: u64,
-    is_write: bool,
+/// Precomputed shift/mask geometry the batched kernels use to crack a
+/// packed request (`(block << 1) | is_write`) into channel, bank, and row
+/// fields without going through a full [`AddressMapping::decode`].
+#[derive(Debug, Clone, Copy)]
+struct LaneGeometry {
+    /// Mask selecting the bits of a packed request that determine its
+    /// steady-streak key `(bank, rank, row, direction)`: everything above
+    /// the channel and column fields, plus the direction bit.
+    key_mask: u64,
+    /// `log2(channels × columns)` — bits below the bank field.
+    region_bits: u32,
+    /// All-ones mask over the `(rank, bank)` fields.
+    bank_rank_mask: u64,
+    /// Shift from a block to its row index.
+    row_shift: u32,
+}
+
+/// One channel's mutable slice of the simulator: its clock, its banks,
+/// and a statistics accumulator. Channels share no timing state, so a
+/// lane is the unit of sharding — workers own disjoint lanes and merge
+/// their [`DramStats`] afterward.
+struct Lane<'a> {
+    cfg: &'a DramConfig,
+    clock: &'a mut ChannelClock,
+    banks: &'a mut [BankState],
+    stats: &'a mut DramStats,
+}
+
+impl Lane<'_> {
+    /// The exact per-access kernel: one full front-end evaluation.
+    ///
+    /// `bank_idx` is the flat `(rank, bank)` index within this channel and
+    /// `row` the access's row; both are pre-cracked by the caller so the
+    /// batched paths never re-decode an address.
+    #[inline]
+    fn access(&mut self, bank_idx: usize, row: u64, is_write: bool) -> (RowOutcome, u64, u64) {
+        let cfg = self.cfg;
+        let clock = &mut *self.clock;
+        let bank = &mut self.banks[bank_idx];
+
+        // FR-FCFS-style front end: a request to a ready bank may issue
+        // while another bank resolves a row conflict; only the data bus
+        // and per-bank state serialize. `now` advances with the stream so
+        // requests cannot issue before they arrive.
+        let arrival = clock.now;
+        let outcome;
+        // Cycle at which the column command can be issued to this bank.
+        let col_ready = match bank.open_row {
+            Some(open) if open == row => {
+                outcome = RowOutcome::Hit;
+                arrival.max(bank.next_col)
+            }
+            Some(_) => {
+                outcome = RowOutcome::Conflict;
+                // Precharge (after in-flight data drains and tRAS elapses),
+                // then activate, then the column command after tRCD.
+                let pre_at = arrival.max(bank.busy_until).max(bank.activated + cfg.t_ras);
+                let act_at = pre_at + cfg.t_rp;
+                bank.activated = act_at;
+                act_at + cfg.t_rcd
+            }
+            None => {
+                outcome = RowOutcome::Empty;
+                let act_at = arrival.max(bank.next_col);
+                bank.activated = act_at;
+                act_at + cfg.t_rcd
+            }
+        };
+        bank.open_row = Some(row);
+
+        let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
+        // Data occupies the bus for t_bl cycles after CAS latency; column
+        // commands to the same bank pipeline at tCCD (= burst) spacing.
+        // All-bank refresh blocks the channel for tRFC every tREFI: a
+        // transfer landing inside a refresh window slips past it.
+        let mut data_start = (col_ready + cas).max(clock.bus_free);
+        if cfg.t_refi > 0 {
+            let phase = clock.refresh_phase(data_start, cfg.t_refi);
+            if phase < cfg.t_rfc {
+                self.stats.refresh_stall_cycles += cfg.t_rfc - phase;
+                data_start += cfg.t_rfc - phase;
+            }
+        }
+        let data_end = data_start + cfg.t_bl;
+        self.stats.bus_busy_cycles += cfg.t_bl;
+        self.stats.record_kind(is_write, outcome);
+        clock.bus_free = data_end;
+        // Arrival time advances with the bus, not with stalled banks: a
+        // conflicted request does not block younger requests to other banks.
+        clock.now = clock.now.max(data_start.saturating_sub(cas + cfg.t_rcd));
+        bank.next_col = data_start - cas + cfg.t_bl;
+        bank.busy_until = if is_write {
+            data_end + cfg.t_wr
+        } else {
+            data_end
+        };
+        bank.occupied += bank.busy_until - col_ready;
+        (outcome, data_start, data_end)
+    }
+
+    /// Applies `n` steady row hits on this channel's most recent bank in
+    /// closed form.
+    ///
+    /// Precondition (the steady-streak invariant): the channel's last
+    /// access touched the same bank, row, and direction. The exact kernel
+    /// then gives, for each of the `n` accesses,
+    /// `col_ready = next_col` (the channel's arrival clock always trails
+    /// `next_col`) and `col_ready + cas = bus_free`, so each burst starts
+    /// at `bus_free` — advanced only by refresh slips. Every statistic
+    /// the exact kernel would accumulate telescopes:
+    ///
+    /// * `data_start` advances by `t_bl` per access plus refresh slips,
+    ///   walked period-by-period (O(windows crossed), not O(n));
+    /// * each access's bank occupancy is `(Δdata_start) + cas + t_wr?`,
+    ///   so the sum is `n (t_bl + cas + t_wr?) + slips`;
+    /// * the channel arrival clock's running max is its final value.
+    #[inline]
+    fn streak(&mut self, bank_idx: usize, n: u64, is_write: bool) {
+        let cfg = self.cfg;
+        let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
+        let write_rec = if is_write { cfg.t_wr } else { 0 };
+        let clock = &mut *self.clock;
+        // The previous access's burst start: its data_end is bus_free.
+        let ds0 = clock.bus_free - cfg.t_bl;
+
+        // Walk data_start forward n steps of t_bl, slipping past refresh
+        // windows exactly as the per-access check would: one phase test
+        // per access, telescoped over whole tREFI periods.
+        let (mut ds, mut slip) = (ds0, 0u64);
+        let mut left = n;
+        if cfg.t_refi == 0 || cfg.t_bl == 0 {
+            // No refresh, or a zero-length burst whose phase never moves:
+            // post-check phases equal the (checked) previous phase, so no
+            // further slips are possible.
+            ds += left * cfg.t_bl;
+        } else {
+            let mut phase = clock.refresh_phase(ds, cfg.t_refi);
+            loop {
+                // Steps whose tentative phase stays inside the current
+                // period need no check outcome change: every issued
+                // data_start has phase >= t_rfc, and phases only grow
+                // until the period wraps. Short streaks usually fit the
+                // remaining room outright, which the multiply test
+                // detects without dividing.
+                let room = cfg.t_refi - 1 - phase;
+                match left.checked_mul(cfg.t_bl) {
+                    Some(adv) if adv <= room => {
+                        ds += adv;
+                        phase += adv;
+                        left = 0;
+                    }
+                    _ => {
+                        let safe = (room / cfg.t_bl).min(left);
+                        let adv = safe * cfg.t_bl;
+                        ds += adv;
+                        phase += adv;
+                        left -= safe;
+                    }
+                }
+                if left == 0 {
+                    break;
+                }
+                // This access wraps into the next period: apply the exact
+                // kernel's single refresh check at its burst start.
+                let mut next = ds + cfg.t_bl;
+                let mut ph = phase + cfg.t_bl;
+                if ph >= cfg.t_refi {
+                    clock.refi_epoch += cfg.t_refi;
+                    ph -= cfg.t_refi;
+                    if ph >= cfg.t_refi {
+                        // Degenerate t_bl >= t_refi: resynchronize in O(1).
+                        let periods = ph / cfg.t_refi;
+                        clock.refi_epoch += periods * cfg.t_refi;
+                        ph -= periods * cfg.t_refi;
+                    }
+                }
+                if ph < cfg.t_rfc {
+                    slip += cfg.t_rfc - ph;
+                    next += cfg.t_rfc - ph;
+                    ph = cfg.t_rfc;
+                }
+                ds = next;
+                phase = ph;
+                left -= 1;
+            }
+        }
+
+        // Telescoped state updates — each line is the exact kernel's
+        // per-access update summed over the n accesses.
+        self.stats.refresh_stall_cycles += slip;
+        self.stats.bus_busy_cycles += n * cfg.t_bl;
+        self.stats.row_hits += n;
+        if is_write {
+            self.stats.writes += n;
+        } else {
+            self.stats.reads += n;
+        }
+        clock.bus_free = ds + cfg.t_bl;
+        clock.now = clock.now.max(ds.saturating_sub(cas + cfg.t_rcd));
+        let bank = &mut self.banks[bank_idx];
+        bank.occupied += n * (cfg.t_bl + cas + write_rec) + slip;
+        bank.next_col = ds - cas + cfg.t_bl;
+        bank.busy_until = ds + cfg.t_bl + write_rec;
+    }
+}
+
+/// Replays one channel's packed substream through its lane.
+///
+/// `sub` holds `(block << 1) | is_write` words in program order; `last`
+/// is the channel's most recent steady-streak key (or `u64::MAX` when no
+/// access has established one this batch). Runs of equal keys coalesce:
+/// one exact head access when the key changes, then a single closed-form
+/// streak for the rest — exactly the sequence the scalar path would take,
+/// so the replay is bit-identical by construction.
+fn replay_lane(lane: &mut Lane<'_>, sub: &[u64], last: &mut u64, geom: LaneGeometry) {
+    let mut i = 0;
+    while i < sub.len() {
+        let p = sub[i];
+        let mut n = 1;
+        while i + n < sub.len() && (sub[i + n] ^ p) & geom.key_mask == 0 {
+            n += 1;
+        }
+        let block = p >> 1;
+        let is_write = p & 1 != 0;
+        let bank_idx = ((block >> geom.region_bits) & geom.bank_rank_mask) as usize;
+        let mut hits = n as u64;
+        if (*last ^ p) & geom.key_mask != 0 {
+            lane.access(bank_idx, block >> geom.row_shift, is_write);
+            hits -= 1;
+        }
+        if hits > 0 {
+            lane.streak(bank_idx, hits, is_write);
+        }
+        *last = p;
+        i += n;
+    }
+}
+
+/// Reusable buffers for the mixed-streak kernel, kept on the simulator so
+/// repeated `run_batch` calls allocate nothing in steady state. The
+/// contents are meaningful only within one `run_batch` call — `last` keys
+/// reset at entry so interleaved `access()` calls can never leave a stale
+/// key behind.
+#[derive(Debug, Clone)]
+struct BatchScratch {
+    /// Per-channel packed substreams awaiting replay.
+    pending: Vec<Vec<u64>>,
+    /// Per-channel steady-streak key of the most recent access this
+    /// batch: the packed request with its column bits ignored via
+    /// `key_mask`. `u64::MAX` is an impossible packed value (blocks have
+    /// at least [`super::config::ACCESS_BYTES`] zero high bits), so it
+    /// doubles as the "no key yet" sentinel.
+    last: Vec<u64>,
+    /// Packed image of the caller's [`Request`] slice, reused across
+    /// [`DramSim::run_batch`] calls so the compatibility shim allocates
+    /// nothing in steady state.
+    packed: Vec<u64>,
 }
 
 /// A multi-channel DRAM timing simulator.
@@ -129,6 +421,14 @@ pub struct DramSim {
     banks: Vec<BankState>,
     banks_per_channel: usize,
     stats: DramStats,
+    scratch: BatchScratch,
+    /// Requests currently buffered across `scratch.pending`, so the flush
+    /// check at every long-streak boundary is one load.
+    pending_total: usize,
+    /// Worker-thread cap for the sharded mixed-streak flush; `None`
+    /// sizes automatically (available parallelism, above a volume
+    /// threshold).
+    replay_threads: Option<usize>,
 }
 
 impl DramSim {
@@ -144,12 +444,34 @@ impl DramSim {
             banks: vec![BankState::new(); channels * banks_per_channel],
             banks_per_channel,
             stats: DramStats::default(),
+            scratch: BatchScratch {
+                pending: vec![Vec::new(); channels],
+                last: vec![u64::MAX; channels],
+                packed: Vec::new(),
+            },
+            pending_total: 0,
+            replay_threads: None,
         }
     }
 
     /// The simulator's configuration.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// Caps the worker threads the batched replay may shard channel lanes
+    /// across. `1` forces serial replay; values above the channel count
+    /// are clamped to it at flush time. An explicit setting also bypasses
+    /// the automatic volume threshold, so tests can exercise the sharded
+    /// path on small streams. Replay results are bit-identical at any
+    /// setting.
+    pub fn set_replay_threads(&mut self, threads: usize) {
+        self.replay_threads = Some(threads.max(1));
+    }
+
+    /// The configured replay-thread cap, or `None` for automatic sizing.
+    pub fn replay_threads(&self) -> Option<usize> {
+        self.replay_threads
     }
 
     /// Simulates one 64 B access and returns its row-buffer outcome.
@@ -164,79 +486,29 @@ impl DramSim {
     /// aggregate counters.
     pub fn access_timed(&mut self, req: Request) -> AccessTiming {
         let coord = self.mapping.decode(req.addr);
-        let timing = self.access_decoded(req, coord);
-        self.stats.record(req, timing.outcome);
-        timing
-    }
-
-    fn access_decoded(&mut self, req: Request, coord: DramCoord) -> AccessTiming {
-        let cfg = &self.config;
-        let ch = coord.channel as usize;
-        let clock = &mut self.clocks[ch];
-        let bank_idx = (coord.rank * cfg.banks + coord.bank) as usize;
-        let bank = &mut self.banks[ch * self.banks_per_channel + bank_idx];
-
-        // FR-FCFS-style front end: a request to a ready bank may issue
-        // while another bank resolves a row conflict; only the data bus
-        // and per-bank state serialize. `now` advances with the stream so
-        // requests cannot issue before they arrive.
-        let arrival = clock.now;
-        let outcome;
-        // Cycle at which the column command can be issued to this bank.
-        let col_ready = match bank.open_row {
-            Some(row) if row == coord.row => {
-                outcome = RowOutcome::Hit;
-                arrival.max(bank.next_col)
-            }
-            Some(_) => {
-                outcome = RowOutcome::Conflict;
-                // Precharge (after in-flight data drains and tRAS elapses),
-                // then activate, then the column command after tRCD.
-                let pre_at = arrival.max(bank.busy_until).max(bank.activated + cfg.t_ras);
-                let act_at = pre_at + cfg.t_rp;
-                bank.activated = act_at;
-                act_at + cfg.t_rcd
-            }
-            None => {
-                outcome = RowOutcome::Empty;
-                let act_at = arrival.max(bank.next_col);
-                bank.activated = act_at;
-                act_at + cfg.t_rcd
-            }
-        };
-        bank.open_row = Some(coord.row);
-
-        let cas = if req.is_write { cfg.t_cwl } else { cfg.t_cl };
-        // Data occupies the bus for t_bl cycles after CAS latency; column
-        // commands to the same bank pipeline at tCCD (= burst) spacing.
-        // All-bank refresh blocks the channel for tRFC every tREFI: a
-        // transfer landing inside a refresh window slips past it.
-        let mut data_start = (col_ready + cas).max(clock.bus_free);
-        if cfg.t_refi > 0 {
-            let phase = data_start % cfg.t_refi;
-            if phase < cfg.t_rfc {
-                self.stats.refresh_stall_cycles += cfg.t_rfc - phase;
-                data_start += cfg.t_rfc - phase;
-            }
-        }
-        let data_end = data_start + cfg.t_bl;
-        self.stats.bus_busy_cycles += cfg.t_bl;
-        clock.bus_free = data_end;
-        // Arrival time advances with the bus, not with stalled banks: a
-        // conflicted request does not block younger requests to other banks.
-        clock.now = clock.now.max(data_start.saturating_sub(cas + cfg.t_rcd));
-        bank.next_col = data_start - cas + cfg.t_bl;
-        bank.busy_until = if req.is_write {
-            data_end + cfg.t_wr
-        } else {
-            data_end
-        };
-        bank.occupied += bank.busy_until - col_ready;
+        let bank_idx = (coord.rank * self.config.banks + coord.bank) as usize;
+        let channel = coord.channel;
+        let mut lane = self.lane(channel as usize);
+        let (outcome, data_start, data_end) = lane.access(bank_idx, coord.row, req.is_write);
         AccessTiming {
             outcome,
-            channel: coord.channel,
+            channel,
             data_start,
             data_end,
+        }
+    }
+
+    /// Borrows channel `ch`'s clock, banks, and the shared statistics as
+    /// one lane.
+    #[inline]
+    fn lane(&mut self, ch: usize) -> Lane<'_> {
+        let lo = ch * self.banks_per_channel;
+        let hi = lo + self.banks_per_channel;
+        Lane {
+            cfg: &self.config,
+            clock: &mut self.clocks[ch],
+            banks: &mut self.banks[lo..hi],
+            stats: &mut self.stats,
         }
     }
 
@@ -253,11 +525,36 @@ impl DramSim {
     /// Streak-batched replay of a request slice, bit-identical to calling
     /// [`DramSim::access`] on every element in order.
     ///
+    /// Compatibility shim over [`DramSim::run_batch_packed`]: the slice is
+    /// packed once into a reused scratch buffer, then replayed in packed
+    /// form. Bulk callers that already hold packed streams — the
+    /// pipeline's lowered traces — call the packed entry point directly
+    /// and skip the conversion pass.
+    pub fn run_batch(&mut self, requests: &[Request]) {
+        let mut packed = std::mem::take(&mut self.scratch.packed);
+        packed.clear();
+        packed.extend(requests.iter().map(|r| r.pack()));
+        self.run_batch_packed(&packed);
+        self.scratch.packed = packed;
+    }
+
+    /// Streak-batched replay of a packed request stream
+    /// (`(block << 1) | is_write` per element — see [`Request::pack`]),
+    /// bit-identical to calling [`DramSim::access`] on every element in
+    /// order.
+    ///
+    /// This is the native form of the fast path: the simulator is
+    /// block-granular throughout, so a packed word carries everything a
+    /// [`Request`] does at half the width, and the streak scan below reads
+    /// half the bytes per request — which matters, because on long streaks
+    /// the scan is memory-bound.
+    ///
     /// The kernel exploits two structural facts:
     ///
     /// * **Channels are independent.** No state is shared between
     ///   channels, and every aggregate statistic is a commutative sum, so
-    ///   requests to different channels can be timed in any order.
+    ///   requests to different channels can be timed in any order — or on
+    ///   different threads.
     /// * **Steady row hits are bus-rate.** After any access, the bank's
     ///   next column command plus CAS latency lands exactly when the bus
     ///   frees (`next_col + cas == bus_free`), so a following access to
@@ -265,180 +562,267 @@ impl DramSim {
     ///   `bus_free` — no front-end arbitration can change that.
     ///
     /// Sequential streaks (64 B slots at consecutive addresses, the shape
-    /// SCALE-Sim traces and scheme-rewritten tensor walks take) are
-    /// detected up front and applied per channel in closed form: `n` row
-    /// hits advance the bus by `n × t_bl` plus any refresh slips, which
-    /// the kernel accounts in O(refresh windows crossed) rather than
-    /// O(n). Anything that breaks the streak — a row change, a bank
-    /// conflict, a read/write turnaround, a region boundary — falls back
-    /// to the exact per-access kernel for that request.
-    pub fn run_batch(&mut self, requests: &[Request]) {
+    /// SCALE-Sim traces and scheme-rewritten tensor walks take) longer
+    /// than the channel count are applied per channel in closed form: `n`
+    /// row hits advance the bus by `n × t_bl` plus any refresh slips,
+    /// accounted in O(refresh windows crossed) rather than O(n).
+    /// Everything shorter — singleton streaks, short runs, read/write
+    /// turnarounds, region-boundary stragglers — is packed into
+    /// per-channel substreams and replayed by the mixed-streak kernel
+    /// (`replay_lane`), which decodes each request once and coalesces
+    /// repeated keys; substreams flush before each long streak so
+    /// per-channel program order is preserved, and shard across threads
+    /// when large enough (see [`DramSim::set_replay_threads`]).
+    pub fn run_batch_packed(&mut self, requests: &[u64]) {
         // The closed-form refresh walk assumes every issued burst leaves
         // its channel with phase >= tRFC, which the per-access check only
         // guarantees when the refresh window fits its interval. A
         // degenerate config (tRFC >= tREFI) replays per access instead.
         if self.config.t_refi > 0 && self.config.t_rfc >= self.config.t_refi {
-            for &r in requests {
-                self.access(r);
+            for &p in requests {
+                self.access(Request::unpack(p));
             }
             return;
         }
-        // Per-channel steady-streak state, local to this call: the key of
-        // the channel's most recent access. Local (not persisted) so that
-        // interleaved `access()` calls can never leave a stale key behind.
-        let mut streaks: Vec<Option<StreakKey>> = vec![None; self.clocks.len()];
+        let channels = self.clocks.len();
+        let ch_mask = channels as u64 - 1;
         let region_bits = self.mapping.region_bits();
-        let ch_bits = self.mapping.ch_bits();
-        let channels = 1usize << ch_bits;
+        // Steady-streak keys are local to this call: reset so interleaved
+        // `access()` calls can never leave a stale key behind.
+        for last in &mut self.scratch.last {
+            *last = u64::MAX;
+        }
+        let geom = LaneGeometry {
+            key_mask: (!0u64 << (region_bits + 1)) | 1,
+            region_bits,
+            bank_rank_mask: self.mapping.bank_rank_mask(),
+            row_shift: self.mapping.row_shift(),
+        };
+        let region_mask = (1u64 << region_bits) - 1;
+        // Replay mode: buffering short segments into per-channel
+        // substreams only pays off when a flush can shard them across
+        // workers; with a single worker the scalar path replays them in
+        // place, skipping the buffer round-trip entirely. Both modes are
+        // bit-identical.
+        let worker_cap = match self.replay_threads {
+            Some(n) => n,
+            None if requests.len() >= SHARD_MIN_REQUESTS => {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+            None => 1,
+        }
+        .min(channels);
+        let buffered = worker_cap > 1;
 
         let mut i = 0;
         while i < requests.len() {
-            let head = requests[i];
-            let head_block = AddressMapping::block_of(head.addr);
+            let head_p = requests[i];
+            let head_block = head_p >> 1;
+            let is_write = head_p & 1 != 0;
 
             // Detect a sequential streak: consecutive requests walking
             // consecutive 64 B slots in one direction, within one
             // super-row region (same (bank, rank, row) on every channel).
-            let region_end = (head_block >> region_bits).wrapping_add(1) << region_bits;
-            let max_len = (region_end - head_block).min((requests.len() - i) as u64) as usize;
+            // The room left in the region comes from the block's low bits
+            // alone, so the computation cannot wrap even for blocks in
+            // the top region of the address space (the former
+            // `(region + 1) << region_bits` end-pointer form could).
+            let in_region = (region_mask - (head_block & region_mask)) + 1;
+            let max_len = in_region.min((requests.len() - i) as u64) as usize;
+            let window = &requests[i..i + max_len];
             let mut len = 1;
-            while len < max_len {
-                let r = requests[i + len];
-                if r.is_write != head.is_write
-                    || AddressMapping::block_of(r.addr) != head_block + len as u64
-                {
+            // In packed form a streak is an arithmetic progression of
+            // stride 2 (block advances by one, direction bit unchanged),
+            // so one XOR per element checks block and direction together.
+            // Verify four requests per iteration with one well-predicted
+            // branch: long streaks spend almost all scan time here, and
+            // the scan is memory-bound, which is why the stream is packed
+            // to 8 B/request in the first place. The scalar tail finishes
+            // partial quads and pinpoints the break.
+            while len + 4 <= max_len {
+                let q = &window[len..len + 4];
+                let expect = head_p + 2 * len as u64;
+                let mismatch = (q[0] ^ expect)
+                    | (q[1] ^ (expect + 2))
+                    | (q[2] ^ (expect + 4))
+                    | (q[3] ^ (expect + 6));
+                if mismatch != 0 {
                     break;
                 }
+                len += 4;
+            }
+            while len < max_len && window[len] == head_p + 2 * len as u64 {
                 len += 1;
             }
 
             if len > channels {
-                // Heads: the first access per channel goes through the
-                // normal path (it may hit, conflict, or open an empty
-                // bank) and establishes the steady-streak invariant.
-                for j in 0..channels {
-                    self.step(requests[i + j], &mut streaks);
+                // Long streak: drain buffered short work first so each
+                // channel sees its requests in program order.
+                if self.pending_total > 0 {
+                    self.flush_pending(worker_cap, geom);
                 }
-                // Tail: channel of offset j is (head_block + j) mod
-                // channels; each channel's remaining accesses are steady
-                // row hits applied in closed form. Every block in the
-                // region shares one within-channel bank index.
-                let bank_in_channel = self.mapping.bank_index(head_block);
+                // Channel of offset j is (head_block + j) mod channels,
+                // and every block in the region shares one within-channel
+                // bank index and row. Per channel: the first access goes
+                // through the scalar path (it may hit, conflict, or open
+                // an empty bank) and establishes the steady-streak
+                // invariant; the channel's remaining accesses are steady
+                // row hits applied in closed form.
+                let bank_idx = self.mapping.bank_index(head_block);
+                let row = self.mapping.row_of(head_block);
                 let extra = len - channels;
-                let per_channel = extra / channels;
+                let per_channel = (extra / channels) as u64;
                 let remainder = extra % channels;
                 for j in 0..channels {
-                    let ch = ((head_block + j as u64) & (channels as u64 - 1)) as usize;
-                    let n = per_channel + usize::from(j < remainder);
-                    if n > 0 {
-                        self.apply_streak(ch, bank_in_channel, n as u64, head.is_write);
+                    let p = head_p + 2 * j as u64;
+                    let ch = ((p >> 1) & ch_mask) as usize;
+                    let matched = (self.scratch.last[ch] ^ p) & geom.key_mask == 0;
+                    self.scratch.last[ch] = p;
+                    let tail = per_channel + u64::from(j < remainder);
+                    let mut lane = self.lane(ch);
+                    if matched {
+                        // The head continues a steady streak, so the whole
+                        // per-channel run telescopes into one closed form.
+                        lane.streak(bank_idx, tail + 1, is_write);
+                    } else {
+                        lane.access(bank_idx, row, is_write);
+                        if tail > 0 {
+                            lane.streak(bank_idx, tail, is_write);
+                        }
                     }
                 }
                 i += len;
-            } else {
-                self.step(head, &mut streaks);
-                i += 1;
-            }
-        }
-    }
-
-    /// One request through the batched kernel's scalar path: a steady
-    /// same-(bank, row, direction) follow-up takes the closed-form row-hit
-    /// step; anything else runs the exact per-access kernel.
-    #[inline]
-    fn step(&mut self, req: Request, streaks: &mut [Option<StreakKey>]) {
-        let block = AddressMapping::block_of(req.addr);
-        let ch = (block & (u64::from(self.mapping.channels()) - 1)) as usize;
-        let key = StreakKey {
-            bank: self.mapping.bank_index(block),
-            row: self.mapping.row_of(block),
-            is_write: req.is_write,
-        };
-        if streaks[ch] == Some(key) {
-            self.apply_streak(ch, key.bank, 1, req.is_write);
-        } else {
-            let coord = self.mapping.decode(req.addr);
-            let timing = self.access_decoded(req, coord);
-            self.stats.record(req, timing.outcome);
-            streaks[ch] = Some(key);
-        }
-    }
-
-    /// Applies `n` steady row hits on channel `ch`'s most recent bank in
-    /// closed form.
-    ///
-    /// Precondition (the steady-streak invariant): the channel's last
-    /// access touched the same bank, row, and direction. The exact kernel
-    /// then gives, for each of the `n` accesses,
-    /// `col_ready = next_col` (the channel's arrival clock always trails
-    /// `next_col`) and `col_ready + cas = bus_free`, so each burst starts
-    /// at `bus_free` — advanced only by refresh slips. Every statistic
-    /// the exact kernel would accumulate telescopes:
-    ///
-    /// * `data_start` advances by `t_bl` per access plus refresh slips,
-    ///   walked period-by-period (O(windows crossed), not O(n));
-    /// * each access's bank occupancy is `(Δdata_start) + cas + t_wr?`,
-    ///   so the sum is `n (t_bl + cas + t_wr?) + slips`;
-    /// * the channel arrival clock's running max is its final value.
-    fn apply_streak(&mut self, ch: usize, bank_in_channel: usize, n: u64, is_write: bool) {
-        let cfg = &self.config;
-        let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
-        let write_rec = if is_write { cfg.t_wr } else { 0 };
-        let clock = &mut self.clocks[ch];
-        // The previous access's burst start: its data_end is bus_free.
-        let ds0 = clock.bus_free - cfg.t_bl;
-
-        // Walk data_start forward n steps of t_bl, slipping past refresh
-        // windows exactly as the per-access check would: one modulo test
-        // per access, telescoped over whole tREFI periods.
-        let (mut ds, mut slip) = (ds0, 0u64);
-        let mut left = n;
-        if cfg.t_refi == 0 || cfg.t_bl == 0 {
-            // No refresh, or a zero-length burst whose phase never moves:
-            // post-check phases equal the (checked) previous phase, so no
-            // further slips are possible.
-            ds += left * cfg.t_bl;
-        } else {
-            while left > 0 {
-                // Steps whose tentative phase stays inside the current
-                // period need no check outcome change: every issued
-                // data_start has phase >= t_rfc, and phases only grow
-                // until the period wraps.
-                let phase = ds % cfg.t_refi;
-                let safe = ((cfg.t_refi - 1 - phase) / cfg.t_bl).min(left);
-                ds += safe * cfg.t_bl;
-                left -= safe;
-                if left > 0 {
-                    // This access wraps into the next period: apply the
-                    // exact kernel's single refresh check.
-                    let mut next = ds + cfg.t_bl;
-                    let phase = next % cfg.t_refi;
-                    if phase < cfg.t_rfc {
-                        slip += cfg.t_rfc - phase;
-                        next += cfg.t_rfc - phase;
-                    }
-                    ds = next;
-                    left -= 1;
+            } else if buffered {
+                // Too short for the closed-form kernel: buffer the packed
+                // requests on their channels for the mixed-streak replay.
+                for k in 0..len as u64 {
+                    let p = head_p + 2 * k;
+                    self.scratch.pending[((p >> 1) & ch_mask) as usize].push(p);
                 }
+                self.pending_total += len;
+                i += len;
+            } else {
+                // Single worker: replay the short segment in place.
+                for k in 0..len as u64 {
+                    let p = head_p + 2 * k;
+                    self.step_packed(((p >> 1) & ch_mask) as usize, p, geom);
+                }
+                i += len;
             }
         }
-
-        // Telescoped state updates — each line is the exact kernel's
-        // per-access update summed over the n accesses.
-        self.stats.refresh_stall_cycles += slip;
-        self.stats.bus_busy_cycles += n * cfg.t_bl;
-        self.stats.row_hits += n;
-        if is_write {
-            self.stats.writes += n;
-        } else {
-            self.stats.reads += n;
+        if self.pending_total > 0 {
+            self.flush_pending(worker_cap, geom);
         }
-        clock.bus_free = ds + cfg.t_bl;
-        clock.now = clock.now.max(ds.saturating_sub(cas + cfg.t_rcd));
-        let bank = &mut self.banks[ch * self.banks_per_channel + bank_in_channel];
-        bank.occupied += n * (cfg.t_bl + cas + write_rec) + slip;
-        bank.next_col = ds - cas + cfg.t_bl;
-        bank.busy_until = ds + cfg.t_bl + write_rec;
+    }
+
+    /// One packed request through the batched kernel's scalar path: a
+    /// steady same-key follow-up takes the closed-form row-hit step;
+    /// anything else runs the exact per-access kernel.
+    #[inline]
+    fn step_packed(&mut self, ch: usize, p: u64, geom: LaneGeometry) {
+        let matched = (self.scratch.last[ch] ^ p) & geom.key_mask == 0;
+        self.scratch.last[ch] = p;
+        let block = p >> 1;
+        let is_write = p & 1 != 0;
+        let bank_idx = ((block >> geom.region_bits) & geom.bank_rank_mask) as usize;
+        let mut lane = self.lane(ch);
+        if matched {
+            lane.streak(bank_idx, 1, is_write);
+        } else {
+            lane.access(bank_idx, block >> geom.row_shift, is_write);
+        }
+    }
+
+    /// Replays every channel's buffered substream, serially or sharded
+    /// across scoped worker threads, then clears the buffers (keeping
+    /// their capacity).
+    ///
+    /// `workers` is the thread cap the caller resolved; an automatically
+    /// sized flush still replays serially below the volume threshold so
+    /// interleaved short work never pays thread spawn latency.
+    ///
+    /// Sharding is bit-identical to serial replay: workers own disjoint
+    /// channel lanes (clock + bank slice + streak key), each worker
+    /// accumulates into a private [`DramStats`], and the commutative
+    /// per-worker sums merge into the shared totals after the join.
+    fn flush_pending(&mut self, workers: usize, geom: LaneGeometry) {
+        let total = self.pending_total;
+        if total == 0 {
+            return;
+        }
+        self.pending_total = 0;
+        let threads = if self.replay_threads.is_some() || total >= SHARD_MIN_REQUESTS {
+            workers
+        } else {
+            1
+        };
+
+        if threads <= 1 {
+            for ch in 0..self.clocks.len() {
+                if self.scratch.pending[ch].is_empty() {
+                    continue;
+                }
+                let lo = ch * self.banks_per_channel;
+                let hi = lo + self.banks_per_channel;
+                let mut lane = Lane {
+                    cfg: &self.config,
+                    clock: &mut self.clocks[ch],
+                    banks: &mut self.banks[lo..hi],
+                    stats: &mut self.stats,
+                };
+                replay_lane(
+                    &mut lane,
+                    &self.scratch.pending[ch],
+                    &mut self.scratch.last[ch],
+                    geom,
+                );
+            }
+        } else {
+            let cfg = &self.config;
+            let mut lanes: Vec<_> = self
+                .clocks
+                .iter_mut()
+                .zip(self.banks.chunks_mut(self.banks_per_channel))
+                .zip(self.scratch.last.iter_mut())
+                .zip(self.scratch.pending.iter())
+                .map(|(((clock, banks), last), sub)| (clock, banks, last, sub.as_slice()))
+                .collect();
+            let per_worker = lanes.len().div_ceil(threads);
+            let mut merged = DramStats::default();
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = lanes
+                    .chunks_mut(per_worker)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut stats = DramStats::default();
+                            for (clock, banks, last, sub) in chunk.iter_mut() {
+                                if sub.is_empty() {
+                                    continue;
+                                }
+                                let mut lane = Lane {
+                                    cfg,
+                                    clock,
+                                    banks,
+                                    stats: &mut stats,
+                                };
+                                replay_lane(&mut lane, sub, last, geom);
+                            }
+                            stats
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    match worker.join() {
+                        Ok(stats) => merged.merge(&stats),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            self.stats.merge(&merged);
+        }
+        for sub in &mut self.scratch.pending {
+            sub.clear();
+        }
     }
 
     /// Total elapsed memory-controller cycles (the slowest channel's clock).
@@ -489,7 +873,7 @@ impl DramSim {
     /// Emits the same metrics as [`DramSim::emit_telemetry`] into an
     /// explicit sink, bypassing the process-global dispatch. The
     /// `dram-batch` conformance family uses this to capture and compare
-    /// the two replay kernels' telemetry snapshots in isolation.
+    /// the replay kernels' telemetry snapshots in isolation.
     pub fn emit_telemetry_to(&self, sink: &dyn seda_telemetry::Sink) {
         let s = &self.stats;
         sink.add("dram.reads", s.reads);
@@ -629,6 +1013,20 @@ mod tests {
         let cycles = s.elapsed_cycles();
         assert!(cycles < 4096 * 4 / 2, "no channel parallelism: {cycles}");
     }
+
+    #[test]
+    fn refresh_phase_matches_modulo() {
+        // The epoch-cached phase must equal ds % t_refi for monotone ds,
+        // including jumps much larger than a period (division fallback).
+        let mut clock = ChannelClock::new();
+        let t_refi = 97;
+        let mut ds = 0u64;
+        for step in [1u64, 5, 96, 97, 98, 500, 97 * 200, 3, 0, 96] {
+            ds += step;
+            assert_eq!(clock.refresh_phase(ds, t_refi), ds % t_refi, "ds={ds}");
+            assert_eq!(clock.refi_epoch, ds - ds % t_refi);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -643,7 +1041,7 @@ mod batch_tests {
         for &r in stream {
             exact.access(r);
         }
-        let mut batched = DramSim::new(cfg);
+        let mut batched = DramSim::new(cfg.clone());
         batched.run_batch(stream);
         assert_eq!(exact.stats(), batched.stats(), "stats diverged");
         assert_eq!(
@@ -655,6 +1053,38 @@ mod batch_tests {
             exact.bank_occupancy_cycles(),
             batched.bank_occupancy_cycles(),
             "bank occupancy diverged"
+        );
+        // The packed entry point (the pipeline's native form) must agree
+        // byte for byte with the Request-slice shim.
+        let packed_stream: Vec<u64> = stream.iter().map(|r| r.pack()).collect();
+        let mut packed = DramSim::new(cfg.clone());
+        packed.run_batch_packed(&packed_stream);
+        assert_eq!(exact.stats(), packed.stats(), "packed stats diverged");
+        assert_eq!(
+            exact.elapsed_cycles(),
+            packed.elapsed_cycles(),
+            "packed elapsed cycles diverged"
+        );
+        assert_eq!(
+            exact.bank_occupancy_cycles(),
+            packed.bank_occupancy_cycles(),
+            "packed bank occupancy diverged"
+        );
+        // The sharded mixed-streak path must agree too, even when forced
+        // on a stream far below the automatic volume threshold.
+        let mut sharded = DramSim::new(cfg);
+        sharded.set_replay_threads(4);
+        sharded.run_batch(stream);
+        assert_eq!(exact.stats(), sharded.stats(), "sharded stats diverged");
+        assert_eq!(
+            exact.elapsed_cycles(),
+            sharded.elapsed_cycles(),
+            "sharded elapsed cycles diverged"
+        );
+        assert_eq!(
+            exact.bank_occupancy_cycles(),
+            sharded.bank_occupancy_cycles(),
+            "sharded bank occupancy diverged"
         );
     }
 
@@ -705,6 +1135,52 @@ mod batch_tests {
     }
 
     #[test]
+    fn singleton_heavy_stream_is_bit_identical() {
+        // The regime BENCH_dram.json says dominates: isolated one-block
+        // touches scattered over rows and directions, so the mixed-streak
+        // kernel sees nothing but singletons.
+        let cfg = DramConfig::server();
+        let row_span = cfg.row_bytes * u64::from(cfg.channels);
+        let stream: Vec<Request> = (0..20_000u64)
+            .map(|i| {
+                let addr = (i * 37 % 977) * row_span + (i * 13 % 31) * ACCESS_BYTES;
+                if i % 3 == 0 {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                }
+            })
+            .collect();
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
+    fn short_mixed_streaks_are_bit_identical() {
+        // Runs of 2-4 blocks (at or below the channel count, so below the
+        // long-streak kernel's threshold) with direction flips between
+        // runs: the mixed-streak kernel must coalesce within each run and
+        // re-evaluate at every boundary.
+        let cfg = DramConfig::server();
+        let mut stream = Vec::new();
+        let mut base = 0u64;
+        for i in 0..8_000u64 {
+            let len = 2 + (i % 3);
+            let write = i % 2 == 1;
+            for k in 0..len {
+                let addr = (base + k) * ACCESS_BYTES;
+                stream.push(if write {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                });
+            }
+            // Hop far enough that the next run starts a new row.
+            base += len + (i % 5) * 512;
+        }
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
     fn streaks_crossing_refresh_windows_are_bit_identical() {
         // A long uninterrupted stream crosses many tREFI periods, so the
         // closed-form slip walk gets exercised hard.
@@ -722,6 +1198,27 @@ mod batch_tests {
         let stream: Vec<Request> = (0..30_000u64)
             .map(|i| Request::read(i * ACCESS_BYTES))
             .collect();
+        assert_conformant(cfg, &stream);
+    }
+
+    #[test]
+    fn top_of_address_space_regions_are_bit_identical() {
+        // Streaks touching the topmost super-row regions of the u64
+        // address space: the former region-end pointer
+        // `(region + 1) << region_bits` is exactly the form that wraps
+        // here, so this pins the overflow-safe remaining-room computation.
+        let cfg = DramConfig::server();
+        let top_block = u64::MAX >> 6;
+        let mut stream = Vec::new();
+        // Walk across the very last region boundary up to the final block.
+        for i in 0..64u64 {
+            stream.push(Request::read((top_block - 63 + i) * ACCESS_BYTES));
+        }
+        // And a streak straddling a region boundary near 2^42 bytes.
+        let hi_block = (1u64 << 42) / ACCESS_BYTES;
+        for i in 0..1024u64 {
+            stream.push(Request::read((hi_block - 100 + i) * ACCESS_BYTES));
+        }
         assert_conformant(cfg, &stream);
     }
 
@@ -753,6 +1250,40 @@ mod batch_tests {
         assert_eq!(whole.stats(), split.stats());
         assert_eq!(whole.elapsed_cycles(), split.elapsed_cycles());
         assert_eq!(whole.bank_occupancy_cycles(), split.bank_occupancy_cycles());
+    }
+
+    #[test]
+    fn replay_thread_counts_are_equivalent() {
+        // Serial, channel-count, and over-provisioned thread caps all
+        // produce identical state on a multi-channel interleaved stream.
+        let cfg = DramConfig::server();
+        let stream: Vec<Request> = (0..30_000u64)
+            .map(|i| {
+                // Interleave short per-channel bursts with row hops so
+                // every channel's substream is non-trivial.
+                let addr = (i % 4) * ACCESS_BYTES + (i / 4) * 4096 * ACCESS_BYTES;
+                if i % 7 == 0 {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                }
+            })
+            .collect();
+        let mut serial = DramSim::new(cfg.clone());
+        serial.set_replay_threads(1);
+        serial.run_batch(&stream);
+        for threads in [2, 4, 64] {
+            let mut sharded = DramSim::new(cfg.clone());
+            sharded.set_replay_threads(threads);
+            assert_eq!(sharded.replay_threads(), Some(threads));
+            sharded.run_batch(&stream);
+            assert_eq!(serial.stats(), sharded.stats(), "threads={threads}");
+            assert_eq!(serial.elapsed_cycles(), sharded.elapsed_cycles());
+            assert_eq!(
+                serial.bank_occupancy_cycles(),
+                sharded.bank_occupancy_cycles()
+            );
+        }
     }
 }
 

@@ -131,8 +131,8 @@ impl AddressMapping {
         addr >> BLOCK_SHIFT
     }
 
-    /// log2(channels), for the controller's channel extraction.
-    #[inline]
+    /// log2(channels), for the test suite's channel extraction.
+    #[cfg(test)]
     pub(crate) fn ch_bits(&self) -> u32 {
         self.ch_bits
     }
@@ -153,13 +153,27 @@ impl AddressMapping {
     /// bit fields read as one integer, so it is a single shift + mask.
     #[inline]
     pub(crate) fn bank_index(&self, block: u64) -> usize {
-        ((block >> self.region_bits()) & mask(self.bank_bits + self.rank_bits)) as usize
+        ((block >> self.region_bits()) & self.bank_rank_mask()) as usize
+    }
+
+    /// All-ones mask over the combined `(rank, bank)` bit fields — the
+    /// width of [`AddressMapping::bank_index`].
+    #[inline]
+    pub(crate) fn bank_rank_mask(&self) -> u64 {
+        mask(self.bank_bits + self.rank_bits)
+    }
+
+    /// Shift from a block index to its row index (the bits above channel,
+    /// column, bank, and rank).
+    #[inline]
+    pub(crate) fn row_shift(&self) -> u32 {
+        self.region_bits() + self.bank_bits + self.rank_bits
     }
 
     /// Row index of a block (the bits above bank and rank).
     #[inline]
     pub(crate) fn row_of(&self, block: u64) -> u64 {
-        block >> (self.region_bits() + self.bank_bits + self.rank_bits)
+        block >> self.row_shift()
     }
 }
 

@@ -1,5 +1,6 @@
 //! Memory request and row-buffer outcome types.
 
+use crate::config::ACCESS_BYTES;
 use serde::{Deserialize, Serialize};
 
 /// A single 64 B DRAM access.
@@ -27,6 +28,35 @@ impl Request {
             is_write: true,
         }
     }
+
+    /// Packs the request into one word: the 64 B block index in the high
+    /// bits, the direction in bit 0 (`(block << 1) | is_write`).
+    ///
+    /// The simulator is block-granular throughout — every timing and
+    /// statistics decision depends only on `addr / 64` and the direction —
+    /// so the packed form carries everything replay needs at half the
+    /// storage of a [`Request`]. Bulk paths (the pipeline's lowered
+    /// traces, the replay benchmarks) store streams packed for exactly
+    /// that reason: lowering writes, and replay reads, half the bytes.
+    ///
+    /// The encoding never overflows (a byte address has at least six zero
+    /// high bits once shifted to a block index), and no packed value is
+    /// `u64::MAX`, which the batched kernel exploits as a sentinel.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        crate::mapping::AddressMapping::block_of(self.addr) << 1 | u64::from(self.is_write)
+    }
+
+    /// Inverse of [`Request::pack`], up to 64 B alignment: the returned
+    /// address is the base of the packed request's block, which the
+    /// simulator treats identically to any other byte of the block.
+    #[inline]
+    pub fn unpack(packed: u64) -> Self {
+        Self {
+            addr: (packed >> 1) * ACCESS_BYTES,
+            is_write: packed & 1 != 0,
+        }
+    }
 }
 
 /// Row-buffer outcome of an access.
@@ -48,5 +78,30 @@ mod tests {
     fn constructors_set_direction() {
         assert!(!Request::read(0).is_write);
         assert!(Request::write(0).is_write);
+    }
+
+    #[test]
+    fn pack_round_trips_aligned_requests() {
+        for addr in [0u64, 64, 4096, (1 << 42) + 128, u64::MAX - 63] {
+            for req in [Request::read(addr), Request::write(addr)] {
+                assert_eq!(Request::unpack(req.pack()), req);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_aligns_down_within_the_block() {
+        assert_eq!(Request::read(100).pack(), Request::read(64).pack());
+        assert_eq!(
+            Request::unpack(Request::write(100).pack()),
+            Request::write(64)
+        );
+    }
+
+    #[test]
+    fn packed_values_never_hit_the_sentinel() {
+        // Top of the address space, written: the largest possible packed
+        // value still leaves sentinel headroom.
+        assert!(Request::write(u64::MAX).pack() < u64::MAX);
     }
 }

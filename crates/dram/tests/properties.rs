@@ -36,15 +36,21 @@ fn config_from_bits(ch_bits: u32, rank_bits: u32, bank_bits: u32, row_exp: u32) 
 }
 
 /// Addresses that sit on (and straddle) every field boundary of the
-/// decoded coordinate: 64 B slot edges and each power of two up to the
-/// 2^42 range the sweep address space uses.
+/// decoded coordinate: 64 B slot edges, each power of two through the
+/// 2^42 range the sweep address space uses and on up to 2^63 (so the
+/// packed-request block field, `addr >> 6`, crosses every one of its 58
+/// bit positions), plus the very top of the address space — the region
+/// where the pre-fix streak-scan region arithmetic used to overflow.
 fn boundary_addresses() -> Vec<u64> {
     let mut addrs = vec![0, 1, 63, 64, 65, 127, 128];
-    for exp in 7..=42u32 {
+    for exp in 7..=63u32 {
         let base = 1u64 << exp;
         for delta in [-64i64, -1, 0, 1, 64] {
             addrs.push(base.wrapping_add_signed(delta));
         }
+    }
+    for delta in [0u64, 1, 63, 64, 65, 128] {
+        addrs.push(u64::MAX - delta);
     }
     addrs
 }
@@ -98,6 +104,38 @@ proptest! {
         let c = m.decode(addr);
         prop_assert_eq!((c.channel, c.rank, c.bank, c.row, c.column), divmod_decode(&cfg, addr));
         prop_assert_eq!(m.encode(c), addr / ACCESS_BYTES * ACCESS_BYTES);
+    }
+
+    #[test]
+    fn decode_matches_oracle_across_the_full_address_space(addr in any::<u64>()) {
+        for cfg in configs() {
+            let m = AddressMapping::new(&cfg);
+            let c = m.decode(addr);
+            prop_assert_eq!((c.channel, c.rank, c.bank, c.row, c.column), divmod_decode(&cfg, addr));
+            prop_assert_eq!(m.encode(c), addr / ACCESS_BYTES * ACCESS_BYTES);
+        }
+    }
+
+    #[test]
+    fn batched_replay_matches_exact_near_the_address_space_top(
+        offsets in prop::collection::vec((0u64..4096, any::<bool>()), 1..120),
+    ) {
+        // Streams pinned just below u64::MAX: the region where the
+        // streak scan's region-end arithmetic used to wrap to zero.
+        let base = u64::MAX - (1 << 20);
+        let stream: Vec<Request> = offsets
+            .iter()
+            .map(|&(o, w)| Request { addr: base + o * ACCESS_BYTES, is_write: w })
+            .collect();
+        let mut exact = DramSim::new(DramConfig::server());
+        for r in &stream {
+            exact.access(*r);
+        }
+        let mut batched = DramSim::new(DramConfig::server());
+        batched.run_batch(&stream);
+        prop_assert_eq!(exact.stats(), batched.stats());
+        prop_assert_eq!(exact.elapsed_cycles(), batched.elapsed_cycles());
+        prop_assert_eq!(exact.bank_occupancy_cycles(), batched.bank_occupancy_cycles());
     }
 
     #[test]

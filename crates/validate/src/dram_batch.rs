@@ -11,7 +11,12 @@
 //! Streams are chosen to hit every fast-path boundary: pure streaming
 //! (maximum coalescing), row thrash (no coalescing), refresh-straddling
 //! runs (the closed form's period walk), multi-channel interleave (the
-//! per-channel decomposition), random scatter, and read/write turnaround.
+//! per-channel decomposition), random scatter, singleton-heavy hot-line
+//! revisits, short mixed streaks (the buffered per-channel substream
+//! path), and read/write turnaround. Every stream is additionally
+//! replayed pre-packed through [`DramSim::run_batch_packed`] with the
+//! channel-sharded flush forced on, pinning the scoped-thread stats
+//! merge to the same bit-identity bar.
 
 use crate::ensure;
 use crate::rng::Rng;
@@ -62,14 +67,25 @@ enum Shape {
     Interleave,
     /// Uniform scatter with mixed directions.
     Random,
+    /// A small pool of hot lines revisited in scattered order — every
+    /// access is a one-request streak, but keys recur, so the buffered
+    /// mixed-streak kernel's same-key coalescing and read/write
+    /// turnaround logic run on singleton-heavy traffic.
+    Singleton,
+    /// Runs of 2–4 sequential lines with frequent direction flips and
+    /// jumps between runs — streaks too short for the closed form, so
+    /// everything lands in the per-channel substream buffers.
+    ShortMixed,
 }
 
-const SHAPES: [Shape; 5] = [
+const SHAPES: [Shape; 7] = [
     Shape::Streaming,
     Shape::RowThrash,
     Shape::RefreshStraddle,
     Shape::Interleave,
     Shape::Random,
+    Shape::Singleton,
+    Shape::ShortMixed,
 ];
 
 fn stream_of(shape: Shape, rng: &mut Rng, cfg: &DramConfig, len: usize) -> Vec<Request> {
@@ -129,6 +145,34 @@ fn stream_of(shape: Shape, rng: &mut Rng, cfg: &DramConfig, len: usize) -> Vec<R
                 });
             }
         }
+        Shape::Singleton => {
+            let pool: Vec<u64> = (0..32).map(|_| rng.below(1 << 22) * ACCESS_BYTES).collect();
+            for _ in 0..len {
+                let addr = *rng.pick(&pool);
+                stream.push(if rng.coin(1, 2) {
+                    Request::write(addr)
+                } else {
+                    Request::read(addr)
+                });
+            }
+        }
+        Shape::ShortMixed => {
+            let mut write = false;
+            while stream.len() < len {
+                let mut addr = rng.below(1 << 22) * ACCESS_BYTES;
+                if rng.coin(1, 2) {
+                    write = !write;
+                }
+                for _ in 0..rng.range(2, 4) {
+                    stream.push(Request {
+                        addr,
+                        is_write: write,
+                    });
+                    addr += ACCESS_BYTES;
+                }
+            }
+            stream.truncate(len);
+        }
     }
     stream
 }
@@ -149,6 +193,20 @@ fn replay_batched(cfg: &DramConfig, stream: &[Request], split: usize) -> DramSim
     let (a, b) = stream.split_at(split.min(stream.len()));
     sim.run_batch(a);
     sim.run_batch(b);
+    sim
+}
+
+/// Replays `stream` pre-packed through `run_batch_packed` with the
+/// channel-sharded flush forced on (`set_replay_threads`), exactly as
+/// the pipeline's layer slices drive the kernel — covering both the
+/// packed entry point and the scoped-thread stats merge.
+fn replay_sharded(cfg: &DramConfig, stream: &[Request], split: usize, threads: usize) -> DramSim {
+    let packed: Vec<u64> = stream.iter().map(|r| r.pack()).collect();
+    let mut sim = DramSim::new(cfg.clone());
+    sim.set_replay_threads(threads);
+    let (a, b) = packed.split_at(split.min(packed.len()));
+    sim.run_batch_packed(a);
+    sim.run_batch_packed(b);
     sim
 }
 
@@ -202,6 +260,29 @@ pub fn check_case(rng: &mut Rng) -> Result<(), String> {
             "{ctx}: telemetry snapshots diverge\n  exact:   {}\n  batched: {}",
             telemetry_snapshot(&exact).to_json(),
             telemetry_snapshot(&batched).to_json()
+        );
+
+        let threads = *rng.pick(&[2usize, 3, 8]);
+        let sharded = replay_sharded(&cfg, &stream, split, threads);
+        ensure!(
+            exact.stats() == sharded.stats(),
+            "{ctx} threads={threads}: sharded stats diverge\n  exact:   {:?}\n  sharded: {:?}",
+            exact.stats(),
+            sharded.stats()
+        );
+        ensure!(
+            exact.elapsed_cycles() == sharded.elapsed_cycles(),
+            "{ctx} threads={threads}: elapsed {} (exact) != {} (sharded)",
+            exact.elapsed_cycles(),
+            sharded.elapsed_cycles()
+        );
+        ensure!(
+            exact.bank_occupancy_cycles() == sharded.bank_occupancy_cycles(),
+            "{ctx} threads={threads}: sharded per-bank occupancy diverges"
+        );
+        ensure!(
+            telemetry_snapshot(&exact) == telemetry_snapshot(&sharded),
+            "{ctx} threads={threads}: sharded telemetry snapshots diverge"
         );
     }
     Ok(())
