@@ -22,16 +22,23 @@
 //!   tests pin this under `catch_unwind`.
 //! * **Everything replays from a seed.** Faults derive from a SplitMix64
 //!   stream, so any cell reproduces exactly from `(seed, row, column)`.
+//!
+//! The same seeded machinery also attacks *execution* rather than data:
+//! [`chaos`] builds deterministic fault plans (panics, typed errors,
+//! stalls) over sweep points for `seda-core`'s resilience layer, proving
+//! that retry/skip/resume recovery is bit-identical to a clean run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod fault;
 pub mod image;
 pub mod matrix;
 pub mod rng;
 
+pub use chaos::{FaultKind, FaultPlan, PlannedFault};
 pub use config::{Binding, MacLevel, PadGen, ProtectConfig};
 pub use fault::{seca_probe, Experiment, TamperClass};
 pub use image::{OffChipSnapshot, ProtectedImage, BLOCK, SEGMENT};

@@ -85,8 +85,13 @@ fn usage() -> ! {
     eprintln!("  scenario list        enumerate the scenario zoo");
     eprintln!("  scenario describe <name>      show one scenario's axes");
     eprintln!("  scenario run <name> [--json <out.json>]");
+    eprintln!("               [--journal <path>] [--resume <path>]");
     eprintln!("                       execute a scenario (optionally dump the");
-    eprintln!("                       seda-scenario/v1 snapshot as JSON)");
+    eprintln!("                       seda-scenario/v1 snapshot as JSON).");
+    eprintln!("                       --journal streams a seda-checkpoint/v1");
+    eprintln!("                       journal of completed points; --resume");
+    eprintln!("                       replays one from a prior (killed) run and");
+    eprintln!("                       executes only the remaining points.");
     eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
     eprintln!("  quickstart           functional + timing demo on LeNet");
     eprintln!("  workloads            list workload names");
@@ -94,6 +99,14 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("  --telemetry <path>   export a seda-telemetry/v1 metric");
     eprintln!("                       snapshot of the run as JSON");
+    eprintln!();
+    eprintln!("exit codes (scenario run):");
+    eprintln!("  0  success           all points ran and every expectation held");
+    eprintln!("  1  internal error    unexpected failure outside the codes below");
+    eprintln!("  2  usage error       bad command line");
+    eprintln!("  3  spec error        scenario parse/validation/checkpoint error");
+    eprintln!("  4  point failures    one or more sweep points failed");
+    eprintln!("  5  expectations      results violated the scenario's expect block");
     std::process::exit(2);
 }
 
@@ -103,8 +116,22 @@ fn die(e: seda::SedaError) -> ! {
     std::process::exit(1);
 }
 
+/// Removes `flag <value>` from `rest`, returning the value.
+fn take_value_flag(rest: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = rest.iter().position(|a| a == flag)?;
+    if i + 1 >= rest.len() {
+        eprintln!("{flag} needs a path argument");
+        std::process::exit(2);
+    }
+    let value = rest.remove(i + 1);
+    rest.remove(i);
+    Some(value)
+}
+
 /// `scenario <list|describe|run>`: the declarative scenario zoo.
-fn scenario_cmd(args: &[String]) {
+/// Returns the process exit code (`scenario run` distinguishes spec
+/// errors, point failures, and expectation failures — see `usage`).
+fn scenario_cmd(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("list") => {
             let scenarios = scenario::list().unwrap_or_else(|e| die(e));
@@ -112,6 +139,7 @@ fn scenario_cmd(args: &[String]) {
             for s in &scenarios {
                 println!("  {:<22} {}", s.name, s.title);
             }
+            0
         }
         Some("describe") => {
             let Some(name) = args.get(1) else { usage() };
@@ -146,28 +174,79 @@ fn scenario_cmd(args: &[String]) {
             if let Some(n) = s.repeats {
                 println!("  repeats:   {n}");
             }
+            if let Some(p) = &s.on_failure {
+                println!(
+                    "  on_failure: {}",
+                    serde_json::to_string(p).unwrap_or_default()
+                );
+            }
+            if let Some(b) = s.point_budget_ms {
+                println!("  point budget: {b} ms per point");
+            }
+            if let Some(e) = &s.expect {
+                println!("  expectations: {} bound(s)", e.0.len());
+            }
             let outputs: Vec<&str> = s.outputs.iter().map(|o| o.as_str()).collect();
             println!("  outputs:   {}", outputs.join(", "));
+            0
         }
         Some("run") => {
             let mut rest: Vec<String> = args[1..].to_vec();
-            let json_path = rest.iter().position(|a| a == "--json").map(|i| {
-                if i + 1 >= rest.len() {
-                    eprintln!("--json needs an output path");
-                    std::process::exit(2);
-                }
-                let path = rest.remove(i + 1);
-                rest.remove(i);
-                path
-            });
+            let json_path = take_value_flag(&mut rest, "--json");
+            let journal = take_value_flag(&mut rest, "--journal");
+            let resume = take_value_flag(&mut rest, "--resume");
             let Some(name) = rest.first() else { usage() };
-            let s = scenario::load(name).unwrap_or_else(|e| die(e));
-            let run = s.run().unwrap_or_else(|e| die(e));
+            let s = match scenario::load(name) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 3;
+                }
+            };
+            let opts = scenario::RunOptions {
+                journal: journal.map(std::path::PathBuf::from),
+                resume: resume.map(std::path::PathBuf::from),
+            };
+            let run = match s.run_with(&opts) {
+                Ok(run) => run,
+                // Fail-fast point failures carry the full structured
+                // report; render every failed point with its cause chain.
+                Err(seda::SedaError::ScenarioPointFailed {
+                    scenario,
+                    total_points,
+                    report,
+                }) => {
+                    eprintln!(
+                        "error: scenario {scenario}: {} of {total_points} points failed",
+                        report.len()
+                    );
+                    eprint!("{}", report.render());
+                    return 4;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 3;
+                }
+            };
             print!("{}", run.render());
             if let Some(path) = json_path {
                 std::fs::write(&path, run.snapshot_json()).expect("writable snapshot path");
                 eprintln!("scenario snapshot written to {path}");
             }
+            let unmet = run.check_expectations();
+            if !unmet.is_empty() {
+                eprintln!("{} expectation(s) not met:", unmet.len());
+                for failure in &unmet {
+                    eprintln!("  {failure}");
+                }
+                return 5;
+            }
+            if !run.failures.is_empty() {
+                // skip/retry policies surface partial results; the render
+                // above already listed the failed points.
+                return 4;
+            }
+            0
         }
         _ => usage(),
     }
@@ -238,6 +317,7 @@ fn main() {
     let sink = telemetry_path
         .as_ref()
         .map(|_| telemetry::install_shared().expect("first and only install"));
+    let mut exit_code = 0;
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("experiment binaries (run with `cargo run --release -p seda-bench --bin <name>`):\n");
@@ -267,7 +347,7 @@ fn main() {
             }
             _ => usage(),
         },
-        Some("scenario") => scenario_cmd(&args[1..]),
+        Some("scenario") => exit_code = scenario_cmd(&args[1..]),
         Some("run") => {
             let workload = args.get(1).map(String::as_str).unwrap_or("rest");
             let npu = match args.get(2).map(String::as_str) {
@@ -311,8 +391,13 @@ fn main() {
         }
         _ => usage(),
     }
+    // The telemetry snapshot is written even for failing scenario runs —
+    // it is part of the failure artifact CI archives.
     if let (Some(path), Some(sink)) = (telemetry_path, sink) {
         std::fs::write(&path, sink.snapshot().to_json()).expect("writable telemetry path");
         eprintln!("telemetry snapshot written to {path}");
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -9,6 +9,7 @@
 //! panics the stack; it degrades into one of these variants.**
 
 use crate::functional::IntegrityViolation;
+use crate::resilience::FailureReport;
 use crate::scenario::ScenarioError;
 use seda_crypto::mac::TagMismatch;
 use seda_crypto::EngineSizingError;
@@ -46,6 +47,32 @@ pub enum SedaError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A sweep point exceeded its per-point wall-clock watchdog budget;
+    /// the hang was converted into this typed failure and the rest of
+    /// the sweep continued.
+    PointTimedOut {
+        /// `npu/model/scheme` label of the hung point.
+        point: String,
+        /// The watchdog budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A sweep point was never started because a `fail-fast` policy
+    /// aborted the run after an earlier failure.
+    PointCancelled {
+        /// `npu/model/scheme` label of the unstarted point.
+        point: String,
+    },
+    /// A scenario executed but one or more points failed under a
+    /// `fail-fast` policy. Carries the structured report of *every*
+    /// failed point; `source()` chains to the first failure's error.
+    ScenarioPointFailed {
+        /// Scenario name.
+        scenario: String,
+        /// Total points in the scenario's sweep.
+        total_points: usize,
+        /// Every failed point, in deterministic cross-product order.
+        report: FailureReport,
+    },
     /// A declarative scenario file failed to parse or validate.
     Scenario(ScenarioError),
     /// An AES engine-sizing query had no meaningful answer (zero,
@@ -67,6 +94,33 @@ impl fmt::Display for SedaError {
             SedaError::PointPanicked { point, message } => {
                 write!(f, "sweep point {point} panicked: {message}")
             }
+            SedaError::PointTimedOut { point, budget_ms } => {
+                write!(
+                    f,
+                    "sweep point {point} exceeded its {budget_ms} ms watchdog budget"
+                )
+            }
+            SedaError::PointCancelled { point } => {
+                write!(
+                    f,
+                    "sweep point {point} cancelled by fail-fast after an earlier failure"
+                )
+            }
+            SedaError::ScenarioPointFailed {
+                scenario,
+                total_points,
+                report,
+            } => {
+                write!(
+                    f,
+                    "scenario {scenario}: {} of {total_points} points failed",
+                    report.len()
+                )?;
+                if let Some(first) = report.first() {
+                    write!(f, "; first: {}: {}", first.label(), first.error)?;
+                }
+                Ok(())
+            }
             SedaError::Scenario(s) => write!(f, "{s}"),
             SedaError::EngineSizing(e) => write!(f, "{e}"),
         }
@@ -81,6 +135,9 @@ impl Error for SedaError {
             SedaError::Protect(p) => Some(p),
             SedaError::Scenario(s) => Some(s),
             SedaError::EngineSizing(e) => Some(e),
+            SedaError::ScenarioPointFailed { report, .. } => {
+                report.first().map(|f| &f.error as &(dyn Error + 'static))
+            }
             _ => None,
         }
     }
@@ -182,6 +239,55 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("cannot size"), "{msg}");
         assert!(e.source().is_some(), "sizing errors chain their source");
+    }
+
+    #[test]
+    fn timeout_and_cancellation_display_the_point() {
+        let t = SedaError::PointTimedOut {
+            point: "edge/lenet/SeDA".to_owned(),
+            budget_ms: 250,
+        };
+        let msg = t.to_string();
+        assert!(
+            msg.contains("edge/lenet/SeDA") && msg.contains("250"),
+            "{msg}"
+        );
+        let c = SedaError::PointCancelled {
+            point: "server/dlrm/SGX-64B".to_owned(),
+        };
+        assert!(c.to_string().contains("fail-fast"), "{c}");
+    }
+
+    #[test]
+    fn scenario_point_failed_chains_to_the_first_failure() {
+        use crate::resilience::{FailureReport, PointFailure};
+        let v = IntegrityViolation {
+            layer: 2,
+            tensor: TensorKind::Ofmap,
+            block: None,
+            pa: 0x80,
+        };
+        let e = SedaError::ScenarioPointFailed {
+            scenario: "fig5".to_owned(),
+            total_points: 156,
+            report: FailureReport {
+                failures: vec![PointFailure {
+                    npu: "server".to_owned(),
+                    model: "resnet50".to_owned(),
+                    scheme: "SeDA".to_owned(),
+                    attempts: 3,
+                    error: SedaError::Integrity(v),
+                }],
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1 of 156"), "{msg}");
+        assert!(msg.contains("server/resnet50/SeDA"), "{msg}");
+        // source() reaches the failed point's error, which itself chains
+        // to the integrity violation — the full causal chain survives.
+        let source = e.source().expect("chains to the point's error");
+        assert!(source.to_string().contains("layer 2"), "{source}");
+        assert!(source.source().is_some(), "inner error keeps its own chain");
     }
 
     #[test]

@@ -148,6 +148,26 @@ pub fn evaluations_of(results: &SweepResults) -> Vec<Evaluation> {
     (0..n_npus).map(|ni| evaluation_of(results, ni)).collect()
 }
 
+/// Like [`evaluations_of`], but tolerant of failed points: a workload is
+/// included only when *every* scheme point for it on that NPU succeeded
+/// (normalization needs the baseline, and the mean helpers need the
+/// rectangular all-schemes-per-workload invariant). An NPU whose
+/// workloads all failed yields an evaluation with an empty `workloads`
+/// list — callers render what survived and report the rest through the
+/// sweep's [`FailureReport`](crate::resilience::FailureReport).
+pub fn partial_evaluations_of(results: &SweepResults) -> Vec<Evaluation> {
+    let (n_npus, n_models, n_schemes) = results.shape();
+    (0..n_npus)
+        .map(|ni| Evaluation {
+            npu: results.npu_labels()[ni].clone(),
+            workloads: (0..n_models)
+                .filter(|&mi| (0..n_schemes).all(|si| results.outcome(ni, mi, si).is_ok()))
+                .map(|mi| workload_eval(results, ni, mi))
+                .collect(),
+        })
+        .collect()
+}
+
 fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {
     Sweep::new()
         .npus(npus.iter().cloned())
@@ -155,33 +175,35 @@ fn lineup_sweep(npus: &[NpuConfig], models: &[Model]) -> Sweep {
         .schemes(scheme_names())
 }
 
-fn evaluation_of(results: &SweepResults, ni: usize) -> Evaluation {
-    let (_, n_models, n_schemes) = results.shape();
-    assert!(n_schemes > 0, "an evaluation needs at least one scheme");
-    let workloads = (0..n_models)
-        .map(|mi| {
-            let base = results.at(ni, mi, 0);
-            let (t0, c0) = (base.traffic.total() as f64, base.total_cycles as f64);
-            let outcomes = (0..n_schemes)
-                .map(|si| {
-                    let run = results.at(ni, mi, si);
-                    SchemeOutcome {
-                        scheme: results.scheme_labels()[si].clone(),
-                        traffic_norm: run.traffic.total() as f64 / t0,
-                        perf_norm: run.total_cycles as f64 / c0,
-                        run: run.clone(),
-                    }
-                })
-                .collect();
-            WorkloadEval {
-                workload: results.model_labels()[mi].clone(),
-                outcomes,
+fn workload_eval(results: &SweepResults, ni: usize, mi: usize) -> WorkloadEval {
+    let (_, _, n_schemes) = results.shape();
+    let base = results.at(ni, mi, 0);
+    let (t0, c0) = (base.traffic.total() as f64, base.total_cycles as f64);
+    let outcomes = (0..n_schemes)
+        .map(|si| {
+            let run = results.at(ni, mi, si);
+            SchemeOutcome {
+                scheme: results.scheme_labels()[si].clone(),
+                traffic_norm: run.traffic.total() as f64 / t0,
+                perf_norm: run.total_cycles as f64 / c0,
+                run: run.clone(),
             }
         })
         .collect();
+    WorkloadEval {
+        workload: results.model_labels()[mi].clone(),
+        outcomes,
+    }
+}
+
+fn evaluation_of(results: &SweepResults, ni: usize) -> Evaluation {
+    let (_, n_models, n_schemes) = results.shape();
+    assert!(n_schemes > 0, "an evaluation needs at least one scheme");
     Evaluation {
         npu: results.npu_labels()[ni].clone(),
-        workloads,
+        workloads: (0..n_models)
+            .map(|mi| workload_eval(results, ni, mi))
+            .collect(),
     }
 }
 
@@ -193,6 +215,53 @@ pub fn evaluate_paper_suite(npu: &NpuConfig) -> Evaluation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn partial_evaluations_drop_only_the_poisoned_workloads() {
+        use crate::resilience::PointContext;
+        use crate::sweep::Sweep;
+        use std::sync::Arc;
+        // Fail exactly LeNet's SeDA point: LeNet loses its scheme row
+        // and drops out of the means; DLRM survives untouched.
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .models([zoo::lenet(), zoo::dlrm()])
+            .schemes(["baseline", "SeDA"])
+            .fault_hook(Arc::new(|ctx: &PointContext| {
+                if ctx.model == "let" && ctx.scheme == "SeDA" {
+                    Err(crate::error::SedaError::InvalidSpec {
+                        reason: "injected".to_owned(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }))
+            .run();
+        let evals = partial_evaluations_of(&results);
+        assert_eq!(evals.len(), 1);
+        assert_eq!(evals[0].workloads.len(), 1, "lenet must drop out");
+        assert_eq!(evals[0].workloads[0].workload, "dlrm");
+        assert_eq!(evals[0].workloads[0].outcomes.len(), 2, "full scheme row");
+        // On a green sweep, partial and strict evaluations agree.
+        let green = Sweep::new()
+            .npu(NpuConfig::edge())
+            .models([zoo::lenet(), zoo::dlrm()])
+            .schemes(["baseline", "SeDA"])
+            .run();
+        let partial = partial_evaluations_of(&green);
+        let strict = evaluations_of(&green);
+        assert_eq!(partial.len(), strict.len());
+        for (p, s) in partial.iter().zip(&strict) {
+            assert_eq!(p.workloads.len(), s.workloads.len());
+            for (pw, sw) in p.workloads.iter().zip(&s.workloads) {
+                assert_eq!(pw.workload, sw.workload);
+                for (po, so) in pw.outcomes.iter().zip(&sw.outcomes) {
+                    assert_eq!(po.scheme, so.scheme);
+                    assert_eq!(po.run, so.run, "partial must not perturb results");
+                }
+            }
+        }
+    }
 
     #[test]
     fn small_suite_orders_schemes_correctly() {

@@ -46,6 +46,7 @@ pub mod functional;
 pub mod optblk;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod sealing;
 pub mod sweep;
@@ -53,13 +54,17 @@ pub mod sweep;
 pub use error::SedaError;
 pub use experiment::{
     evaluate, evaluate_paper_suite, evaluate_suites, evaluate_suites_dram_mapped,
-    evaluate_with_stats, evaluations_of, Evaluation,
+    evaluate_with_stats, evaluations_of, partial_evaluations_of, Evaluation,
 };
 pub use functional::{run_protected, run_reference, IntegrityViolation, SecureMemory};
 pub use pipeline::{
     dram_config_for, run_model, run_model_repeated, run_model_repeated_with_verifier,
     run_model_with_verifier, run_spec, run_trace, try_run_trace, try_run_trace_with_dram,
     LoweredTrace, RunResult, RunSpec,
+};
+pub use resilience::{
+    load_journal, FailurePolicy, FailureReport, FaultHook, JournalContents, JournalHeader,
+    JournalWriter, PointContext, PointFailure, PointReport, CHECKPOINT_SCHEMA,
 };
 pub use scenario::{Scenario, ScenarioError, ScenarioRun};
 pub use sealing::{seal_model, unseal_layer, verify_model, SealedModel, SealingKeys};

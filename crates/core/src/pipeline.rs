@@ -132,7 +132,7 @@ impl LoweredTrace {
 }
 
 /// Per-layer timing outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerTiming {
     /// Layer name.
     pub name: String,
@@ -145,7 +145,10 @@ pub struct LayerTiming {
 }
 
 /// Result of running one inference of a model under one protection scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// `PartialEq` is bit-exact (the `f64` clock compares by value, never by
+/// tolerance) — the checkpoint journal relies on it to prove resumed runs
+/// replay identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Model name.
     pub model: String,

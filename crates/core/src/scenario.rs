@@ -36,9 +36,12 @@
 //! ```
 
 use crate::error::SedaError;
-use crate::experiment::{evaluations_of, Evaluation};
+use crate::experiment::{partial_evaluations_of, Evaluation};
 use crate::pipeline::dram_config_for;
 use crate::report;
+use crate::resilience::{
+    load_journal, FailurePolicy, FailureReport, JournalHeader, JournalWriter, CHECKPOINT_SCHEMA,
+};
 use crate::sweep::Sweep;
 use seda_dram::{estimate_energy, DramConfig, EnergyParams};
 use seda_models::{zoo, Model};
@@ -86,6 +89,12 @@ pub enum ScenarioError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A checkpoint journal could not be written, read, or did not
+    /// describe this scenario's sweep.
+    Checkpoint {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -105,6 +114,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::BadSpec { reason } => write!(f, "bad scenario: {reason}"),
             ScenarioError::Parse { reason } => write!(f, "scenario parse error: {reason}"),
+            ScenarioError::Checkpoint { reason } => {
+                write!(f, "checkpoint journal error: {reason}")
+            }
         }
     }
 }
@@ -622,6 +634,87 @@ impl Deserialize for OutputKind {
     }
 }
 
+/// One scheme-level assertion on a scenario's mean normalized metrics:
+/// `scenario run` checks the named scheme's mean normalized traffic
+/// and/or runtime against the declared ceilings and exits nonzero on a
+/// violation — the paper's claims, pinned as data next to the experiment
+/// that produces them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectationSpec {
+    /// Scheme label to check (case-insensitive against the lineup).
+    pub scheme: String,
+    /// Restrict the check to one NPU; `None` checks every NPU.
+    pub npu: Option<String>,
+    /// Ceiling on the mean normalized traffic (baseline = 1.0).
+    pub traffic_norm_max: Option<f64>,
+    /// Ceiling on the mean normalized runtime (baseline = 1.0).
+    pub perf_norm_max: Option<f64>,
+}
+
+/// The scenario's `expect` block: one assertion or a list of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectations(pub Vec<ExpectationSpec>);
+
+// JSON accepts either a single object (`"expect": {"scheme": "seda", ...}`)
+// or an array of them; a single entry serializes back to the object form.
+impl Serialize for Expectations {
+    fn to_value(&self) -> Value {
+        match self.0.as_slice() {
+            [only] => only.to_value(),
+            many => Value::Array(many.iter().map(Serialize::to_value).collect()),
+        }
+    }
+}
+
+impl Deserialize for Expectations {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(ExpectationSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Expectations),
+            Value::Object(_) => ExpectationSpec::from_value(v).map(|e| Expectations(vec![e])),
+            other => Err(serde::Error::custom(format!(
+                "expect must be an assertion object or an array of them, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One violated `expect` assertion, with the measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectationFailure {
+    /// NPU the check ran on.
+    pub npu: String,
+    /// Scheme label from the `expect` entry.
+    pub scheme: String,
+    /// Which ceiling was violated (`traffic_norm_max`/`perf_norm_max`).
+    pub metric: &'static str,
+    /// The declared ceiling.
+    pub limit: f64,
+    /// The measured mean; `NaN` when no surviving points produced one.
+    pub actual: f64,
+}
+
+impl fmt::Display for ExpectationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.actual.is_nan() {
+            write!(
+                f,
+                "expectation unverifiable: scheme {} on NPU {} has no surviving points to check {} <= {}",
+                self.scheme, self.npu, self.metric, self.limit
+            )
+        } else {
+            write!(
+                f,
+                "expectation failed: scheme {} on NPU {} has mean {} {:.4}, over the {} ceiling",
+                self.scheme, self.npu, self.metric, self.actual, self.limit
+            )
+        }
+    }
+}
+
 /// A declarative experiment: everything the sweep engine needs, as data.
 ///
 /// The **first scheme is the normalization baseline** for the traffic and
@@ -646,6 +739,15 @@ pub struct Scenario {
     pub verifier: Option<VerifierSpec>,
     /// Report sections to render, in order.
     pub outputs: Vec<OutputKind>,
+    /// Per-point failure policy (`"fail-fast"` | `"skip"` |
+    /// `{"retry": ...}`); absent means fail-fast, the historical
+    /// all-or-nothing contract.
+    pub on_failure: Option<FailurePolicy>,
+    /// Per-point wall-clock watchdog budget in milliseconds; a hung
+    /// point becomes a typed timeout instead of hanging the run.
+    pub point_budget_ms: Option<u64>,
+    /// Scheme-level assertions `scenario run` checks after execution.
+    pub expect: Option<Expectations>,
 }
 
 fn npu_by_name(name: &str) -> Result<NpuConfig, ScenarioError> {
@@ -721,6 +823,50 @@ impl Scenario {
                 return bad("verifier bytes_per_cycle must be positive and finite");
             }
         }
+        if let Some(FailurePolicy::Retry { max_attempts, .. }) = self.on_failure {
+            if max_attempts == 0 {
+                return bad("retry max_attempts must be at least 1");
+            }
+        }
+        if self.point_budget_ms == Some(0) {
+            return bad("point_budget_ms must be at least 1");
+        }
+        if let Some(expect) = &self.expect {
+            if expect.0.is_empty() {
+                return bad("expect block needs at least one assertion");
+            }
+            for e in &expect.0 {
+                if !labels.iter().any(|l| l.eq_ignore_ascii_case(&e.scheme)) {
+                    return bad(&format!(
+                        "expect references scheme {:?}, not in this scenario's lineup",
+                        e.scheme
+                    ));
+                }
+                if let Some(npu) = &e.npu {
+                    if !self.npus.iter().any(|n| n.eq_ignore_ascii_case(npu)) {
+                        return bad(&format!(
+                            "expect references NPU {npu:?}, not in this scenario"
+                        ));
+                    }
+                }
+                if e.traffic_norm_max.is_none() && e.perf_norm_max.is_none() {
+                    return bad(&format!(
+                        "expect entry for {:?} needs traffic_norm_max or perf_norm_max",
+                        e.scheme
+                    ));
+                }
+                for (name, bound) in [
+                    ("traffic_norm_max", e.traffic_norm_max),
+                    ("perf_norm_max", e.perf_norm_max),
+                ] {
+                    if let Some(b) = bound {
+                        if !(b.is_finite() && b > 0.0) {
+                            return bad(&format!("expect {name} must be positive and finite"));
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -746,39 +892,158 @@ impl Scenario {
         if let Some(d) = self.dram.clone() {
             sweep = sweep.dram_map(move |npu| d.apply(dram_config_for(npu)));
         }
+        sweep = sweep.on_failure(self.policy());
+        if let Some(ms) = self.point_budget_ms {
+            sweep = sweep.point_budget_ms(ms);
+        }
         Ok(sweep)
     }
 
-    /// Executes the scenario through the sweep engine.
+    /// The effective failure policy: the declared `on_failure`, or
+    /// fail-fast — the historical all-or-nothing scenario contract.
+    pub fn policy(&self) -> FailurePolicy {
+        self.on_failure.unwrap_or(FailurePolicy::FailFast)
+    }
+
+    /// The checkpoint-journal header describing this scenario's sweep —
+    /// what `--resume` validates a journal against.
+    pub fn journal_header(&self) -> Result<JournalHeader, SedaError> {
+        let mut npus = Vec::new();
+        for n in &self.npus {
+            npus.push(npu_by_name(n)?.name.clone());
+        }
+        let mut models = Vec::new();
+        for w in &self.workloads {
+            models.push(w.resolve()?.name().to_owned());
+        }
+        let schemes: Vec<String> = self.schemes.iter().map(|s| s.label()).collect();
+        Ok(JournalHeader {
+            schema: CHECKPOINT_SCHEMA.to_owned(),
+            scenario: self.name.clone(),
+            points: npus.len() * models.len() * schemes.len(),
+            npus,
+            models,
+            schemes,
+        })
+    }
+
+    /// Executes the scenario through the sweep engine (no journaling).
     ///
     /// The whole cross-product runs as one parallel sweep (one simulated
     /// trace per distinct NPU × workload pair); a failed point surfaces
-    /// as that point's [`SedaError`] instead of a panic.
+    /// through the scenario's failure policy instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Under the default fail-fast policy, any point failure aborts with
+    /// [`SedaError::ScenarioPointFailed`] carrying the structured report
+    /// of *every* failed point (`source()` chains to the first one).
+    /// Under `skip`/`retry`, exhausted failures degrade the run to a
+    /// partial [`ScenarioRun`] instead — see [`ScenarioRun::failures`].
     pub fn run(&self) -> Result<ScenarioRun, SedaError> {
-        let results = self.sweep()?.run();
-        if let Some((npu, model, scheme, e)) = results.failures().next() {
-            return Err(SedaError::InvalidSpec {
-                reason: format!(
-                    "scenario {}: point {npu}/{model}/{scheme} failed: {e}",
-                    self.name
-                ),
+        self.run_with(&RunOptions::default())
+    }
+
+    /// [`run`](Self::run) with checkpoint journaling and resume.
+    ///
+    /// With [`RunOptions::journal`], completed points stream to a
+    /// `seda-checkpoint/v1` journal as they finish. With
+    /// [`RunOptions::resume`], points recorded in the journal replay
+    /// bit-identically without executing, fresh completions append to
+    /// the same file, and the journal's header is validated against this
+    /// scenario's sweep shape first.
+    pub fn run_with(&self, opts: &RunOptions) -> Result<ScenarioRun, SedaError> {
+        let mut sweep = self.sweep()?;
+        let header = self.journal_header()?;
+        let mut writer: Option<std::sync::Arc<JournalWriter>> = None;
+        if let Some(resume_path) = &opts.resume {
+            if opts.journal.as_ref().is_some_and(|j| j != resume_path) {
+                return Err(SedaError::Scenario(ScenarioError::Checkpoint {
+                    reason: "a resumed run appends to the journal it resumes from; \
+                             drop --journal or point it at the same file"
+                        .to_owned(),
+                }));
+            }
+            let contents = load_journal(resume_path)?;
+            if contents.header != header {
+                return Err(SedaError::Scenario(ScenarioError::Checkpoint {
+                    reason: format!(
+                        "journal {} records scenario {:?} with {} points, but this run \
+                         is scenario {:?} with {} points",
+                        resume_path.display(),
+                        contents.header.scenario,
+                        contents.header.points,
+                        header.scenario,
+                        header.points
+                    ),
+                }));
+            }
+            sweep = sweep.resume_from(contents.points);
+            writer = Some(std::sync::Arc::new(JournalWriter::append(resume_path)?));
+        } else if let Some(journal_path) = &opts.journal {
+            writer = Some(std::sync::Arc::new(JournalWriter::create(
+                journal_path,
+                &header,
+            )?));
+        }
+        if let Some(w) = &writer {
+            let sink = std::sync::Arc::clone(w);
+            sweep = sweep.stream_to(move |i, runs| sink.record(i, runs));
+        }
+        let results = sweep.run();
+        if let Some(w) = &writer {
+            w.finish()?;
+        }
+        let failures = results.failure_report();
+        let (n, m, s) = results.shape();
+        let points_total = n * m * s;
+        if !failures.is_empty() && self.policy() == FailurePolicy::FailFast {
+            return Err(SedaError::ScenarioPointFailed {
+                scenario: self.name.clone(),
+                total_points: points_total,
+                report: failures,
             });
         }
         Ok(ScenarioRun {
             scenario: self.clone(),
-            evaluations: evaluations_of(&results),
+            evaluations: partial_evaluations_of(&results),
+            failures,
+            points_total,
+            points_resumed: results.resumed_count(),
         })
     }
 }
 
+/// Execution options for [`Scenario::run_with`]: checkpoint journaling
+/// and resume.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stream completed points to this `seda-checkpoint/v1` journal.
+    pub journal: Option<PathBuf>,
+    /// Resume from this journal: recorded points replay bit-identically,
+    /// fresh completions append to the same file.
+    pub resume: Option<PathBuf>,
+}
+
 /// A completed scenario execution: the scenario plus its per-NPU
-/// normalized evaluations.
+/// normalized evaluations — possibly partial. Under a `skip`/`retry`
+/// policy, workloads with failed points drop out of the evaluations and
+/// the failures are carried in [`failures`](Self::failures) instead of
+/// aborting the run.
 #[derive(Debug, Clone)]
 pub struct ScenarioRun {
     /// The scenario that ran.
     pub scenario: Scenario,
-    /// One evaluation per NPU, in scenario order.
+    /// One evaluation per NPU, in scenario order. A workload appears
+    /// only if every one of its scheme points succeeded on that NPU.
     pub evaluations: Vec<Evaluation>,
+    /// Every failed point with its attempts and final error; empty for
+    /// an all-green run.
+    pub failures: FailureReport,
+    /// Total points in the sweep.
+    pub points_total: usize,
+    /// Points replayed from a checkpoint journal instead of executed.
+    pub points_resumed: usize,
 }
 
 /// One raw sweep point in a scenario snapshot.
@@ -834,11 +1099,30 @@ impl ScenarioRun {
                 }
             }
         }
+        if self.points_resumed > 0 {
+            let _ = writeln!(
+                out,
+                "resumed: {} of {} points replayed from the checkpoint journal",
+                self.points_resumed, self.points_total
+            );
+            let _ = writeln!(out);
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "PARTIAL RESULTS: {} of {} points failed; workloads with failed \
+                 points are excluded from the figures above.",
+                self.failures.len(),
+                self.points_total
+            );
+            let _ = write!(out, "{}", self.failures.render());
+            let _ = writeln!(out);
+        }
         out
     }
 
     fn render_traffic(&self, out: &mut String) {
-        for eval in &self.evaluations {
+        for eval in self.evaluations.iter().filter(|e| !e.workloads.is_empty()) {
             let _ = write!(out, "{}", report::figure5(eval));
             let _ = writeln!(out);
             let _ = write!(
@@ -864,7 +1148,7 @@ impl ScenarioRun {
     }
 
     fn render_runtime(&self, out: &mut String) {
-        for eval in &self.evaluations {
+        for eval in self.evaluations.iter().filter(|e| !e.workloads.is_empty()) {
             let _ = write!(out, "{}", report::figure6(eval));
             let _ = writeln!(out);
             let _ = write!(
@@ -890,7 +1174,7 @@ impl ScenarioRun {
     }
 
     fn render_energy(&self, out: &mut String) {
-        for eval in &self.evaluations {
+        for eval in self.evaluations.iter().filter(|e| !e.workloads.is_empty()) {
             // LPDDR4 energies for the edge-class part, DDR4 otherwise,
             // matching the energy ablation's pairing.
             let (params, mem) = if eval.npu.eq_ignore_ascii_case("edge") {
@@ -980,6 +1264,60 @@ impl ScenarioRun {
             points,
         };
         serde_json::to_string_pretty(&snapshot).unwrap_or_default()
+    }
+
+    /// Checks the scenario's `expect` assertions against the evaluated
+    /// means, returning every violation (empty means all assertions
+    /// hold). An assertion whose scheme row is missing — every workload
+    /// carrying it failed — is reported as unverifiable (`actual` is
+    /// `NaN`): a failed run must not silently pass its claims.
+    pub fn check_expectations(&self) -> Vec<ExpectationFailure> {
+        let mut out = Vec::new();
+        let Some(expect) = &self.scenario.expect else {
+            return out;
+        };
+        for e in &expect.0 {
+            for eval in &self.evaluations {
+                if let Some(npu) = &e.npu {
+                    if !eval.npu.eq_ignore_ascii_case(npu) {
+                        continue;
+                    }
+                }
+                type MetricRow = (&'static str, Option<f64>, Vec<(String, f64)>);
+                let metrics: [MetricRow; 2] = [
+                    (
+                        "normalized traffic",
+                        e.traffic_norm_max,
+                        eval.mean_traffic(),
+                    ),
+                    ("normalized runtime", e.perf_norm_max, eval.mean_perf()),
+                ];
+                for (metric, bound, means) in metrics {
+                    let Some(limit) = bound else { continue };
+                    let row = means
+                        .iter()
+                        .find(|(scheme, _)| scheme.eq_ignore_ascii_case(&e.scheme));
+                    match row {
+                        Some((_, actual)) if *actual <= limit => {}
+                        Some((_, actual)) => out.push(ExpectationFailure {
+                            npu: eval.npu.clone(),
+                            scheme: e.scheme.clone(),
+                            metric,
+                            limit,
+                            actual: *actual,
+                        }),
+                        None => out.push(ExpectationFailure {
+                            npu: eval.npu.clone(),
+                            scheme: e.scheme.clone(),
+                            metric,
+                            limit,
+                            actual: f64::NAN,
+                        }),
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -1108,6 +1446,17 @@ mod tests {
                 latency_cycles: 80,
             }),
             outputs: vec![OutputKind::Traffic, OutputKind::Runtime, OutputKind::Energy],
+            on_failure: Some(FailurePolicy::Retry {
+                max_attempts: 3,
+                base_backoff_ms: 25,
+            }),
+            point_budget_ms: Some(60_000),
+            expect: Some(Expectations(vec![ExpectationSpec {
+                scheme: "SeDA".to_owned(),
+                npu: Some("server".to_owned()),
+                traffic_norm_max: Some(1.01),
+                perf_norm_max: None,
+            }])),
         }
     }
 
@@ -1227,7 +1576,7 @@ mod tests {
             .model(zoo::lenet())
             .schemes(["baseline", "SeDA"])
             .run();
-        let direct_evals = evaluations_of(&direct);
+        let direct_evals = crate::experiment::evaluations_of(&direct);
         assert_eq!(run.evaluations.len(), direct_evals.len());
         for (a, b) in run.evaluations.iter().zip(&direct_evals) {
             assert_eq!(a.npu, b.npu);

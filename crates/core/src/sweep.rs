@@ -37,16 +37,23 @@
 
 use crate::error::SedaError;
 use crate::pipeline::{dram_config_for, try_run_trace_with_dram_sim, RunResult};
+use crate::resilience::{
+    AttemptRecord, FailurePolicy, FailureReport, FaultHook, PointContext, PointFailure,
+    PointReport, PointSink,
+};
 use seda_dram::{DramConfig, DramSim};
 use seda_models::Model;
 use seda_protect::{HashEngine, ProtectionScheme};
 use seda_scalesim::{NpuConfig, TraceCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Factory producing a fresh scheme instance for one sweep point.
-type SchemeFactory = Box<dyn Fn() -> Box<dyn ProtectionScheme> + Send + Sync>;
+/// `Arc`, not `Box`: watchdog-budgeted attempts run on detached worker
+/// threads that need their own handle to the factory.
+type SchemeFactory = Arc<dyn Fn() -> Box<dyn ProtectionScheme> + Send + Sync>;
 
 /// Per-NPU DRAM configuration override for memory-system ablations.
 type DramMap = Box<dyn Fn(&NpuConfig) -> DramConfig + Send + Sync>;
@@ -54,6 +61,16 @@ type DramMap = Box<dyn Fn(&NpuConfig) -> DramConfig + Send + Sync>;
 struct SchemeSpec {
     label: String,
     build: SchemeFactory,
+}
+
+/// Converts a captured panic payload into the typed per-point error.
+fn panic_to_error(point: String, payload: Box<dyn std::any::Any + Send>) -> SedaError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned());
+    SedaError::PointPanicked { point, message }
 }
 
 /// Trace-cache statistics for one sweep execution.
@@ -80,6 +97,8 @@ pub struct SweepResults {
     /// One entry per point (npu-major → model → scheme); each successful
     /// entry holds one [`RunResult`] per inference.
     points: Vec<Result<Vec<RunResult>, SedaError>>,
+    /// Per-point execution accounting, index-aligned with `points`.
+    reports: Vec<PointReport>,
     /// Trace-cache activity during this execution only.
     pub stats: SweepStats,
 }
@@ -187,6 +206,46 @@ impl SweepResults {
         })
     }
 
+    /// Per-point execution reports (attempts, retries, resume and
+    /// cancellation flags), in deterministic cross-product order.
+    pub fn reports(&self) -> &[PointReport] {
+        &self.reports
+    }
+
+    /// The execution report of one point.
+    pub fn report_at(&self, npu: usize, model: usize, scheme: usize) -> &PointReport {
+        &self.reports[self.index(npu, model, scheme)]
+    }
+
+    /// Number of points replayed from a checkpoint journal instead of
+    /// executed.
+    pub fn resumed_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.resumed).count()
+    }
+
+    /// Structured digest of every failed point (labels, attempts, final
+    /// error), in deterministic order. Empty for an all-green sweep.
+    pub fn failure_report(&self) -> FailureReport {
+        let s = self.schemes.len();
+        let m = self.models.len();
+        FailureReport {
+            failures: self
+                .points
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| {
+                    p.as_ref().err().map(|e| PointFailure {
+                        npu: self.npus[i / (s * m)].clone(),
+                        model: self.models[(i / s) % m].clone(),
+                        scheme: self.schemes[i % s].clone(),
+                        attempts: self.reports[i].attempts_made(),
+                        error: e.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
     /// Scheme labels in sweep order.
     pub fn scheme_labels(&self) -> &[String] {
         &self.schemes
@@ -238,6 +297,11 @@ pub struct Sweep {
     threads: Option<usize>,
     dram_map: Option<DramMap>,
     dram_replay_threads: Option<usize>,
+    policy: FailurePolicy,
+    point_budget_ms: Option<u64>,
+    fault_hook: Option<FaultHook>,
+    resume_from: Option<Vec<Option<Vec<RunResult>>>>,
+    stream_to: Option<PointSink>,
 }
 
 impl Sweep {
@@ -290,7 +354,7 @@ impl Sweep {
         let owned = name.to_owned();
         self.schemes.push(SchemeSpec {
             label: owned.clone(),
-            build: Box::new(move || {
+            build: Arc::new(move || {
                 seda_protect::scheme_by_name(&owned).expect("validated at build time")
             }),
         });
@@ -319,7 +383,7 @@ impl Sweep {
     ) -> Self {
         self.schemes.push(SchemeSpec {
             label: label.to_owned(),
-            build: Box::new(factory),
+            build: Arc::new(factory),
         });
         self
     }
@@ -381,6 +445,59 @@ impl Sweep {
         self.threads(1)
     }
 
+    /// Sets what happens when a point fails. The default is
+    /// [`FailurePolicy::Skip`]: record the failure, keep going.
+    pub fn on_failure(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps each point *attempt* to a wall-clock budget. A hung attempt
+    /// is abandoned and surfaces as [`SedaError::PointTimedOut`]; under a
+    /// retry policy the next attempt starts immediately.
+    ///
+    /// Budgeted attempts run on detached watchdog threads (a scoped pool
+    /// would have to join the hung worker, re-introducing the hang), so
+    /// an abandoned attempt's thread leaks until it finishes on its own.
+    /// That is the deliberate trade: the sweep makes progress, the OS
+    /// reclaims the stragglers at process exit. `0` is clamped to 1 ms.
+    pub fn point_budget_ms(mut self, budget_ms: u64) -> Self {
+        self.point_budget_ms = Some(budget_ms.max(1));
+        self
+    }
+
+    /// Installs a fault-injection hook, called at the start of every
+    /// attempt inside the point's panic isolation — the chaos harness's
+    /// entry point (`seda-adversary`). Production sweeps leave this
+    /// unset; it costs nothing when absent.
+    pub fn fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Pre-fills points from a checkpoint journal: `Some(runs)` slots are
+    /// replayed bit-identically without executing, `None` slots run
+    /// normally. The vector must be index-aligned with this sweep's
+    /// cross-product (see [`load_journal`](crate::resilience::load_journal)).
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the snapshot length differs from the sweep's
+    /// point count — the journal describes a different sweep.
+    pub fn resume_from(mut self, points: Vec<Option<Vec<RunResult>>>) -> Self {
+        self.resume_from = Some(points);
+        self
+    }
+
+    /// Streams every freshly-executed successful point (index + runs) to
+    /// `sink` as it completes — the checkpoint journal's feed. Resumed
+    /// points are not re-streamed (their journal entries already exist).
+    /// The sink is called from worker threads and must not panic.
+    pub fn stream_to(mut self, sink: impl Fn(usize, &[RunResult]) + Send + Sync + 'static) -> Self {
+        self.stream_to = Some(Box::new(sink));
+        self
+    }
+
     /// Overrides the per-NPU DRAM configuration. By default every point
     /// uses [`dram_config_for`]; `map` receives each point's NPU and
     /// returns the memory system to simulate instead — the injection
@@ -398,19 +515,114 @@ impl Sweep {
         self.npus.len() * self.models.len() * self.schemes.len()
     }
 
-    fn run_point(&self, idx: usize, cache: &TraceCache) -> Result<Vec<RunResult>, SedaError> {
+    /// `npu/model/scheme` label of the point at flat index `idx`.
+    fn point_label(&self, idx: usize) -> String {
+        let s = self.schemes.len();
+        let m = self.models.len();
+        format!(
+            "{}/{}/{}",
+            self.npus[idx / (s * m)].name,
+            self.models[(idx / s) % m].name(),
+            self.schemes[idx % s].label
+        )
+    }
+
+    fn point_context(&self, idx: usize, attempt: u32) -> PointContext {
+        let s = self.schemes.len();
+        let m = self.models.len();
+        PointContext {
+            index: idx,
+            attempt,
+            npu: self.npus[idx / (s * m)].name.clone(),
+            model: self.models[(idx / s) % m].name().to_owned(),
+            scheme: self.schemes[idx % s].label.clone(),
+        }
+    }
+
+    /// Runs one point under the active [`FailurePolicy`]: up to
+    /// `max_attempts` attempts, each individually panic-isolated and
+    /// (when a budget is set) watchdog-bounded, with the deterministic
+    /// backoff account recorded between failed attempts.
+    fn run_point(
+        &self,
+        idx: usize,
+        cache: &TraceCache,
+    ) -> (Result<Vec<RunResult>, SedaError>, PointReport) {
+        let max = self.policy.max_attempts();
+        let mut report = PointReport::default();
+        let mut last_err: Option<SedaError> = None;
+        for attempt in 1..=max {
+            let _span = seda_telemetry::Span::start("sweep.point_ns");
+            let started = Instant::now();
+            let outcome = self.run_attempt(idx, attempt, cache);
+            seda_telemetry::record("sweep.attempt_ms", started.elapsed().as_millis() as u64);
+            match outcome {
+                Ok(runs) => {
+                    report.attempts.push(AttemptRecord {
+                        attempt,
+                        error: None,
+                        backoff_ms: 0,
+                    });
+                    seda_telemetry::counter_add("sweep.points.ok", 1);
+                    return (Ok(runs), report);
+                }
+                Err(e) => {
+                    if matches!(e, SedaError::PointTimedOut { .. }) {
+                        seda_telemetry::counter_add("sweep.points.timed_out", 1);
+                    }
+                    report.attempts.push(AttemptRecord {
+                        attempt,
+                        error: Some(e.to_string()),
+                        backoff_ms: self.policy.backoff_ms(attempt),
+                    });
+                    if attempt < max {
+                        seda_telemetry::counter_add("sweep.points.retried", 1);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        seda_telemetry::counter_add("sweep.points.failed", 1);
+        // Invariant: `max >= 1`, so the loop recorded at least one error.
+        #[allow(clippy::expect_used)]
+        let err = last_err.expect("at least one attempt executed");
+        (Err(err), report)
+    }
+
+    fn run_attempt(
+        &self,
+        idx: usize,
+        attempt: u32,
+        cache: &TraceCache,
+    ) -> Result<Vec<RunResult>, SedaError> {
+        match self.point_budget_ms {
+            Some(budget_ms) => self.run_attempt_watchdog(idx, attempt, budget_ms, cache),
+            None => self.run_attempt_inline(idx, attempt, cache),
+        }
+    }
+
+    /// Unbudgeted attempt on the calling thread.
+    ///
+    /// Fault isolation: a panic anywhere inside one attempt — a buggy
+    /// scheme factory, a scheme transform, the kernel itself, an injected
+    /// chaos fault — is contained to that attempt and surfaces as a typed
+    /// error; every other point still completes. The closure only touches
+    /// the immutable trace cache and per-point scheme state, so resuming
+    /// after an unwind cannot observe a broken invariant.
+    fn run_attempt_inline(
+        &self,
+        idx: usize,
+        attempt: u32,
+        cache: &TraceCache,
+    ) -> Result<Vec<RunResult>, SedaError> {
         let s = self.schemes.len();
         let m = self.models.len();
         let npu = &self.npus[idx / (s * m)];
         let model = &self.models[(idx / s) % m];
-        // Fault isolation: a panic anywhere inside one point — a buggy
-        // scheme factory, a scheme transform, the kernel itself — is
-        // contained to that point and surfaces as a typed error; every
-        // other point still completes. The closure only touches the
-        // immutable trace cache and per-point scheme state, so resuming
-        // after an unwind cannot observe a broken invariant.
-        let _span = seda_telemetry::Span::start("sweep.point_ns");
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &self.fault_hook {
+                hook(&self.point_context(idx, attempt))?;
+            }
             let sim = cache.get_or_simulate(npu, model);
             let mut scheme = (self.schemes[idx % s].build)();
             let dram_cfg = match &self.dram_map {
@@ -430,31 +642,89 @@ impl Sweep {
                 dram,
             )
         }))
-        .unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_owned());
-            Err(SedaError::PointPanicked {
-                point: format!(
-                    "{}/{}/{}",
-                    npu.name,
-                    model.name(),
-                    self.schemes[idx % s].label
-                ),
-                message,
-            })
-        });
-        seda_telemetry::counter_add(
-            if outcome.is_ok() {
-                "sweep.points.ok"
-            } else {
-                "sweep.points.failed"
+        .unwrap_or_else(|payload| Err(panic_to_error(self.point_label(idx), payload)))
+    }
+
+    /// Budgeted attempt on a detached watchdog thread. The trace is
+    /// fetched (and cached) on the calling thread first — simulation is
+    /// deterministic and shared across schemes, so it is not what a
+    /// watchdog is for — then the scheme + replay kernel runs on a
+    /// worker the watchdog can abandon if it exceeds the budget.
+    fn run_attempt_watchdog(
+        &self,
+        idx: usize,
+        attempt: u32,
+        budget_ms: u64,
+        cache: &TraceCache,
+    ) -> Result<Vec<RunResult>, SedaError> {
+        let s = self.schemes.len();
+        let m = self.models.len();
+        let npu = &self.npus[idx / (s * m)];
+        let model = &self.models[(idx / s) % m];
+        let point = self.point_label(idx);
+
+        // Everything the detached worker needs, prepared under the same
+        // panic isolation the inline path has.
+        let prep = catch_unwind(AssertUnwindSafe(|| {
+            let sim = cache.get_or_simulate(npu, model);
+            let dram_cfg = match &self.dram_map {
+                Some(map) => map(npu),
+                None => dram_config_for(npu),
+            };
+            (sim, dram_cfg)
+        }));
+        let (sim, dram_cfg) = match prep {
+            Ok(prepared) => prepared,
+            Err(payload) => return Err(panic_to_error(point, payload)),
+        };
+
+        let build = Arc::clone(&self.schemes[idx % s].build);
+        let hook = self.fault_hook.clone();
+        let ctx = self.point_context(idx, attempt);
+        let verifier = self.verifier;
+        let repeats = self.repeats;
+        let replay_threads = self.dram_replay_threads;
+        let npu = npu.clone();
+        let worker_point = point.clone();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let spawned = std::thread::Builder::new()
+            .name(format!("seda-watchdog-{idx}-a{attempt}"))
+            .spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(hook) = &hook {
+                        hook(&ctx)?;
+                    }
+                    let mut scheme = build();
+                    let mut dram = DramSim::new(dram_cfg);
+                    if let Some(n) = replay_threads {
+                        dram.set_replay_threads(n);
+                    }
+                    try_run_trace_with_dram_sim(
+                        &sim,
+                        &npu,
+                        scheme.as_mut(),
+                        verifier.as_ref(),
+                        repeats,
+                        dram,
+                    )
+                }))
+                .unwrap_or_else(|payload| Err(panic_to_error(worker_point, payload)));
+                // The watchdog may have given up on us; a dead receiver
+                // is fine — the result is simply discarded.
+                let _ = tx.send(outcome);
+            });
+        match spawned {
+            Err(e) => Err(SedaError::InvalidSpec {
+                reason: format!("cannot spawn watchdog worker for {point}: {e}"),
+            }),
+            // Dropping the JoinHandle detaches the worker: on timeout it
+            // keeps running (and leaks until it finishes on its own), but
+            // the sweep moves on — that is the watchdog contract.
+            Ok(_detached) => match rx.recv_timeout(Duration::from_millis(budget_ms)) {
+                Ok(outcome) => outcome,
+                Err(_) => Err(SedaError::PointTimedOut { point, budget_ms }),
             },
-            1,
-        );
-        outcome
+        }
     }
 
     /// Executes the sweep with a private trace cache.
@@ -462,11 +732,70 @@ impl Sweep {
         self.run_with_cache(&TraceCache::new())
     }
 
+    /// Executes one point end to end under the resilience machinery:
+    /// checkpoint replay, fail-fast cancellation, the retry loop, and
+    /// journal streaming.
+    fn execute_point(
+        &self,
+        idx: usize,
+        cache: &TraceCache,
+        aborted: &AtomicBool,
+    ) -> (Result<Vec<RunResult>, SedaError>, PointReport) {
+        if let Some(runs) = self.resume_from.as_ref().and_then(|r| r[idx].clone()) {
+            seda_telemetry::counter_add("sweep.points.resumed", 1);
+            return (
+                Ok(runs),
+                PointReport {
+                    attempts: Vec::new(),
+                    resumed: true,
+                    cancelled: false,
+                },
+            );
+        }
+        if self.policy == FailurePolicy::FailFast && aborted.load(Ordering::SeqCst) {
+            seda_telemetry::counter_add("sweep.points.cancelled", 1);
+            return (
+                Err(SedaError::PointCancelled {
+                    point: self.point_label(idx),
+                }),
+                PointReport {
+                    attempts: Vec::new(),
+                    resumed: false,
+                    cancelled: true,
+                },
+            );
+        }
+        let (outcome, report) = self.run_point(idx, cache);
+        match &outcome {
+            Ok(runs) => {
+                if let Some(sink) = &self.stream_to {
+                    sink(idx, runs);
+                }
+            }
+            Err(_) => aborted.store(true, Ordering::SeqCst),
+        }
+        (outcome, report)
+    }
+
     /// Executes the sweep against a caller-owned [`TraceCache`], so
     /// several sweeps (or repeated invocations) share simulations.
     /// Reported [`SweepStats`] cover this execution only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`resume_from`](Self::resume_from) snapshot was set
+    /// whose length differs from this sweep's point count.
     pub fn run_with_cache(&self, cache: &TraceCache) -> SweepResults {
         let total = self.point_count();
+        if let Some(resume) = &self.resume_from {
+            assert_eq!(
+                resume.len(),
+                total,
+                "resume snapshot has {} slots but the sweep has {total} points \
+                 — the journal describes a different sweep",
+                resume.len()
+            );
+        }
         let (hits0, misses0) = (cache.hits(), cache.misses());
         let threads = self
             .threads
@@ -477,12 +806,18 @@ impl Sweep {
             })
             .min(total.max(1));
 
-        let mut slots: Vec<Option<Result<Vec<RunResult>, SedaError>>> = Vec::new();
+        type Slot = Option<(Result<Vec<RunResult>, SedaError>, PointReport)>;
+        let mut slots: Vec<Slot> = Vec::new();
         slots.resize_with(total, || None);
+        // Fail-fast latch: once set, workers stop claiming fresh points.
+        // Cancellation is cooperative — points already in flight finish —
+        // so the exact cancelled set is deterministic only under serial
+        // execution.
+        let aborted = AtomicBool::new(false);
 
         if threads <= 1 {
             for (idx, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_point(idx, cache));
+                *slot = Some(self.execute_point(idx, cache, &aborted));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -494,32 +829,35 @@ impl Sweep {
                         if idx >= total {
                             break;
                         }
-                        let runs = self.run_point(idx, cache);
+                        let point = self.execute_point(idx, cache, &aborted);
                         // Invariant: workers never panic while holding the
-                        // lock (run_point catches unwinds), so the mutex
-                        // cannot be poisoned.
+                        // lock (execute_point catches unwinds), so the
+                        // mutex cannot be poisoned.
                         #[allow(clippy::expect_used)]
                         let mut guard = out.lock().expect("sweep results poisoned");
-                        guard[idx] = Some(runs);
+                        guard[idx] = Some(point);
                     });
                 }
             });
+        }
+
+        let mut points = Vec::with_capacity(total);
+        let mut reports = Vec::with_capacity(total);
+        for slot in slots {
+            // Invariant: the work loop above assigns every index in
+            // `0..total` exactly once before the scope joins.
+            #[allow(clippy::expect_used)]
+            let (outcome, report) = slot.expect("every point executed");
+            points.push(outcome);
+            reports.push(report);
         }
 
         SweepResults {
             npus: self.npus.iter().map(|n| n.name.clone()).collect(),
             models: self.models.iter().map(|m| m.name().to_owned()).collect(),
             schemes: self.schemes.iter().map(|s| s.label.clone()).collect(),
-            points: {
-                // Invariant: the work loop above assigns every index in
-                // `0..total` exactly once before the scope joins.
-                #[allow(clippy::expect_used)]
-                let points = slots
-                    .into_iter()
-                    .map(|s| s.expect("every point executed"))
-                    .collect();
-                points
-            },
+            points,
+            reports,
             stats: SweepStats {
                 trace_hits: cache.hits() - hits0,
                 trace_misses: cache.misses() - misses0,
@@ -682,6 +1020,207 @@ mod tests {
         assert!(err.to_string().contains("thread"), "{err}");
         let ok = Sweep::new().try_threads(3).expect("positive cap is fine");
         assert_eq!(ok.threads, Some(3));
+    }
+
+    #[test]
+    fn failure_ordering_is_deterministic_under_parallel_execution() {
+        let build = || {
+            Sweep::new()
+                .npus([NpuConfig::edge(), NpuConfig::server()])
+                .models([zoo::lenet(), zoo::dlrm()])
+                .scheme("baseline")
+                .scheme_with("poison-a", || panic!("a down"))
+                .scheme_with("poison-b", || panic!("b down"))
+        };
+        let order = |r: &SweepResults| {
+            r.failures()
+                .map(|(n, m, s, _)| (n.to_owned(), m.to_owned(), s.to_owned()))
+                .collect::<Vec<_>>()
+        };
+        let serial = order(&build().serial().run());
+        assert_eq!(serial.len(), 2 * 2 * 2, "both poisoned schemes, all pairs");
+        for round in 0..3 {
+            let parallel = order(&build().threads(4).run());
+            assert_eq!(
+                parallel, serial,
+                "failure order must not depend on thread interleaving (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_surfaces_every_point_when_all_fail() {
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .models([zoo::lenet(), zoo::dlrm()])
+            .scheme_with("poison-a", || panic!("a down"))
+            .scheme_with("poison-b", || panic!("b down"))
+            .run();
+        let (n, m, s) = results.shape();
+        for ni in 0..n {
+            for mi in 0..m {
+                for si in 0..s {
+                    let err = results
+                        .outcome(ni, mi, si)
+                        .expect_err("every point must fail");
+                    assert!(matches!(err, SedaError::PointPanicked { .. }), "{err}");
+                }
+            }
+        }
+        assert_eq!(results.failures().count(), n * m * s);
+        let report = results.failure_report();
+        assert_eq!(report.len(), n * m * s);
+        let text = report.render();
+        assert!(text.contains("a down") && text.contains("b down"), "{text}");
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults_bit_identically() {
+        use crate::resilience::PointContext;
+        let clean = headline_sweep().serial().run();
+        let flaky = headline_sweep()
+            .serial()
+            .fault_hook(Arc::new(|ctx: &PointContext| {
+                // Deterministic transient fault on every third point,
+                // first attempt only.
+                if ctx.index.is_multiple_of(3) && ctx.attempt == 1 {
+                    Err(SedaError::InvalidSpec {
+                        reason: format!("transient fault at {}", ctx.label()),
+                    })
+                } else {
+                    Ok(())
+                }
+            }))
+            .on_failure(FailurePolicy::Retry {
+                max_attempts: 3,
+                base_backoff_ms: 5,
+            })
+            .run();
+        assert!(
+            flaky.failure_report().is_empty(),
+            "all faults are transient"
+        );
+        for (c, f) in clean.iter().zip(flaky.iter()) {
+            assert_eq!((c.0, c.1, c.2), (f.0, f.1, f.2));
+            assert_eq!(c.3, f.3, "retried results must be bit-identical");
+        }
+        for (i, r) in flaky.reports().iter().enumerate() {
+            let expected = if i.is_multiple_of(3) { 2 } else { 1 };
+            assert_eq!(r.attempts_made(), expected, "point {i}");
+            if i.is_multiple_of(3) {
+                assert_eq!(r.attempts[0].backoff_ms, 5, "jitter-free base backoff");
+                assert!(r.attempts[0]
+                    .error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("transient fault")));
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_stalls_into_typed_timeouts_and_retries_recover() {
+        use crate::resilience::PointContext;
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline")
+            .serial()
+            .fault_hook(Arc::new(|ctx: &PointContext| {
+                if ctx.attempt == 1 {
+                    // Hang well past the budget; the second attempt is
+                    // stall-free and must succeed within it.
+                    std::thread::sleep(Duration::from_millis(4000));
+                }
+                Ok(())
+            }))
+            .point_budget_ms(500)
+            .on_failure(FailurePolicy::Retry {
+                max_attempts: 2,
+                base_backoff_ms: 7,
+            })
+            .run();
+        assert!(results.outcome(0, 0, 0).is_ok(), "retry recovers the stall");
+        let report = results.report_at(0, 0, 0);
+        assert_eq!(report.attempts_made(), 2);
+        assert!(
+            report.attempts[0]
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("watchdog")),
+            "{report:?}"
+        );
+        assert_eq!(report.attempts[0].backoff_ms, 7);
+        assert_eq!(report.total_backoff_ms(), 7);
+    }
+
+    #[test]
+    fn fail_fast_cancels_the_remaining_points_serially() {
+        let results = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme_with("poison", || panic!("down"))
+            .scheme("baseline")
+            .scheme("SeDA")
+            .serial()
+            .on_failure(FailurePolicy::FailFast)
+            .run();
+        assert!(matches!(
+            results.outcome(0, 0, 0),
+            Err(SedaError::PointPanicked { .. })
+        ));
+        for si in 1..3 {
+            let err = results.outcome(0, 0, si).expect_err("cancelled");
+            assert!(matches!(err, SedaError::PointCancelled { .. }), "{err}");
+            assert!(results.report_at(0, 0, si).cancelled);
+        }
+        let report = results.failure_report();
+        assert_eq!(report.len(), 3, "cancelled points appear in the report");
+        assert_eq!(report.failures[0].attempts, 1);
+        assert_eq!(report.failures[1].attempts, 0, "never started");
+    }
+
+    #[test]
+    fn resume_prefill_replays_checkpointed_points_and_streams_the_rest() {
+        let clean = headline_sweep().serial().run();
+        let total = 2 * 2 * 6;
+        // Checkpoint every even point; the resumed sweep must execute
+        // only the odd ones, and the combined result must be
+        // bit-identical to the clean run.
+        let prefill: Vec<Option<Vec<RunResult>>> = (0..total)
+            .map(|i: usize| {
+                (i.is_multiple_of(2)).then(|| clean.points[i].as_ref().expect("clean run").clone())
+            })
+            .collect();
+        let streamed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&streamed);
+        let resumed = headline_sweep()
+            .serial()
+            .resume_from(prefill)
+            .stream_to(move |i, _runs| sink.lock().expect("sink lock").push(i))
+            .run();
+        assert_eq!(resumed.resumed_count(), total / 2);
+        for i in 0..total {
+            assert_eq!(
+                resumed.points[i].as_ref().expect("all green"),
+                clean.points[i].as_ref().expect("all green"),
+                "point {i}"
+            );
+        }
+        let mut got = streamed.lock().expect("sink lock").clone();
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..total).filter(|i| i % 2 == 1).collect();
+        assert_eq!(got, expected, "only freshly-executed points stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "different sweep")]
+    fn mismatched_resume_snapshot_is_rejected() {
+        let _ = Sweep::new()
+            .npu(NpuConfig::edge())
+            .model(zoo::lenet())
+            .scheme("baseline")
+            .resume_from(vec![None, None])
+            .run();
     }
 
     #[test]

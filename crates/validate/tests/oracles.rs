@@ -48,6 +48,11 @@ fn adversary_detection_matrix() {
 }
 
 #[test]
+fn resilience_invariants() {
+    assert_family(Family::Resilience);
+}
+
+#[test]
 fn single_case_replay_matches_family_run() {
     // The CLI's --case path must reproduce exactly what the family run
     // executed for that index.

@@ -1,25 +1,45 @@
 #!/usr/bin/env bash
 # Smoke-runs every file in scenarios/ through `seda_cli scenario run`,
-# proving the whole zoo stays loadable and executable end-to-end. Any
-# non-zero exit fails the script and dumps that run's output. CI calls
-# this after the release build; locally, cargo builds whatever is
-# missing.
+# proving the whole zoo stays loadable and executable end-to-end, then
+# proves the checkpoint/resume path: a golden_subset run killed halfway
+# through its journal must resume to a bit-identical snapshot. Any
+# non-zero exit fails the script, dumps that run's output, and copies
+# the journal/snapshot/log into $SMOKE_ARTIFACT_DIR (default
+# smoke-artifacts/) for CI to archive. CI calls this after the release
+# build; locally, cargo builds whatever is missing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+artifacts="${SMOKE_ARTIFACT_DIR:-smoke-artifacts}"
+
+# fail <what> [artifact...] — dump the last log, preserve the named
+# artifacts for the CI uploader, and exit nonzero.
+fail() {
+  what="$1"
+  shift
+  echo "FAILED: $what"
+  [ -f "$tmp/last.log" ] && cat "$tmp/last.log"
+  mkdir -p "$artifacts"
+  for f in "$@" "$tmp/last.log"; do
+    if [ -e "$f" ]; then cp "$f" "$artifacts/"; fi
+  done
+  echo "failure artifacts preserved under $artifacts/"
+  exit 1
+}
+
+run_cli() {
+  cargo run --quiet --release -p seda-bench --bin seda_cli -- "$@" \
+    >"$tmp/last.log" 2>&1
+}
 
 ran=0
 for src in scenarios/*.json; do
   name="$(basename "$src" .json)"
   echo "==> scenario run $name"
-  if ! cargo run --quiet --release -p seda-bench --bin seda_cli -- \
-    scenario run "$name" >"$tmp/last.log" 2>&1; then
-    echo "FAILED: scenario run $name"
-    cat "$tmp/last.log"
-    exit 1
-  fi
+  run_cli scenario run "$name" --journal "$tmp/$name.journal" \
+    || fail "scenario run $name" "$src" "$tmp/$name.journal"
   ran=$((ran + 1))
 done
 
@@ -27,4 +47,22 @@ if [ "$ran" -eq 0 ]; then
   echo "FAILED: no scenarios found under scenarios/"
   exit 1
 fi
-echo "smoke: all $ran scenarios ran clean"
+
+# Checkpoint/resume round-trip: truncate the golden_subset journal to
+# its header plus half the points (as a killed run would leave it),
+# resume from it, and require the resumed snapshot to be bit-identical
+# to the clean run's.
+echo "==> checkpoint/resume round-trip (golden_subset)"
+run_cli scenario run golden_subset \
+  --json "$tmp/clean.json" --journal "$tmp/full.journal" \
+  || fail "clean golden_subset run" "$tmp/full.journal"
+lines=$(wc -l <"$tmp/full.journal")
+head -n "$(((lines + 1) / 2))" "$tmp/full.journal" >"$tmp/half.journal"
+run_cli scenario run golden_subset \
+  --resume "$tmp/half.journal" --json "$tmp/resumed.json" \
+  || fail "resumed golden_subset run" "$tmp/half.journal"
+diff -q "$tmp/clean.json" "$tmp/resumed.json" >/dev/null \
+  || fail "resume bit-identity: clean and resumed snapshots diverge" \
+    "$tmp/clean.json" "$tmp/resumed.json" "$tmp/half.journal"
+
+echo "smoke: all $ran scenarios ran clean; resume round-trip bit-identical"
