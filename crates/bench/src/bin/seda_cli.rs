@@ -72,6 +72,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "unified sweep engine vs legacy serial-path timing",
     ),
     (
+        "serve_bench",
+        "multi-tenant serving event-kernel throughput",
+    ),
+    (
         "validate_sim",
         "fast models vs cycle/command-level cross-check",
     ),
@@ -92,6 +96,11 @@ fn usage() -> ! {
     eprintln!("                       journal of completed points; --resume");
     eprintln!("                       replays one from a prior (killed) run and");
     eprintln!("                       executes only the remaining points.");
+    eprintln!("  serve <name> [--json <out.json>]");
+    eprintln!("                       run a scenario's multi-tenant serving");
+    eprintln!("                       simulation (optionally dump the");
+    eprintln!("                       seda-serve/v1 snapshot as JSON); exits 5");
+    eprintln!("                       when a tenant latency ceiling is violated");
     eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
     eprintln!("  quickstart           functional + timing demo on LeNet");
     eprintln!("  workloads            list workload names");
@@ -252,6 +261,47 @@ fn scenario_cmd(args: &[String]) -> i32 {
     }
 }
 
+/// `serve <name> [--json <out.json>]`: the multi-tenant serving
+/// simulator over a scenario's `"serving"` block. Shares the scenario
+/// exit codes: 3 for spec/load errors, 5 for violated latency ceilings.
+fn serve_cmd(args: &[String]) -> i32 {
+    let mut rest: Vec<String> = args.to_vec();
+    let json_path = take_value_flag(&mut rest, "--json");
+    let Some(name) = rest.first() else { usage() };
+    let s = match scenario::load(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 3;
+        }
+    };
+    if s.serving.is_none() {
+        eprintln!("error: scenario {name} has no \"serving\" block (see `scenario describe`)");
+        return 3;
+    }
+    let run = match seda_serve::serve_scenario(&s) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 3;
+        }
+    };
+    print!("{}", run.report.render());
+    if let Some(path) = json_path {
+        std::fs::write(&path, run.report.snapshot_json()).expect("writable snapshot path");
+        eprintln!("serving snapshot written to {path}");
+    }
+    let unmet = run.failures(&s);
+    if !unmet.is_empty() {
+        eprintln!("{} serving expectation(s) not met:", unmet.len());
+        for failure in &unmet {
+            eprintln!("  {failure}");
+        }
+        return 5;
+    }
+    0
+}
+
 /// Removes a `--telemetry <path>` flag from `args`, returning the path.
 fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
     let i = args.iter().position(|a| a == "--telemetry")?;
@@ -348,6 +398,7 @@ fn main() {
             _ => usage(),
         },
         Some("scenario") => exit_code = scenario_cmd(&args[1..]),
+        Some("serve") => exit_code = serve_cmd(&args[1..]),
         Some("run") => {
             let workload = args.get(1).map(String::as_str).unwrap_or("rest");
             let npu = match args.get(2).map(String::as_str) {

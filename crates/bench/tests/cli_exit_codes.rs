@@ -1,0 +1,231 @@
+//! End-to-end exit-code contract of `seda_cli` on the failure paths:
+//! violated expectation blocks must exit 5 while still writing a valid
+//! telemetry snapshot, budget-skipped points under `on_failure: "skip"`
+//! must exit 4 while leaving a valid checkpoint journal, and violated
+//! serving ceilings must exit 5 while still writing the serving
+//! snapshot. Each test spawns the real binary against a private
+//! scenario registry under a temp directory (`SEDA_SCENARIOS`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A private scenario registry for one test, cleaned up on drop.
+struct TempRegistry {
+    dir: PathBuf,
+}
+
+impl TempRegistry {
+    fn new(tag: &str, files: &[(&str, &str)]) -> Self {
+        let dir = std::env::temp_dir().join(format!("seda-cli-exit-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp registry dir");
+        for (name, json) in files {
+            std::fs::write(dir.join(format!("{name}.json")), json).expect("scenario file");
+        }
+        Self { dir }
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    fn cli(&self) -> Command {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_seda_cli"));
+        cmd.env("SEDA_SCENARIOS", &self.dir);
+        cmd
+    }
+}
+
+impl Drop for TempRegistry {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("expected artifact at {}: {e}", path.display()))
+}
+
+/// A scheme that provably adds traffic cannot stay under a 1.0001x
+/// normalized-traffic ceiling: the run must exit 5 (expectations
+/// violated) and still write the telemetry snapshot — CI archives it as
+/// part of the failure artifact.
+#[test]
+fn violated_expect_block_exits_5_with_a_telemetry_snapshot() {
+    let reg = TempRegistry::new(
+        "expect",
+        &[(
+            "expect_fail",
+            r#"{
+              "name": "expect_fail",
+              "title": "SGX traffic cannot be baseline-flat",
+              "npus": ["edge"],
+              "workloads": ["let"],
+              "schemes": ["baseline", "SGX-64B"],
+              "outputs": ["traffic"],
+              "expect": {"scheme": "SGX-64B", "traffic_norm_max": 1.0001}
+            }"#,
+        )],
+    );
+    let telemetry = reg.path("telemetry.json");
+    let out = reg
+        .cli()
+        .args([
+            "--telemetry",
+            telemetry.to_str().expect("utf-8 temp path"),
+            "scenario",
+            "run",
+            "expect_fail",
+        ])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("expectation(s) not met"),
+        "stderr must name the violation:\n{stderr}"
+    );
+    let snapshot = read(&telemetry);
+    assert!(
+        snapshot.contains("\"seda-telemetry/v1\""),
+        "telemetry snapshot must be schema-tagged even on failure:\n{snapshot}"
+    );
+}
+
+/// A 1 ms point budget kills the single point; under `on_failure:
+/// "skip"` the run degrades instead of aborting, exits 4 (point
+/// failures), and the streamed checkpoint journal stays valid.
+#[test]
+fn budget_skipped_point_exits_4_with_a_valid_journal() {
+    let reg = TempRegistry::new(
+        "skip",
+        &[(
+            "budget_skip",
+            r#"{
+              "name": "budget_skip",
+              "title": "one point, one impossible budget",
+              "npus": ["server"],
+              "workloads": [{"transformer_decode": {"context": 2048}}],
+              "schemes": ["SGX-64B"],
+              "outputs": ["traffic"],
+              "on_failure": "skip",
+              "point_budget_ms": 1
+            }"#,
+        )],
+    );
+    let journal = reg.path("journal.jsonl");
+    let out = reg
+        .cli()
+        .args([
+            "scenario",
+            "run",
+            "budget_skip",
+            "--journal",
+            journal.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let header = read(&journal);
+    assert!(
+        header.contains("\"seda-checkpoint/v1\""),
+        "journal must carry the checkpoint schema:\n{header}"
+    );
+}
+
+/// A serving ceiling no scheduler can meet must exit 5, and the
+/// `seda-serve/v1` snapshot must still be written for the post-mortem.
+#[test]
+fn violated_serving_ceiling_exits_5_with_a_serving_snapshot() {
+    let reg = TempRegistry::new(
+        "serve",
+        &[(
+            "serve_impossible",
+            r#"{
+              "name": "serve_impossible",
+              "title": "a picosecond SLA",
+              "npus": ["edge"],
+              "workloads": ["let"],
+              "schemes": ["SeDA"],
+              "outputs": ["traffic"],
+              "serving": {
+                "seed": 7,
+                "scheduler": "fcfs",
+                "arrival": {"open_loop": {"rate_rps": 2000.0, "requests": 40}},
+                "tenants": [
+                  {"name": "only", "workload": "let", "scheme": "SeDA"}
+                ],
+                "expect": [
+                  {"tenant": "only", "p50_ms_max": 0.0000001}
+                ]
+              }
+            }"#,
+        )],
+    );
+    let snapshot_path = reg.path("serve.json");
+    let out = reg
+        .cli()
+        .args([
+            "serve",
+            "serve_impossible",
+            "--json",
+            snapshot_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("serving expectation(s) not met"),
+        "stderr must name the serving violation:\n{stderr}"
+    );
+    let snapshot = read(&snapshot_path);
+    assert!(
+        snapshot.contains("\"seda-serve/v1\""),
+        "serving snapshot must be written before the nonzero exit:\n{snapshot}"
+    );
+}
+
+/// A scenario without a serving block must be rejected with the spec
+/// exit code, not a panic.
+#[test]
+fn serve_without_a_serving_block_exits_3() {
+    let reg = TempRegistry::new(
+        "noserve",
+        &[(
+            "plain",
+            r#"{
+              "name": "plain",
+              "title": "no serving block",
+              "npus": ["edge"],
+              "workloads": ["let"],
+              "schemes": ["baseline"],
+              "outputs": ["traffic"]
+            }"#,
+        )],
+    );
+    let out = reg
+        .cli()
+        .args(["serve", "plain"])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(out.status.code(), Some(3));
+}

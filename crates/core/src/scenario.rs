@@ -335,6 +335,42 @@ impl SchemeSpec {
         }
     }
 
+    /// Instantiates one fresh scheme for this spec — the serving
+    /// simulator's per-tenant path (each tenant owns stateful metadata
+    /// caches, so every tenant needs its own instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScheme`] when a registry name does
+    /// not resolve (parameter validation is `Self::validate`'s job and
+    /// is assumed to have run).
+    pub fn instantiate(&self) -> Result<Box<dyn seda_protect::ProtectionScheme>, ScenarioError> {
+        match self {
+            SchemeSpec::Registry { name } => seda_protect::scheme_by_name(name)
+                .ok_or_else(|| ScenarioError::UnknownScheme { name: name.clone() }),
+            SchemeSpec::BlockMac {
+                kind,
+                granularity,
+                mac_cache_kb,
+                vn_cache_kb,
+            } => {
+                let kind = Self::block_mac_kind(kind)?;
+                Ok(match (mac_cache_kb, vn_cache_kb) {
+                    (None, None) => {
+                        Box::new(BlockMacScheme::new(kind, *granularity, PROTECTED_BYTES))
+                    }
+                    (mac, vn) => Box::new(BlockMacScheme::with_caches(
+                        kind,
+                        *granularity,
+                        PROTECTED_BYTES,
+                        mac.unwrap_or(8) << 10,
+                        vn.unwrap_or(16) << 10,
+                    )),
+                })
+            }
+        }
+    }
+
     fn add_to(&self, sweep: Sweep) -> Sweep {
         match self {
             SchemeSpec::Registry { name } => sweep.scheme(name),
@@ -715,6 +751,341 @@ impl fmt::Display for ExpectationFailure {
     }
 }
 
+/// Deterministic burst modulation for an open-loop arrival stream: for
+/// the first `duty_pct` percent of every `period_ms` window the base
+/// rate is multiplied by `factor` — a square wave evaluated on the
+/// virtual clock, so replays are exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// Burst cycle period in simulated milliseconds.
+    pub period_ms: f64,
+    /// Percentage of each period spent bursting, in (0, 100).
+    pub duty_pct: f64,
+    /// Rate multiplier while bursting (positive; below 1 models lulls).
+    pub factor: f64,
+}
+
+/// Deterministic diurnal modulation: a sinusoid of the given period
+/// scales the base arrival rate by `1 + amplitude * sin(2π t / period)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalSpec {
+    /// Sinusoid period in simulated milliseconds.
+    pub period_ms: f64,
+    /// Peak fractional rate swing, in [0, 1).
+    pub amplitude: f64,
+}
+
+/// How requests enter the serving simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Open-loop: Poisson arrivals (seeded inverse-CDF draws) at a base
+    /// rate, optionally modulated by burst and diurnal waves. Arrivals
+    /// do not wait for completions, so overload grows the queue.
+    OpenLoop {
+        /// Base arrival rate in requests per simulated second.
+        rate_rps: f64,
+        /// Total requests to issue before draining.
+        requests: u64,
+        /// Optional square-wave burst modulation.
+        burst: Option<BurstSpec>,
+        /// Optional sinusoidal diurnal modulation.
+        diurnal: Option<DiurnalSpec>,
+    },
+    /// Closed-loop: a fixed client population where each client issues
+    /// one request, waits for its completion, thinks, and repeats — so
+    /// in-flight requests never exceed `clients`.
+    ClosedLoop {
+        /// Concurrent client population.
+        clients: u32,
+        /// Mean exponential think time in simulated milliseconds.
+        think_ms: f64,
+        /// Total requests to issue before draining.
+        requests: u64,
+    },
+}
+
+// Mirrors the WorkloadSpec convention: tagged single-key objects
+// ({"open_loop": {...}} / {"closed_loop": {...}}), hand-written because
+// the vendored derive does not emit this spelling for enum variants.
+impl Serialize for ArrivalSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            ArrivalSpec::OpenLoop {
+                rate_rps,
+                requests,
+                burst,
+                diurnal,
+            } => {
+                let mut inner = serde::Map::new();
+                inner.insert("rate_rps", rate_rps.to_value());
+                inner.insert("requests", requests.to_value());
+                if let Some(b) = burst {
+                    inner.insert("burst", b.to_value());
+                }
+                if let Some(d) = diurnal {
+                    inner.insert("diurnal", d.to_value());
+                }
+                let mut outer = serde::Map::new();
+                outer.insert("open_loop", Value::Object(inner));
+                Value::Object(outer)
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_ms,
+                requests,
+            } => {
+                let mut inner = serde::Map::new();
+                inner.insert("clients", clients.to_value());
+                inner.insert("think_ms", think_ms.to_value());
+                inner.insert("requests", requests.to_value());
+                let mut outer = serde::Map::new();
+                outer.insert("closed_loop", Value::Object(inner));
+                Value::Object(outer)
+            }
+        }
+    }
+}
+
+impl Deserialize for ArrivalSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v.as_object().ok_or_else(|| {
+            serde::Error::custom("arrival must be {\"open_loop\": ...} or {\"closed_loop\": ...}")
+        })?;
+        if let Some(inner) = m.get("open_loop") {
+            let im = inner
+                .as_object()
+                .ok_or_else(|| serde::Error::custom("open_loop takes an object of parameters"))?;
+            Ok(ArrivalSpec::OpenLoop {
+                rate_rps: serde::de_field(im, "rate_rps")?,
+                requests: serde::de_field(im, "requests")?,
+                burst: serde::de_field(im, "burst")?,
+                diurnal: serde::de_field(im, "diurnal")?,
+            })
+        } else if let Some(inner) = m.get("closed_loop") {
+            let im = inner
+                .as_object()
+                .ok_or_else(|| serde::Error::custom("closed_loop takes an object of parameters"))?;
+            Ok(ArrivalSpec::ClosedLoop {
+                clients: serde::de_field(im, "clients")?,
+                think_ms: serde::de_field(im, "think_ms")?,
+                requests: serde::de_field(im, "requests")?,
+            })
+        } else {
+            Err(serde::Error::custom(
+                "arrival object must be {\"open_loop\": ...} or {\"closed_loop\": ...}",
+            ))
+        }
+    }
+}
+
+/// One tenant in a serving scenario: a sealed model with its own
+/// key/version-number space, its own protection scheme instance, and an
+/// optional latency SLA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Unique tenant name — the snapshot and report key.
+    pub name: String,
+    /// The tenant's model.
+    pub workload: WorkloadSpec,
+    /// The tenant's protection scheme (instantiated per tenant).
+    pub scheme: SchemeSpec,
+    /// Latency SLA in simulated milliseconds — the EDF deadline source
+    /// (default: no deadline pressure; EDF treats it as far-future).
+    pub sla_ms: Option<f64>,
+    /// Relative share of the arrival stream (default 1).
+    pub weight: Option<u64>,
+}
+
+/// One per-tenant latency ceiling checked after a serving run — the
+/// serving analogue of [`ExpectationSpec`], feeding the same exit-code
+/// plumbing (`seda_cli serve` exits 5 on a violation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeExpectation {
+    /// Tenant name to check (case-insensitive against the lineup).
+    pub tenant: String,
+    /// Ceiling on the tenant's p50 latency in simulated milliseconds.
+    pub p50_ms_max: Option<f64>,
+    /// Ceiling on the tenant's p95 latency in simulated milliseconds.
+    pub p95_ms_max: Option<f64>,
+    /// Ceiling on the tenant's p99 latency in simulated milliseconds.
+    pub p99_ms_max: Option<f64>,
+}
+
+/// The `"serving"` block of a scenario: everything `seda-serve` needs to
+/// run a multi-tenant serving simulation — arrival process, tenant
+/// lineup, scheduler, and SLA ceilings. The block is pure data; the
+/// `seda-serve` crate interprets it, so a scenario file carrying one is
+/// still a valid plain scenario for `scenario run`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSpec {
+    /// Master seed: arrivals, think times, tenant selection, and tenant
+    /// sealing keys all derive from it.
+    pub seed: u64,
+    /// Scheduler: `"fcfs"`, `"rr"`, or `"edf"` (case-insensitive).
+    pub scheduler: String,
+    /// Identical NPU replicas served from one queue (default 1).
+    pub replicas: Option<u32>,
+    /// Largest same-tenant batch dispatched at once (default 1).
+    pub max_batch: Option<u32>,
+    /// Let EDF preempt a running batch at layer boundaries.
+    pub preempt: Option<bool>,
+    /// Arrival process.
+    pub arrival: ArrivalSpec,
+    /// Tenant lineup; the arrival stream is split by tenant weight.
+    pub tenants: Vec<TenantSpec>,
+    /// Per-tenant latency ceilings enforced by `seda_cli serve`.
+    pub expect: Option<Vec<ServeExpectation>>,
+}
+
+impl ServingSpec {
+    /// The canonical (lowercase) scheduler name.
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.to_ascii_lowercase()
+    }
+
+    /// Checks every parameter, reporting the first problem.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |reason: String| Err(ScenarioError::BadSpec { reason });
+        let sched = self.scheduler_name();
+        if !matches!(sched.as_str(), "fcfs" | "rr" | "edf") {
+            return bad(format!(
+                "serving scheduler must be fcfs|rr|edf, got {:?}",
+                self.scheduler
+            ));
+        }
+        if self.preempt == Some(true) && sched != "edf" {
+            return bad(format!(
+                "serving preempt requires the edf scheduler, not {sched:?}"
+            ));
+        }
+        if self.replicas == Some(0) {
+            return bad("serving replicas must be at least 1".to_owned());
+        }
+        if self.max_batch == Some(0) {
+            return bad("serving max_batch must be at least 1".to_owned());
+        }
+        if self.tenants.is_empty() {
+            return bad("serving needs at least one tenant".to_owned());
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for t in &self.tenants {
+            if t.name.is_empty() {
+                return bad("serving tenants need nonempty names".to_owned());
+            }
+            if names.iter().any(|n| n.eq_ignore_ascii_case(&t.name)) {
+                return bad(format!("duplicate serving tenant name {:?}", t.name));
+            }
+            names.push(&t.name);
+            t.workload.resolve()?;
+            t.scheme.validate()?;
+            if let Some(sla) = t.sla_ms {
+                if !(sla.is_finite() && sla > 0.0) {
+                    return bad(format!(
+                        "tenant {:?} sla_ms must be positive and finite, got {sla}",
+                        t.name
+                    ));
+                }
+            }
+            if t.weight == Some(0) {
+                return bad(format!("tenant {:?} weight must be at least 1", t.name));
+            }
+        }
+        match &self.arrival {
+            ArrivalSpec::OpenLoop {
+                rate_rps,
+                requests,
+                burst,
+                diurnal,
+            } => {
+                if !(rate_rps.is_finite() && *rate_rps > 0.0) {
+                    return bad(format!(
+                        "open_loop rate_rps must be positive and finite, got {rate_rps}"
+                    ));
+                }
+                if *requests == 0 {
+                    return bad("open_loop requests must be at least 1".to_owned());
+                }
+                if let Some(b) = burst {
+                    if !(b.period_ms.is_finite() && b.period_ms > 0.0) {
+                        return bad("burst period_ms must be positive and finite".to_owned());
+                    }
+                    if !(b.duty_pct > 0.0 && b.duty_pct < 100.0) {
+                        return bad(format!(
+                            "burst duty_pct must be in (0, 100), got {}",
+                            b.duty_pct
+                        ));
+                    }
+                    if !(b.factor.is_finite() && b.factor > 0.0) {
+                        return bad("burst factor must be positive and finite".to_owned());
+                    }
+                }
+                if let Some(d) = diurnal {
+                    if !(d.period_ms.is_finite() && d.period_ms > 0.0) {
+                        return bad("diurnal period_ms must be positive and finite".to_owned());
+                    }
+                    if !(d.amplitude >= 0.0 && d.amplitude < 1.0) {
+                        return bad(format!(
+                            "diurnal amplitude must be in [0, 1), got {}",
+                            d.amplitude
+                        ));
+                    }
+                }
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_ms,
+                requests,
+            } => {
+                if *clients == 0 {
+                    return bad("closed_loop clients must be at least 1".to_owned());
+                }
+                if !(think_ms.is_finite() && *think_ms >= 0.0) {
+                    return bad(format!(
+                        "closed_loop think_ms must be nonnegative and finite, got {think_ms}"
+                    ));
+                }
+                if *requests == 0 {
+                    return bad("closed_loop requests must be at least 1".to_owned());
+                }
+            }
+        }
+        if let Some(expect) = &self.expect {
+            if expect.is_empty() {
+                return bad("serving expect block needs at least one ceiling".to_owned());
+            }
+            for e in expect {
+                if !names.iter().any(|n| n.eq_ignore_ascii_case(&e.tenant)) {
+                    return bad(format!(
+                        "serving expect references tenant {:?}, not in this lineup",
+                        e.tenant
+                    ));
+                }
+                let bounds = [
+                    ("p50_ms_max", e.p50_ms_max),
+                    ("p95_ms_max", e.p95_ms_max),
+                    ("p99_ms_max", e.p99_ms_max),
+                ];
+                if bounds.iter().all(|(_, b)| b.is_none()) {
+                    return bad(format!(
+                        "serving expect for {:?} needs p50_ms_max, p95_ms_max, or p99_ms_max",
+                        e.tenant
+                    ));
+                }
+                for (name, bound) in bounds {
+                    if let Some(b) = bound {
+                        if !(b.is_finite() && b > 0.0) {
+                            return bad(format!(
+                                "serving expect {name} must be positive and finite"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A declarative experiment: everything the sweep engine needs, as data.
 ///
 /// The **first scheme is the normalization baseline** for the traffic and
@@ -748,9 +1119,18 @@ pub struct Scenario {
     pub point_budget_ms: Option<u64>,
     /// Scheme-level assertions `scenario run` checks after execution.
     pub expect: Option<Expectations>,
+    /// Optional multi-tenant serving block interpreted by `seda_cli
+    /// serve` (ignored by `scenario run`).
+    pub serving: Option<ServingSpec>,
 }
 
-fn npu_by_name(name: &str) -> Result<NpuConfig, ScenarioError> {
+/// Resolves an NPU suite name (`"server"` / `"edge"`, case-insensitive)
+/// to its configuration — the same lookup every scenario axis uses.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::UnknownNpu`] for any other name.
+pub fn npu_by_name(name: &str) -> Result<NpuConfig, ScenarioError> {
     match name.to_ascii_lowercase().as_str() {
         "server" => Ok(NpuConfig::server()),
         "edge" => Ok(NpuConfig::edge()),
@@ -866,6 +1246,15 @@ impl Scenario {
                     }
                 }
             }
+        }
+        if let Some(serving) = &self.serving {
+            if self.npus.len() != 1 {
+                return bad(
+                    "a serving scenario pins exactly one NPU (scale capacity with \
+                     serving.replicas instead)",
+                );
+            }
+            serving.validate()?;
         }
         Ok(())
     }
@@ -1457,6 +1846,84 @@ mod tests {
                 traffic_norm_max: Some(1.01),
                 perf_norm_max: None,
             }])),
+            serving: None,
+        }
+    }
+
+    fn serving_scenario() -> Scenario {
+        Scenario {
+            name: "serve-round-trip".to_owned(),
+            title: "every serving feature in one scenario".to_owned(),
+            npus: vec!["edge".to_owned()],
+            workloads: vec![WorkloadSpec::Zoo {
+                name: "let".to_owned(),
+            }],
+            schemes: vec![
+                SchemeSpec::Registry {
+                    name: "baseline".to_owned(),
+                },
+                SchemeSpec::Registry {
+                    name: "SeDA".to_owned(),
+                },
+            ],
+            dram: None,
+            repeats: None,
+            verifier: None,
+            outputs: vec![OutputKind::Traffic],
+            on_failure: None,
+            point_budget_ms: None,
+            expect: None,
+            serving: Some(ServingSpec {
+                seed: 7,
+                scheduler: "EDF".to_owned(),
+                replicas: Some(2),
+                max_batch: Some(4),
+                preempt: Some(true),
+                arrival: ArrivalSpec::OpenLoop {
+                    rate_rps: 250.0,
+                    requests: 500,
+                    burst: Some(BurstSpec {
+                        period_ms: 40.0,
+                        duty_pct: 25.0,
+                        factor: 3.0,
+                    }),
+                    diurnal: Some(DiurnalSpec {
+                        period_ms: 1000.0,
+                        amplitude: 0.5,
+                    }),
+                },
+                tenants: vec![
+                    TenantSpec {
+                        name: "alpha".to_owned(),
+                        workload: WorkloadSpec::Zoo {
+                            name: "let".to_owned(),
+                        },
+                        scheme: SchemeSpec::Registry {
+                            name: "SeDA".to_owned(),
+                        },
+                        sla_ms: Some(5.0),
+                        weight: Some(3),
+                    },
+                    TenantSpec {
+                        name: "beta".to_owned(),
+                        workload: WorkloadSpec::TransformerDecode { context: 256 },
+                        scheme: SchemeSpec::BlockMac {
+                            kind: "sgx".to_owned(),
+                            granularity: 64,
+                            mac_cache_kb: None,
+                            vn_cache_kb: None,
+                        },
+                        sla_ms: None,
+                        weight: None,
+                    },
+                ],
+                expect: Some(vec![ServeExpectation {
+                    tenant: "alpha".to_owned(),
+                    p50_ms_max: Some(4.0),
+                    p95_ms_max: None,
+                    p99_ms_max: Some(8.0),
+                }]),
+            }),
         }
     }
 
@@ -1468,6 +1935,100 @@ mod tests {
         assert_eq!(back, scenario);
         // And the round-trip is a fixed point of serialization.
         assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn serving_scenario_round_trips_through_json() {
+        let scenario = serving_scenario();
+        let json = scenario.to_json_pretty();
+        let back = Scenario::from_json(&json).expect("round-trip parses");
+        assert_eq!(back, scenario);
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn serving_spec_rejects_bad_parameters() {
+        let reject = |mutate: fn(&mut Scenario), needle: &str| {
+            let mut s = serving_scenario();
+            mutate(&mut s);
+            let e = match s.validate() {
+                Err(SedaError::Scenario(e)) => e,
+                other => panic!("expected rejection containing {needle:?}, got {other:?}"),
+            };
+            assert!(e.to_string().contains(needle), "{needle:?} not in: {e}");
+        };
+        reject(
+            |s| s.serving.as_mut().unwrap().scheduler = "lifo".to_owned(),
+            "scheduler",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().scheduler = "fcfs".to_owned(),
+            "preempt requires the edf scheduler",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().replicas = Some(0),
+            "replicas",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().max_batch = Some(0),
+            "max_batch",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().tenants.clear(),
+            "at least one tenant",
+        );
+        reject(
+            |s| {
+                let serving = s.serving.as_mut().unwrap();
+                serving.tenants[1].name = "ALPHA".to_owned();
+            },
+            "duplicate serving tenant",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().tenants[0].sla_ms = Some(0.0),
+            "sla_ms",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().tenants[0].weight = Some(0),
+            "weight",
+        );
+        reject(
+            |s| {
+                s.serving.as_mut().unwrap().arrival = ArrivalSpec::OpenLoop {
+                    rate_rps: 0.0,
+                    requests: 10,
+                    burst: None,
+                    diurnal: None,
+                };
+            },
+            "rate_rps",
+        );
+        reject(
+            |s| {
+                s.serving.as_mut().unwrap().arrival = ArrivalSpec::ClosedLoop {
+                    clients: 0,
+                    think_ms: 1.0,
+                    requests: 10,
+                };
+            },
+            "clients",
+        );
+        reject(
+            |s| {
+                s.serving.as_mut().unwrap().expect.as_mut().unwrap()[0].tenant =
+                    "nobody".to_owned();
+            },
+            "not in this lineup",
+        );
+        reject(
+            |s| {
+                let e = &mut s.serving.as_mut().unwrap().expect.as_mut().unwrap()[0];
+                e.p50_ms_max = None;
+                e.p99_ms_max = None;
+            },
+            "needs p50_ms_max",
+        );
+        reject(|s| s.npus.push("server".to_owned()), "exactly one NPU");
     }
 
     fn minimal_json() -> String {

@@ -1,0 +1,226 @@
+//! The brute-force 1-cycle time-stepped reference kernel.
+//!
+//! No event queue: the clock literally increments one cycle at a time,
+//! and every cycle checks each NPU's layer boundary and the due
+//! arrivals directly. It is deliberately dumb and obviously faithful to
+//! the shared phase contract in [`sched`](crate::sched) — the
+//! differential oracle replays identical specs through this kernel and
+//! the event-driven one and requires bit-identical outcomes, which
+//! pins the heap ordering, boundary arithmetic, and closed-loop draw
+//! points of the fast kernel. Only tractable for small cases; the
+//! horizon is capped to catch runaway specs.
+
+use crate::arrivals::{open_loop_trace, Arrival};
+use crate::sched::{Batch, Clients, Metrics, QueuedReq, SchedState};
+use crate::spec::{ArrivalSim, Scheduler, SimOutcome, SimSpec};
+
+/// Hard ceiling on the stepped horizon; hitting it is a test bug, not a
+/// simulation result.
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// A batch running on one NPU, finishing its current layer at
+/// `boundary`.
+struct Running {
+    batch: Batch,
+    boundary: u64,
+}
+
+/// Runs the time-stepped reference over a spec.
+///
+/// # Panics
+///
+/// Panics on structurally invalid specs or when the horizon exceeds
+/// `MAX_CYCLES` (50M cycles) — keep oracle cases small.
+pub fn simulate_stepped(spec: &SimSpec) -> SimOutcome {
+    assert!(spec.replicas > 0, "need at least one replica");
+    assert!(spec.max_batch > 0, "need a positive batch limit");
+    assert!(!spec.tenants.is_empty(), "need at least one tenant");
+    let total = spec.arrival.requests();
+    let mut state = SchedState::new(spec.tenants.len());
+    let mut metrics = Metrics::new(spec.tenants.len(), spec.replicas as usize);
+    let mut npus: Vec<Option<Running>> = (0..spec.replicas).map(|_| None).collect();
+    let mut completed = 0u64;
+
+    // Arrival delivery: a sorted trace with a cursor for open loop, an
+    // unsorted pending list scanned each cycle for closed loop.
+    let mut trace: Vec<Arrival> = Vec::new();
+    let mut cursor = 0usize;
+    let mut pending: Vec<Arrival> = Vec::new();
+    let mut clients = match spec.arrival {
+        ArrivalSim::OpenLoop { .. } => {
+            trace = open_loop_trace(spec);
+            None
+        }
+        ArrivalSim::ClosedLoop { .. } => {
+            let (clients, initial) = Clients::new(spec);
+            pending = initial;
+            Some(clients)
+        }
+    };
+
+    let mut now = 0u64;
+    while completed < total {
+        assert!(
+            now < MAX_CYCLES,
+            "reference horizon exceeded {MAX_CYCLES} cycles; oracle case too large"
+        );
+        let mut active = false;
+
+        // Phase A: layer boundaries reaching this cycle, NPU index order.
+        for (npu, slot) in npus.iter_mut().enumerate() {
+            let hit = slot.as_ref().is_some_and(|r| r.boundary == now);
+            if !hit {
+                continue;
+            }
+            active = true;
+            metrics.event();
+            let mut run = slot.take().expect("boundary on an idle NPU");
+            metrics.busy(npu, run.batch.current_layer());
+            run.batch.next_layer += 1;
+            if run.batch.done() {
+                completed += run.batch.reqs.len() as u64;
+                for req in &run.batch.reqs {
+                    metrics.complete(req, run.batch.tenant, now);
+                }
+                if let Some(clients) = &mut clients {
+                    for req in &run.batch.reqs {
+                        if let Some(a) = clients.on_complete(req.client, now) {
+                            pending.push(a);
+                        }
+                    }
+                }
+            } else if matches!(spec.scheduler, Scheduler::Edf { preempt: true })
+                && state.should_preempt(&run.batch)
+            {
+                state.park(run.batch);
+            } else {
+                let boundary = now + run.batch.current_layer();
+                *slot = Some(Running {
+                    batch: run.batch,
+                    boundary,
+                });
+            }
+        }
+
+        // Phase B: arrivals due this cycle, issue-id order.
+        let mut due: Vec<Arrival> = Vec::new();
+        while cursor < trace.len() && trace[cursor].cycle == now {
+            due.push(trace[cursor]);
+            cursor += 1;
+        }
+        if !pending.is_empty() {
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].cycle == now {
+                    due.push(pending.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due.sort_by_key(|a| a.id);
+        }
+        for a in due {
+            active = true;
+            metrics.event();
+            let deadline = spec.tenants[a.tenant].deadline(now);
+            state.enqueue(
+                a.tenant,
+                QueuedReq {
+                    id: a.id,
+                    arrival: now,
+                    deadline,
+                    client: a.client,
+                },
+            );
+        }
+
+        // Phase C + sampling, only on active cycles.
+        if active {
+            for slot in &mut npus {
+                if slot.is_some() {
+                    continue;
+                }
+                let Some(batch) = state.dispatch(spec) else {
+                    break;
+                };
+                let boundary = now + batch.current_layer();
+                *slot = Some(Running { batch, boundary });
+            }
+            metrics.sample(now, &state);
+        }
+        now += 1;
+    }
+    metrics.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::simulate;
+    use crate::spec::TenantSim;
+
+    #[test]
+    fn reference_matches_kernel_on_a_smoke_case() {
+        let spec = SimSpec {
+            seed: 17,
+            scheduler: Scheduler::Edf { preempt: true },
+            replicas: 2,
+            max_batch: 2,
+            tenants: vec![
+                TenantSim {
+                    name: "a".to_owned(),
+                    profiles: vec![vec![12, 7], vec![5, 5]],
+                    sla_cycles: Some(90),
+                    weight: 2,
+                },
+                TenantSim {
+                    name: "b".to_owned(),
+                    profiles: vec![vec![20], vec![9]],
+                    sla_cycles: None,
+                    weight: 1,
+                },
+            ],
+            arrival: ArrivalSim::OpenLoop {
+                mean_cycles: 14.0,
+                requests: 500,
+                burst: None,
+                diurnal: None,
+            },
+        };
+        let fast = simulate(&spec);
+        let slow = simulate_stepped(&spec);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reference_matches_kernel_closed_loop() {
+        let spec = SimSpec {
+            seed: 23,
+            scheduler: Scheduler::Rr,
+            replicas: 1,
+            max_batch: 3,
+            tenants: vec![
+                TenantSim {
+                    name: "a".to_owned(),
+                    profiles: vec![vec![8], vec![4], vec![4]],
+                    sla_cycles: None,
+                    weight: 1,
+                },
+                TenantSim {
+                    name: "b".to_owned(),
+                    profiles: vec![vec![6, 6], vec![3, 3], vec![3, 3]],
+                    sla_cycles: None,
+                    weight: 3,
+                },
+            ],
+            arrival: ArrivalSim::ClosedLoop {
+                clients: 5,
+                think_cycles: 20.0,
+                requests: 400,
+            },
+        };
+        let fast = simulate(&spec);
+        let slow = simulate_stepped(&spec);
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,119 @@
+//! Seeded SplitMix64 streams for the serving simulator.
+//!
+//! Same generator as the validation harness (reproducibility over
+//! statistical quality), extended with the uniform-(0,1] and
+//! exponential draws the arrival processes need. Every stream derives
+//! from `(master seed, stream tag)` so arrival draws, per-client think
+//! times, and tenant sealing keys never share state — the determinism
+//! contract requires each consumer to advance its own stream only.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The derived sub-seed for `stream` under `seed` — one SplitMix64
+    /// step over the combined value, so neighbouring streams are
+    /// uncorrelated.
+    pub fn sub_seed(seed: u64, stream: u64) -> u64 {
+        let mut probe = Rng::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        probe.next_u64()
+    }
+
+    /// A generator for one derived stream.
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        Self::new(Self::sub_seed(seed, stream))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Modulo bias is irrelevant at these bounds (all ≪ 2^32).
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in the half-open interval `(0, 1]` — never zero, so
+    /// it is safe under `ln()`.
+    pub fn unit_open(&mut self) -> f64 {
+        // 53 mantissa bits, shifted into (0, 1] by the +1.
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// One exponential draw with the given mean (inverse-CDF over
+    /// [`unit_open`](Self::unit_open)), in the mean's unit.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        -self.unit_open().ln() * mean
+    }
+
+    /// A random 16-byte block (AES key material for tenant sealing).
+    pub fn block(&mut self) -> [u8; 16] {
+        let a = self.next_u64().to_le_bytes();
+        let b = self.next_u64().to_le_bytes();
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a);
+        out[8..].copy_from_slice(&b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|s| Rng::sub_seed(1, s)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn unit_open_stays_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.unit_open();
+            assert!(u > 0.0 && u <= 1.0, "{u}");
+        }
+    }
+
+    #[test]
+    fn exponential_draws_are_positive() {
+        let mut rng = Rng::new(9);
+        for _ in 0..10_000 {
+            assert!(rng.exp(25.0) >= 0.0);
+        }
+    }
+}

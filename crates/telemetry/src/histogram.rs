@@ -103,6 +103,57 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The upper edge of the log2 bucket containing the `q`-quantile
+    /// sample (`0.0 < q <= 1.0`), or 0 for an empty histogram.
+    ///
+    /// This is the log2-histogram percentile estimator the serving
+    /// simulator's SLA reports use: the true `q`-quantile sample lies in
+    /// the returned bucket, so the estimate upper-bounds it by at most
+    /// 2x (the bucket width). Bucket 0 reports 0; bucket `i > 0` reports
+    /// `2^i - 1`, the largest value that lands in it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use seda_telemetry::AtomicHistogram;
+    ///
+    /// let h = AtomicHistogram::new();
+    /// for v in 1..=1000u64 {
+    ///     h.record(v);
+    /// }
+    /// let s = h.snapshot();
+    /// // The median of 1..=1000 is ~500, inside [256, 512).
+    /// assert_eq!(s.quantile(0.5), 511);
+    /// assert_eq!(s.quantile(1.0), 1023);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is not in `(0.0, 1.0]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the q-quantile sample, 1-based: ceil(q * count).
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.log2_buckets {
+            seen += n;
+            if seen >= rank {
+                return if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+            }
+        }
+        // Invariant: bucket counts sum to `count`, so the loop returns.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +183,34 @@ mod tests {
             s.log2_buckets,
             vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1), (64, 1)]
         );
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = AtomicHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 sample is 50, inside [32, 64) → reported as 63.
+        assert_eq!(s.quantile(0.5), 63);
+        // p99 sample is 99, inside [64, 128) → reported as 127.
+        assert_eq!(s.quantile(0.99), 127);
+        assert_eq!(s.quantile(1.0), 127);
+        // A tiny quantile lands in the first non-empty bucket.
+        assert_eq!(s.quantile(0.01), 1);
+    }
+
+    #[test]
+    fn quantile_handles_zeros_and_extremes() {
+        let empty = AtomicHistogram::new().snapshot();
+        assert_eq!(empty.quantile(0.99), 0);
+        let h = AtomicHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! analytical and a cycle-accurate compute model, a streamed and a
 //! per-segment B-AES pad path, scheme-level traffic models and the
 //! functional crypto path — and this crate cross-checks them with seeded
-//! randomized oracles instead of hand-picked shapes. Eight families:
+//! randomized oracles instead of hand-picked shapes. Nine families:
 //!
 //! * [`gemm`] — `exact_gemm` vs `gemm_cycles` and MAC totals over random
 //!   shapes for both dataflows, including fold/remainder edges.
@@ -38,6 +38,12 @@
 //!   planned failures under `skip`, and resume from a
 //!   `seda-checkpoint/v1` journal without re-executing finished points.
 //!   Case 0 is the headline proof on the paper's full sweep.
+//! * [`serving`] — `seda-serve`'s event-driven kernel against its
+//!   brute-force 1-cycle time-stepped reference over small random
+//!   multi-tenant specs (every scheduler, open- and closed-loop
+//!   arrivals, batching, preemption): completion times, queue-depth
+//!   traces, latency histograms, busy cycles, and event counts must be
+//!   bit-identical.
 //!
 //! Every family is a pure function of a `(seed, cases)` pair, so a CI
 //! failure reproduces locally with the seeded CLI:
@@ -62,11 +68,12 @@ pub mod pipeline;
 pub mod resilience;
 pub mod rng;
 pub mod schemes;
+pub mod serving;
 
 use rng::Rng;
 use std::fmt;
 
-/// The eight oracle/invariant families of the harness.
+/// The nine oracle/invariant families of the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Cycle-accurate vs analytical systolic-array model.
@@ -85,11 +92,13 @@ pub enum Family {
     Adversary,
     /// Chaos-injected sweeps: retry/skip/resume recovery, bit for bit.
     Resilience,
+    /// Event-driven vs time-stepped serving kernels, bit for bit.
+    Serving,
 }
 
 impl Family {
     /// All families in canonical order.
-    pub fn all() -> [Family; 8] {
+    pub fn all() -> [Family; 9] {
         [
             Family::Gemm,
             Family::Otp,
@@ -99,6 +108,7 @@ impl Family {
             Family::Pipeline,
             Family::Adversary,
             Family::Resilience,
+            Family::Serving,
         ]
     }
 
@@ -113,11 +123,12 @@ impl Family {
             Family::Pipeline => "pipeline",
             Family::Adversary => "adversary",
             Family::Resilience => "resilience",
+            Family::Serving => "serving",
         }
     }
 
     /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `dram-batch`,
-    /// `pipeline`, `adversary`, `resilience`).
+    /// `pipeline`, `adversary`, `resilience`, `serving`).
     pub fn parse(s: &str) -> Option<Family> {
         Family::all().into_iter().find(|f| f.name() == s)
     }
@@ -135,6 +146,8 @@ impl Family {
             Family::Adversary => 16,
             // Case 0 alone runs three full headline sweeps.
             Family::Resilience => 4,
+            // Each case brute-force steps a full serving run.
+            Family::Serving => 24,
         }
     }
 }
@@ -240,6 +253,7 @@ fn checker(family: Family) -> fn(&mut Rng) -> Result<(), String> {
         Family::Pipeline => pipeline::check_case,
         Family::Adversary => adversary::check_case,
         Family::Resilience => resilience::check_case,
+        Family::Serving => serving::check_case,
     }
 }
 

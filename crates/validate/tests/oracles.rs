@@ -53,6 +53,11 @@ fn resilience_invariants() {
 }
 
 #[test]
+fn serving_oracles() {
+    assert_family(Family::Serving);
+}
+
+#[test]
 fn single_case_replay_matches_family_run() {
     // The CLI's --case path must reproduce exactly what the family run
     // executed for that index.

@@ -65,4 +65,19 @@ diff -q "$tmp/clean.json" "$tmp/resumed.json" >/dev/null \
   || fail "resume bit-identity: clean and resumed snapshots diverge" \
     "$tmp/clean.json" "$tmp/resumed.json" "$tmp/half.journal"
 
-echo "smoke: all $ran scenarios ran clean; resume round-trip bit-identical"
+# Serving scenarios: run each through the serving simulator and require
+# a clean re-run to reproduce the seda-serve/v1 snapshot byte-for-byte —
+# the serving kernel must be a pure function of (scenario, seed).
+for name in serve_mix serve_closed_loop; do
+  echo "==> serve $name (snapshot reproducibility)"
+  run_cli serve "$name" --json "$tmp/$name.serve.json" \
+    || fail "serve $name" "scenarios/$name.json"
+  run_cli serve "$name" --json "$tmp/$name.serve.rerun.json" \
+    || fail "serve $name (rerun)" "scenarios/$name.json"
+  diff -q "$tmp/$name.serve.json" "$tmp/$name.serve.rerun.json" >/dev/null \
+    || fail "serve $name: clean and rerun snapshots diverge" \
+      "$tmp/$name.serve.json" "$tmp/$name.serve.rerun.json"
+done
+
+echo "smoke: all $ran scenarios ran clean; resume round-trip bit-identical;"
+echo "smoke: serving snapshots byte-for-byte reproducible"

@@ -42,6 +42,8 @@ for src in crates/bench/src/bin/*.rs; do
       run cargo run --quiet --release -p seda-bench --bin seda_cli -- scenario describe fig6
       run cargo run --quiet --release -p seda-bench --bin seda_cli -- \
         scenario run golden_subset --json "$tmp/golden_subset.json"
+      run cargo run --quiet --release -p seda-bench --bin seda_cli -- \
+        serve serve_mix --json "$tmp/serve_mix.json"
       ;;
     gen_trace)
       run cargo run --quiet --release -p seda-bench --bin gen_trace -- \
@@ -58,6 +60,12 @@ for src in crates/bench/src/bin/*.rs; do
     dram_bench)
       run cargo run --quiet --release -p seda-bench --bin dram_bench -- \
         "$tmp/BENCH_dram.json"
+      ;;
+    serve_bench)
+      # A trimmed request count keeps the smoke run short; the CI perf
+      # step runs the full 100k-request spec separately.
+      run cargo run --quiet --release -p seda-bench --bin serve_bench -- \
+        "$tmp/BENCH_serve.json" --requests 10000
       ;;
     telemetry_overhead)
       run cargo run --quiet --release -p seda-bench --bin telemetry_overhead -- \

@@ -1,0 +1,68 @@
+//! Serving-scenario golden suite.
+//!
+//! The two serving scenarios in the zoo get pinned `seda-serve/v1`
+//! snapshot fixtures, compared **byte-for-byte**: the serving simulator
+//! is a pure function of `(scenario, seed)` — no wall clock, no OS
+//! randomness, no thread-count sensitivity — so any diff means the
+//! kernel, the arrival processes, or the grounding pipeline changed.
+//! Bless intentional changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p seda-integration-tests --test serve_golden
+//! ```
+
+use seda::scenario;
+use seda_integration_tests::golden::check_golden;
+use seda_serve::serve_scenario;
+
+fn snapshot_of(name: &str) -> String {
+    let s = scenario::load(name).expect("serving scenario loads");
+    let run = serve_scenario(&s).expect("serving scenario executes");
+    assert_eq!(
+        run.report.completed, run.report.requests,
+        "{name} must drain every request"
+    );
+    assert!(
+        run.failures(&s).is_empty(),
+        "{name} must satisfy its own expect block"
+    );
+    run.report.snapshot_json()
+}
+
+#[test]
+fn serve_mix_matches_the_pinned_snapshot() {
+    check_golden("serve_mix.golden.json", &snapshot_of("serve_mix"));
+}
+
+#[test]
+fn serve_closed_loop_matches_the_pinned_snapshot() {
+    check_golden(
+        "serve_closed_loop.golden.json",
+        &snapshot_of("serve_closed_loop"),
+    );
+}
+
+#[test]
+fn serving_snapshots_are_reproducible_within_a_process() {
+    // Re-grounding and re-simulating in the same process (shared trace
+    // cache, warm telemetry) must not perturb a single byte.
+    assert_eq!(snapshot_of("serve_mix"), snapshot_of("serve_mix"));
+}
+
+#[test]
+fn kernel_outcome_is_independent_of_host_parallelism() {
+    // The kernel never spawns threads, but the surrounding harness does
+    // (cargo test runs suites concurrently); simulating the same spec
+    // from racing threads must still be bit-identical.
+    let s = scenario::load("serve_mix").expect("serving scenario loads");
+    let setup = seda_serve::build(&s).expect("grounds");
+    let baseline = seda_serve::simulate(&setup.spec);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| seda_serve::simulate(&setup.spec)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), baseline);
+        }
+    });
+}
