@@ -207,6 +207,52 @@ impl ProtectedImage {
         Ok(())
     }
 
+    /// Installs one layer of *already-encrypted* ciphertext — the streamed
+    /// constructor the `seda-stream` unsealer uses after verifying a
+    /// provisioning stream's transport MACs. The ciphertext must have been
+    /// produced under this image's encryption key and the layer's current
+    /// VN (a fresh image starts every VN at 1); storage MACs, the layer
+    /// fold, and the on-chip root are recomputed exactly as
+    /// [`write_layer`](Self::write_layer) would, so a streamed image is
+    /// bit-identical to an at-rest sealing of the same plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SedaError::InvalidSpec`] if `layer` is out of range or
+    /// `ct` does not exactly fill the region.
+    pub fn install_sealed_layer(&mut self, layer: usize, ct: &[u8]) -> Result<(), SedaError> {
+        self.check_layer(layer, ct.len())?;
+        let vn = self.vns[layer];
+        let pa0 = self.pas[layer];
+        let mut tags = Vec::with_capacity(ct.len() / BLOCK);
+        for (i, chunk) in ct.chunks(BLOCK).enumerate() {
+            let pa = pa0 + (i * BLOCK) as u64;
+            let tag = self.block_tag(chunk, pa, vn, layer as u32, i as u32);
+            self.bytes[pa as usize..pa as usize + chunk.len()].copy_from_slice(chunk);
+            tags.push(tag);
+        }
+        let fold = xor_fold(tags.iter().copied());
+        match self.config.level {
+            MacLevel::Block => self.block_macs[layer] = tags,
+            MacLevel::Layer => self.layer_macs[layer] = fold,
+            MacLevel::Model => {}
+        }
+        self.root = self.root.xor(self.layer_folds[layer]).xor(fold);
+        self.layer_folds[layer] = fold;
+        Ok(())
+    }
+
+    /// The raw off-chip ciphertext — the byte-identity surface the stream
+    /// differential oracle compares against an at-rest sealing.
+    pub fn offchip_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The trusted on-chip model root.
+    pub fn model_root(&self) -> MacTag {
+        self.root
+    }
+
     /// A trusted update: bumps the layer's VN, then rewrites the region —
     /// the write path an inference's activation producer takes.
     ///
@@ -477,6 +523,51 @@ mod tests {
             img.write_layer(0, &[0; 64]),
             Err(SedaError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn streamed_install_matches_at_rest_write() {
+        for config in ProtectConfig::matrix() {
+            let lens = [256usize, 128];
+            let mut at_rest = ProtectedImage::new(config, &lens, [3; 16], [4; 16]).expect("valid");
+            let mut streamed = ProtectedImage::new(config, &lens, [3; 16], [4; 16]).expect("valid");
+            let pads = match config.pad {
+                PadGen::Shared => Pads::Shared(SharedOtp::new([3; 16])),
+                PadGen::BAes => Pads::BAes(BandwidthAwareOtp::new([3; 16])),
+            };
+            for (layer, plain) in [data(256, 0x31), data(128, 0x42)].iter().enumerate() {
+                at_rest.write_layer(layer, plain).expect("write");
+                // Encrypt externally under the same key and the fresh VN
+                // (pad application is its own inverse), then install the
+                // ciphertext through the streamed path.
+                let mut ct = plain.clone();
+                let pa0 = streamed.layer_pa(layer);
+                for (i, chunk) in ct.chunks_mut(BLOCK).enumerate() {
+                    pads.apply(CounterSeed::new(pa0 + (i * BLOCK) as u64, 1), chunk);
+                }
+                streamed
+                    .install_sealed_layer(layer, &ct)
+                    .expect("install streamed layer");
+            }
+            assert_eq!(
+                at_rest.offchip_bytes(),
+                streamed.offchip_bytes(),
+                "{}",
+                config.name
+            );
+            assert_eq!(
+                at_rest.model_root().0,
+                streamed.model_root().0,
+                "{}",
+                config.name
+            );
+            assert_eq!(
+                at_rest.read_model().expect("at-rest verifies"),
+                streamed.read_model().expect("streamed verifies"),
+                "{}",
+                config.name
+            );
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "multi-tenant serving event-kernel throughput",
     ),
     (
+        "stream_bench",
+        "sealed-model streaming GB/s and overlap efficiency",
+    ),
+    (
         "validate_sim",
         "fast models vs cycle/command-level cross-check",
     ),
@@ -101,6 +105,13 @@ fn usage() -> ! {
     eprintln!("                       simulation (optionally dump the");
     eprintln!("                       seda-serve/v1 snapshot as JSON); exits 5");
     eprintln!("                       when a tenant latency ceiling is violated");
+    eprintln!("  stream <model> [--json <out.json>] [--lens <b0,b1,..>] [--flip <byte>]");
+    eprintln!("                       seal the model into a provisioning stream");
+    eprintln!("                       and unseal it through the double-buffered");
+    eprintln!("                       pipeline (sustained GB/s report; --flip");
+    eprintln!("                       corrupts one stream byte first — the");
+    eprintln!("                       tampered stream exits 4 with the");
+    eprintln!("                       seda-stream/v1 snapshot still written)");
     eprintln!("  run <wl> <npu> <scheme> [n]   n secure inferences (default 1)");
     eprintln!("  quickstart           functional + timing demo on LeNet");
     eprintln!("  workloads            list workload names");
@@ -109,12 +120,13 @@ fn usage() -> ! {
     eprintln!("  --telemetry <path>   export a seda-telemetry/v1 metric");
     eprintln!("                       snapshot of the run as JSON");
     eprintln!();
-    eprintln!("exit codes (scenario run):");
+    eprintln!("exit codes (scenario run / serve / stream):");
     eprintln!("  0  success           all points ran and every expectation held");
     eprintln!("  1  internal error    unexpected failure outside the codes below");
     eprintln!("  2  usage error       bad command line");
-    eprintln!("  3  spec error        scenario parse/validation/checkpoint error");
-    eprintln!("  4  point failures    one or more sweep points failed");
+    eprintln!("  3  spec error        scenario/stream parse or validation error");
+    eprintln!("  4  point failures    sweep points failed or a stream block was");
+    eprintln!("                       tampered (typed rejection on stderr)");
     eprintln!("  5  expectations      results violated the scenario's expect block");
     std::process::exit(2);
 }
@@ -302,6 +314,151 @@ fn serve_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// Serializes a stream provisioning outcome as the `seda-stream/v1`
+/// snapshot — written even for rejected streams, before the nonzero
+/// exit, so CI can archive the post-mortem.
+fn stream_snapshot(
+    model: &str,
+    spec: &seda_stream::StreamSpec,
+    result: Result<&seda_stream::UnsealRun, &seda::SedaError>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"seda-stream/v1\",\n");
+    out.push_str(&format!("  \"model\": \"{model}\",\n"));
+    out.push_str(&format!("  \"config\": \"{}\",\n", spec.config.name));
+    out.push_str(&format!("  \"layers\": {},\n", spec.lens.len()));
+    out.push_str(&format!("  \"payload_bytes\": {},\n", spec.total_bytes()));
+    out.push_str(&format!("  \"blocks\": {},\n", spec.total_blocks()));
+    match result {
+        Ok(run) => {
+            out.push_str("  \"ok\": true,\n");
+            out.push_str(&format!(
+                "  \"gbps_sustained\": {:.6},\n",
+                run.gbps_sustained
+            ));
+            out.push_str(&format!(
+                "  \"overlap_efficiency\": {:.6},\n",
+                run.overlap_efficiency
+            ));
+            out.push_str(&format!("  \"replay_cycles\": {}\n", run.replay_cycles));
+        }
+        Err(e) => {
+            out.push_str("  \"ok\": false,\n");
+            out.push_str(&format!(
+                "  \"error\": \"{}\"\n",
+                e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// `stream <model> [--json <out.json>] [--lens <b0,b1,..>] [--flip <byte>]`:
+/// seals a zoo model into a provisioning stream and unseals it through
+/// the double-buffered pipeline, reporting sustained GB/s. A malformed
+/// stream spec (unknown model, unparsable or non-64-multiple `--lens`)
+/// exits 3; a tampered block (`--flip` corrupts one stream byte) exits 4
+/// with the typed rejection on stderr and the snapshot written first.
+fn stream_cmd(args: &[String]) -> i32 {
+    let mut rest: Vec<String> = args.to_vec();
+    let json_path = take_value_flag(&mut rest, "--json");
+    let lens_arg = take_value_flag(&mut rest, "--lens");
+    let flip_arg = take_value_flag(&mut rest, "--flip");
+    let Some(name) = rest.first() else { usage() };
+    let Some(model) = zoo::by_name(name) else {
+        eprintln!("error: unknown workload {name:?} (try `seda_cli workloads`)");
+        return 3;
+    };
+    let lens = match &lens_arg {
+        Some(list) => {
+            let mut lens = Vec::new();
+            for part in list.split(',') {
+                match part.trim().parse::<usize>() {
+                    Ok(len) => lens.push(len),
+                    Err(_) => {
+                        eprintln!(
+                            "error: malformed --lens entry {part:?} \
+                             (want comma-separated byte counts)"
+                        );
+                        return 3;
+                    }
+                }
+            }
+            lens
+        }
+        None => seda_stream::model_lens(&model),
+    };
+    let spec = seda_stream::StreamSpec {
+        stream_id: 0x5EDA_C411,
+        key_epoch: 1,
+        config: seda_adversary::ProtectConfig::matrix()[2],
+        lens,
+        enc_key: [0xA1; 16],
+        mac_key: [0xB2; 16],
+        transport_key: [0xC3; 16],
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        return 3;
+    }
+    let plains: Vec<Vec<u8>> = spec
+        .lens
+        .iter()
+        .enumerate()
+        .map(|(layer, &len)| {
+            (0..len)
+                .map(|i| (i as u8).wrapping_mul(31) ^ layer as u8)
+                .collect()
+        })
+        .collect();
+    let mut stream = match seda_stream::seal(&spec, &plains) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 3;
+        }
+    };
+    if let Some(flip) = &flip_arg {
+        let Ok(offset) = flip.parse::<usize>() else {
+            eprintln!("--flip wants a byte offset into the sealed stream");
+            std::process::exit(2);
+        };
+        stream.flip_bit(offset % stream.len(), 1);
+    }
+    let dram = seda::dram::DramConfig::ddr4_with_bandwidth(1, 16.0e9);
+    match seda_stream::measure(&spec, stream.bytes(), &dram) {
+        Ok(run) => {
+            println!(
+                "{}: {} payload bytes in {} authenticated blocks under {}",
+                model.name(),
+                run.payload_bytes,
+                run.blocks,
+                spec.config.name
+            );
+            println!(
+                "  pipelined unseal: {:.3} GB/s sustained, {:.2}x overlap \
+                 efficiency vs serial, {} DRAM replay cycles",
+                run.gbps_sustained, run.overlap_efficiency, run.replay_cycles
+            );
+            if let Some(path) = json_path {
+                let snap = stream_snapshot(model.name(), &spec, Ok(&run));
+                std::fs::write(&path, snap).expect("writable snapshot path");
+                eprintln!("stream snapshot written to {path}");
+            }
+            0
+        }
+        Err(e) => {
+            if let Some(path) = json_path {
+                let snap = stream_snapshot(model.name(), &spec, Err(&e));
+                std::fs::write(&path, snap).expect("writable snapshot path");
+                eprintln!("stream snapshot written to {path}");
+            }
+            eprintln!("error: stream rejected: {e}");
+            4
+        }
+    }
+}
+
 /// Removes a `--telemetry <path>` flag from `args`, returning the path.
 fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
     let i = args.iter().position(|a| a == "--telemetry")?;
@@ -399,6 +556,7 @@ fn main() {
         },
         Some("scenario") => exit_code = scenario_cmd(&args[1..]),
         Some("serve") => exit_code = serve_cmd(&args[1..]),
+        Some("stream") => exit_code = stream_cmd(&args[1..]),
         Some("run") => {
             let workload = args.get(1).map(String::as_str).unwrap_or("rest");
             let npu = match args.get(2).map(String::as_str) {

@@ -100,6 +100,7 @@ fn bench_spec(requests: u64) -> SimSpec {
                 amplitude: 0.5,
             }),
         },
+        swaps: vec![],
     }
 }
 

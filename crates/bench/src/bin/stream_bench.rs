@@ -1,0 +1,156 @@
+//! Throughput benchmark for the `seda-stream` provisioning pipeline.
+//!
+//! Seals a zoo model (default: the 37-layer transformer, tiled by
+//! `--layers`) into an authenticated provisioning stream, then
+//! unseals it twice through [`seda_stream::measure`] — the
+//! double-buffered crypto/DRAM-replay pipeline plus its serial
+//! baseline. The two unseals must land on bit-identical images (root
+//! and ciphertext; wall-clock is allowed to differ), and the second
+//! run's sustained GB/s and overlap efficiency are recorded in
+//! `BENCH_stream.json` so CI can archive the provisioning-path perf
+//! trajectory PR over PR.
+//!
+//! With `--min-gbps <g>` the run additionally acts as a regression
+//! gate: sustained throughput below the floor fails the process.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin stream_bench --
+//! [out.json] [--model <name>] [--layers <n>] [--min-gbps <g>]`
+
+use seda::models::zoo;
+use seda_adversary::ProtectConfig;
+use seda_bench::round6;
+use seda_stream::{measure, model_lens, seal, StreamSpec};
+use serde::Serialize;
+
+/// Machine-readable record of one stream-bench run.
+#[derive(Serialize)]
+struct BenchRecord {
+    /// Model whose sealed geometry was streamed.
+    model: String,
+    /// Protection configuration of the sealed image.
+    config: String,
+    /// Layer regions in the stream.
+    layers: usize,
+    /// Ciphertext payload bytes provisioned.
+    payload_bytes: u64,
+    /// Authenticated 64-byte blocks verified.
+    blocks: u64,
+    /// Pipelined-unseal wall-clock, milliseconds.
+    pipelined_ms: f64,
+    /// Serial crypto-then-replay baseline wall-clock, milliseconds.
+    serial_ms: f64,
+    /// Sustained pipelined payload throughput, GB/s.
+    gbps_sustained: f64,
+    /// Serial over pipelined wall time; above 1.0 the overlap paid off.
+    overlap_efficiency: f64,
+    /// DRAM memory-clock cycles the layer write-out replay consumed.
+    replay_cycles: u64,
+    /// Whether the two unseals produced bit-identical images.
+    deterministic: bool,
+}
+
+fn main() {
+    let mut out_path = "BENCH_stream.json".to_owned();
+    let mut min_gbps: Option<f64> = None;
+    let mut model_name = "trf".to_owned();
+    let mut repeat_layers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-gbps" => {
+                let v = args.next().expect("--min-gbps needs a value");
+                min_gbps = Some(v.parse().expect("--min-gbps must be a number"));
+            }
+            "--model" => {
+                model_name = args.next().expect("--model needs a name");
+            }
+            "--layers" => {
+                let v = args.next().expect("--layers needs a value");
+                repeat_layers = v.parse().expect("--layers must be an integer");
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+
+    let model = zoo::by_name(&model_name)
+        .unwrap_or_else(|| panic!("unknown model {model_name:?} (try `seda_cli workloads`)"));
+    // Tile the model's sealed geometry `repeat_layers` times so the
+    // stream is long enough to amortize pipeline fill/drain.
+    let base = model_lens(&model);
+    let lens: Vec<usize> = std::iter::repeat_with(|| base.clone())
+        .take(repeat_layers.max(1))
+        .flatten()
+        .collect();
+    let spec = StreamSpec {
+        stream_id: 0x5EDA_BE7C,
+        key_epoch: 1,
+        config: ProtectConfig::matrix()[2],
+        lens,
+        enc_key: [0x11; 16],
+        mac_key: [0x22; 16],
+        transport_key: [0x33; 16],
+    };
+    let plains: Vec<Vec<u8>> = spec
+        .lens
+        .iter()
+        .enumerate()
+        .map(|(layer, &len)| {
+            (0..len)
+                .map(|i| (i as u8).wrapping_mul(29) ^ (layer as u8))
+                .collect()
+        })
+        .collect();
+    let stream = seal(&spec, &plains).expect("sealing a valid spec succeeds");
+    let dram = seda::dram::DramConfig::ddr4_with_bandwidth(1, 16.0e9);
+
+    // Warm-up run doubles as the determinism pin: the image is a pure
+    // function of the stream, so both unseals must agree bit for bit
+    // (wall-clock, of course, will not).
+    let warm = measure(&spec, stream.bytes(), &dram).expect("clean stream unseals");
+    let timed = measure(&spec, stream.bytes(), &dram).expect("clean stream unseals");
+    let deterministic = warm.image.model_root() == timed.image.model_root()
+        && warm.image.offchip_bytes() == timed.image.offchip_bytes();
+    assert!(
+        deterministic,
+        "two unseals of the same stream must install bit-identical images"
+    );
+
+    let record = BenchRecord {
+        model: model.name().to_owned(),
+        config: spec.config.name.to_owned(),
+        layers: spec.lens.len(),
+        payload_bytes: timed.payload_bytes,
+        blocks: timed.blocks,
+        pipelined_ms: round6(timed.pipelined_s * 1e3),
+        serial_ms: round6(timed.serial_s * 1e3),
+        gbps_sustained: round6(timed.gbps_sustained),
+        overlap_efficiency: round6(timed.overlap_efficiency),
+        replay_cycles: timed.replay_cycles,
+        deterministic,
+    };
+    println!(
+        "stream pipeline: {} x{} layers, {} payload bytes in {} blocks under {}",
+        record.model, record.layers, record.payload_bytes, record.blocks, record.config
+    );
+    println!(
+        "pipelined {:.3} ms vs serial {:.3} ms — {:.3} GB/s sustained, {:.2}x overlap efficiency",
+        record.pipelined_ms, record.serial_ms, record.gbps_sustained, record.overlap_efficiency
+    );
+    println!(
+        "{} DRAM replay cycles; images bit-identical across unseals",
+        record.replay_cycles
+    );
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&out_path, json).expect("writable bench record path");
+    println!("recorded to {out_path}");
+    if let Some(floor) = min_gbps {
+        if record.gbps_sustained < floor {
+            eprintln!(
+                "REGRESSION: stream pipeline sustained {:.4} GB/s, under the {floor:.4} GB/s floor",
+                record.gbps_sustained
+            );
+            std::process::exit(1);
+        }
+        println!("above the {floor:.4} GB/s floor");
+    }
+}

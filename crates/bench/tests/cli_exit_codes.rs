@@ -1,10 +1,13 @@
 //! End-to-end exit-code contract of `seda_cli` on the failure paths:
 //! violated expectation blocks must exit 5 while still writing a valid
 //! telemetry snapshot, budget-skipped points under `on_failure: "skip"`
-//! must exit 4 while leaving a valid checkpoint journal, and violated
+//! must exit 4 while leaving a valid checkpoint journal, violated
 //! serving ceilings must exit 5 while still writing the serving
-//! snapshot. Each test spawns the real binary against a private
-//! scenario registry under a temp directory (`SEDA_SCENARIOS`).
+//! snapshot, and `seda_cli stream` must exit 3 on a malformed stream
+//! spec and 4 on a tampered block with the `seda-stream/v1` snapshot
+//! written before the nonzero exit. Each scenario-backed test spawns
+//! the real binary against a private scenario registry under a temp
+//! directory (`SEDA_SCENARIOS`).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -202,6 +205,108 @@ fn violated_serving_ceiling_exits_5_with_a_serving_snapshot() {
         snapshot.contains("\"seda-serve/v1\""),
         "serving snapshot must be written before the nonzero exit:\n{snapshot}"
     );
+}
+
+/// A malformed stream spec — layer lengths that are not positive
+/// multiples of the 64-byte protection block — must exit 3 with the
+/// validation error on stderr, before any sealing happens.
+#[test]
+fn malformed_stream_spec_exits_3() {
+    let out = Command::new(env!("CARGO_BIN_EXE_seda_cli"))
+        .args(["stream", "let", "--lens", "128,100"])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a positive multiple"),
+        "stderr must carry the spec validation error:\n{stderr}"
+    );
+
+    // An unknown model is a spec error too, not an internal one.
+    let out = Command::new(env!("CARGO_BIN_EXE_seda_cli"))
+        .args(["stream", "no-such-model"])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+/// A tampered stream block must exit 4 with the typed rejection on
+/// stderr — and the `seda-stream/v1` snapshot must already be on disk
+/// when the process exits, recording the failure for CI to archive.
+#[test]
+fn tampered_stream_block_exits_4_with_a_snapshot() {
+    let dir = std::env::temp_dir().join(format!("seda-cli-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp snapshot dir");
+    let snapshot_path = dir.join("stream.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_seda_cli"))
+        .args([
+            "stream",
+            "let",
+            "--flip",
+            "200",
+            "--json",
+            snapshot_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("stream rejected"),
+        "stderr must carry the typed rejection:\n{stderr}"
+    );
+    let snapshot = read(&snapshot_path);
+    assert!(
+        snapshot.contains("\"seda-stream/v1\""),
+        "stream snapshot must be schema-tagged:\n{snapshot}"
+    );
+    assert!(
+        snapshot.contains("\"ok\": false"),
+        "stream snapshot must record the rejection:\n{snapshot}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An untampered stream provisions cleanly: exit 0 and a success
+/// snapshot with a positive sustained throughput.
+#[test]
+fn clean_stream_exits_0_with_a_throughput_snapshot() {
+    let dir = std::env::temp_dir().join(format!("seda-cli-stream-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp snapshot dir");
+    let snapshot_path = dir.join("stream.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_seda_cli"))
+        .args([
+            "stream",
+            "let",
+            "--json",
+            snapshot_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("seda_cli spawns");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snapshot = read(&snapshot_path);
+    assert!(snapshot.contains("\"ok\": true"), "{snapshot}");
+    assert!(snapshot.contains("\"gbps_sustained\""), "{snapshot}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A scenario without a serving block must be rejected with the spec

@@ -17,6 +17,80 @@ use seda_protect::ProtectError;
 use std::error::Error;
 use std::fmt;
 
+/// A sealed-model stream violated its framing or ordering contract.
+///
+/// These are the *structural* failures of the provisioning pipeline
+/// (`seda-stream`): malformed headers, out-of-order or misdescribed
+/// frames, torn streams, and replays of a retired key epoch. Forged or
+/// corrupted block contents surface as [`SedaError::Tag`] instead — the
+/// chained transport MAC catches them before framing is even trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamViolation {
+    /// The stream header was malformed before any block was accepted.
+    BadHeader {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A block frame declared metadata inconsistent with its position.
+    BadFrame {
+        /// Sequence number of the offending frame.
+        seq: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A frame arrived out of sequence (reorder or splice).
+    OutOfOrder {
+        /// The sequence number the unsealer expected next.
+        expected: u64,
+        /// The sequence number the frame carried.
+        got: u64,
+    },
+    /// The stream ended before every declared block was verified.
+    Truncated {
+        /// Blocks verified before the stream tore.
+        verified: u64,
+        /// Blocks the header declared.
+        expected: u64,
+    },
+    /// A stream sealed under a retired key epoch was replayed.
+    StaleEpoch {
+        /// Epoch the stream was sealed under.
+        stream: u64,
+        /// Epoch the unsealer requires.
+        current: u64,
+    },
+}
+
+impl fmt::Display for StreamViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamViolation::BadHeader { reason } => {
+                write!(f, "malformed stream header: {reason}")
+            }
+            StreamViolation::BadFrame { seq, reason } => {
+                write!(f, "malformed frame at seq {seq}: {reason}")
+            }
+            StreamViolation::OutOfOrder { expected, got } => {
+                write!(f, "frame out of order: expected seq {expected}, got {got}")
+            }
+            StreamViolation::Truncated { verified, expected } => {
+                write!(
+                    f,
+                    "stream truncated: {verified} of {expected} blocks verified"
+                )
+            }
+            StreamViolation::StaleEpoch { stream, current } => {
+                write!(
+                    f,
+                    "stale stream replay: sealed under key epoch {stream}, current epoch is {current}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for StreamViolation {}
+
 /// Top-level error for the SeDA secure-inference stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SedaError {
@@ -75,6 +149,8 @@ pub enum SedaError {
     },
     /// A declarative scenario file failed to parse or validate.
     Scenario(ScenarioError),
+    /// A sealed-model stream violated its framing or ordering contract.
+    Stream(StreamViolation),
     /// An AES engine-sizing query had no meaningful answer (zero,
     /// negative, or non-finite bandwidth).
     EngineSizing(EngineSizingError),
@@ -122,6 +198,7 @@ impl fmt::Display for SedaError {
                 Ok(())
             }
             SedaError::Scenario(s) => write!(f, "{s}"),
+            SedaError::Stream(s) => write!(f, "{s}"),
             SedaError::EngineSizing(e) => write!(f, "{e}"),
         }
     }
@@ -134,6 +211,7 @@ impl Error for SedaError {
             SedaError::Tag(t) => Some(t),
             SedaError::Protect(p) => Some(p),
             SedaError::Scenario(s) => Some(s),
+            SedaError::Stream(s) => Some(s),
             SedaError::EngineSizing(e) => Some(e),
             SedaError::ScenarioPointFailed { report, .. } => {
                 report.first().map(|f| &f.error as &(dyn Error + 'static))
@@ -170,6 +248,12 @@ impl From<ScenarioError> for SedaError {
 impl From<EngineSizingError> for SedaError {
     fn from(e: EngineSizingError) -> Self {
         SedaError::EngineSizing(e)
+    }
+}
+
+impl From<StreamViolation> for SedaError {
+    fn from(s: StreamViolation) -> Self {
+        SedaError::Stream(s)
     }
 }
 
@@ -288,6 +372,55 @@ mod tests {
         let source = e.source().expect("chains to the point's error");
         assert!(source.to_string().contains("layer 2"), "{source}");
         assert!(source.source().is_some(), "inner error keeps its own chain");
+    }
+
+    #[test]
+    fn stream_violations_convert_display_and_chain() {
+        let cases: Vec<(StreamViolation, &[&str])> = vec![
+            (
+                StreamViolation::BadHeader {
+                    reason: "bad magic".to_owned(),
+                },
+                &["stream header", "bad magic"],
+            ),
+            (
+                StreamViolation::BadFrame {
+                    seq: 9,
+                    reason: "layer id 4 out of range".to_owned(),
+                },
+                &["seq 9", "layer id 4"],
+            ),
+            (
+                StreamViolation::OutOfOrder {
+                    expected: 3,
+                    got: 5,
+                },
+                &["expected seq 3", "got 5"],
+            ),
+            (
+                StreamViolation::Truncated {
+                    verified: 7,
+                    expected: 12,
+                },
+                &["7 of 12"],
+            ),
+            (
+                StreamViolation::StaleEpoch {
+                    stream: 1,
+                    current: 2,
+                },
+                &["epoch 1", "epoch is 2"],
+            ),
+        ];
+        for (v, needles) in cases {
+            let e = SedaError::from(v.clone());
+            assert!(matches!(e, SedaError::Stream(_)));
+            let msg = e.to_string();
+            for needle in needles {
+                assert!(msg.contains(needle), "{msg} missing {needle}");
+            }
+            assert!(e.source().is_some(), "stream errors chain their source");
+        }
     }
 
     #[test]

@@ -911,6 +911,26 @@ pub struct ServeExpectation {
     pub p99_ms_max: Option<f64>,
 }
 
+/// One scheduled hot model-swap: at `at_ms` of simulated time a
+/// tenant's replacement sealed image starts streaming in under traffic,
+/// and the scheduler cuts over to the replacement's cost model at the
+/// first instant the tenant has no batch in flight — a layer-boundary
+/// cutover, never mid-batch. The replacement is provisioned through the
+/// `seda-stream` chunked encrypt-then-MAC pipeline under a fresh key
+/// (new key id, next key epoch); the old image's version-number space
+/// is retired at cutover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapSpec {
+    /// Tenant to swap (must name a lineup tenant; at most one swap per
+    /// tenant).
+    pub tenant: String,
+    /// Simulated time of the swap request in milliseconds.
+    pub at_ms: f64,
+    /// Replacement model; defaults to re-provisioning the tenant's own
+    /// workload (same cost model, fresh keys).
+    pub workload: Option<WorkloadSpec>,
+}
+
 /// The `"serving"` block of a scenario: everything `seda-serve` needs to
 /// run a multi-tenant serving simulation — arrival process, tenant
 /// lineup, scheduler, and SLA ceilings. The block is pure data; the
@@ -933,6 +953,8 @@ pub struct ServingSpec {
     pub arrival: ArrivalSpec,
     /// Tenant lineup; the arrival stream is split by tenant weight.
     pub tenants: Vec<TenantSpec>,
+    /// Scheduled hot model-swaps applied while traffic is in flight.
+    pub swaps: Option<Vec<SwapSpec>>,
     /// Per-tenant latency ceilings enforced by `seda_cli serve`.
     pub expect: Option<Vec<ServeExpectation>>,
 }
@@ -988,6 +1010,36 @@ impl ServingSpec {
             }
             if t.weight == Some(0) {
                 return bad(format!("tenant {:?} weight must be at least 1", t.name));
+            }
+        }
+        if let Some(swaps) = &self.swaps {
+            if swaps.is_empty() {
+                return bad("serving swaps block needs at least one swap".to_owned());
+            }
+            let mut swapped: Vec<&str> = Vec::new();
+            for s in swaps {
+                if !names.iter().any(|n| n.eq_ignore_ascii_case(&s.tenant)) {
+                    return bad(format!(
+                        "serving swap references tenant {:?}, not in this lineup",
+                        s.tenant
+                    ));
+                }
+                if swapped.iter().any(|n| n.eq_ignore_ascii_case(&s.tenant)) {
+                    return bad(format!(
+                        "tenant {:?} has more than one scheduled swap",
+                        s.tenant
+                    ));
+                }
+                swapped.push(&s.tenant);
+                if !(s.at_ms.is_finite() && s.at_ms > 0.0) {
+                    return bad(format!(
+                        "swap for {:?} needs a positive finite at_ms, got {}",
+                        s.tenant, s.at_ms
+                    ));
+                }
+                if let Some(w) = &s.workload {
+                    w.resolve()?;
+                }
             }
         }
         match &self.arrival {
@@ -1917,6 +1969,13 @@ mod tests {
                         weight: None,
                     },
                 ],
+                swaps: Some(vec![SwapSpec {
+                    tenant: "beta".to_owned(),
+                    at_ms: 12.5,
+                    workload: Some(WorkloadSpec::Zoo {
+                        name: "let".to_owned(),
+                    }),
+                }]),
                 expect: Some(vec![ServeExpectation {
                     tenant: "alpha".to_owned(),
                     p50_ms_max: Some(4.0),
@@ -2027,6 +2086,29 @@ mod tests {
                 e.p99_ms_max = None;
             },
             "needs p50_ms_max",
+        );
+        reject(
+            |s| {
+                s.serving.as_mut().unwrap().swaps.as_mut().unwrap()[0].tenant = "nobody".to_owned();
+            },
+            "swap references tenant",
+        );
+        reject(
+            |s| {
+                let swaps = s.serving.as_mut().unwrap().swaps.as_mut().unwrap();
+                let mut dup = swaps[0].clone();
+                dup.tenant = "BETA".to_owned();
+                swaps.push(dup);
+            },
+            "more than one scheduled swap",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().swaps.as_mut().unwrap()[0].at_ms = 0.0,
+            "at_ms",
+        );
+        reject(
+            |s| s.serving.as_mut().unwrap().swaps = Some(vec![]),
+            "at least one swap",
         );
         reject(|s| s.npus.push("server".to_owned()), "exactly one NPU");
     }

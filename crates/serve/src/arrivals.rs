@@ -140,6 +140,7 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         }
     }
 

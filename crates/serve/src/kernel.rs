@@ -2,8 +2,9 @@
 //!
 //! A monotone virtual clock and a binary-heap event queue ordered by
 //! `(time, rank, tie, seq)` — rank 0 layer-done events tie-broken by
-//! NPU index, rank 1 arrivals tie-broken by issue id — so popping one
-//! cycle's events yields exactly the shared phase order of
+//! NPU index, rank 1 arrivals tie-broken by issue id, rank 2 swap-due
+//! events tie-broken by declaration index — so popping one cycle's
+//! events yields exactly the shared phase order of
 //! [`sched`](crate::sched). No wall clock appears anywhere; identical
 //! specs produce identical outcomes on any machine, thread count, or
 //! re-run.
@@ -32,6 +33,8 @@ enum EventKind {
     LayerDone { npu: usize },
     /// A request arrives.
     Arrival { tenant: usize, client: Option<u32> },
+    /// A scheduled hot model-swap becomes due.
+    SwapDue { swap: usize },
 }
 
 /// The simulation engine state.
@@ -44,6 +47,10 @@ struct Engine<'a> {
     clients: Option<Clients>,
     completed: u64,
     total: u64,
+    /// Per-swap: the request has been processed and awaits cutover.
+    swap_pending: Vec<bool>,
+    /// Per-swap: the cutover has landed.
+    swap_done: Vec<bool>,
 }
 
 impl Engine<'_> {
@@ -120,6 +127,31 @@ impl Engine<'_> {
         );
     }
 
+    /// Whether the tenant has a batch in flight: running on any NPU or
+    /// parked in the preemption pool.
+    fn tenant_in_flight(&self, tenant: usize) -> bool {
+        self.npus.iter().flatten().any(|b| b.tenant == tenant)
+            || self.state.preempted.iter().any(|b| b.tenant == tenant)
+    }
+
+    /// Swap-phase cutover: every pending swap whose tenant has drained
+    /// cuts over now, in declaration order — before this cycle's
+    /// dispatch, so fresh batches already use the replacement profiles.
+    fn cutover(&mut self, now: u64) {
+        for i in 0..self.spec.swaps.len() {
+            if !self.swap_pending[i] || self.swap_done[i] {
+                continue;
+            }
+            let swap = &self.spec.swaps[i];
+            if self.tenant_in_flight(swap.tenant) {
+                continue;
+            }
+            self.state.swap_profiles(swap.tenant, swap.profiles.clone());
+            self.metrics.swap(swap.tenant, swap.at_cycle, now);
+            self.swap_done[i] = true;
+        }
+    }
+
     /// Phase-C dispatch over idle NPUs in index order.
     fn dispatch(&mut self, now: u64) {
         for npu in 0..self.npus.len() {
@@ -159,8 +191,13 @@ impl Engine<'_> {
                     EventKind::Arrival { tenant, client } => {
                         self.arrive(tenant, ev.seq, client, now);
                     }
+                    EventKind::SwapDue { swap } => {
+                        self.metrics.event();
+                        self.swap_pending[swap] = true;
+                    }
                 }
             }
+            self.cutover(now);
             self.dispatch(now);
             self.metrics.sample(now, &self.state);
         }
@@ -183,12 +220,23 @@ pub fn simulate(spec: &SimSpec) -> SimOutcome {
         spec,
         heap: BinaryHeap::new(),
         npus: (0..spec.replicas).map(|_| None).collect(),
-        state: SchedState::new(spec.tenants.len()),
+        state: SchedState::new(spec),
         metrics: Metrics::new(spec.tenants.len(), spec.replicas as usize),
         clients: None,
         completed: 0,
         total: spec.arrival.requests(),
+        swap_pending: vec![false; spec.swaps.len()],
+        swap_done: vec![false; spec.swaps.len()],
     };
+    for (i, s) in spec.swaps.iter().enumerate() {
+        engine.heap.push(Reverse(Event {
+            time: s.at_cycle,
+            rank: 2,
+            tie: i as u64,
+            seq: i as u64,
+            kind: EventKind::SwapDue { swap: i },
+        }));
+    }
     match spec.arrival {
         ArrivalSim::OpenLoop { .. } => {
             for a in open_loop_trace(spec) {
@@ -237,6 +285,7 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         };
         let out = simulate(&spec);
         assert_eq!(out.completions.len(), 200);
@@ -263,6 +312,7 @@ mod tests {
                 think_cycles: 10.0,
                 requests: 120,
             },
+            swaps: vec![],
         };
         let out = simulate(&spec);
         assert_eq!(out.completions.len(), 120);
@@ -291,6 +341,7 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         };
         let out = simulate(&spec);
         let tight = &out.tenant_latency[0];
@@ -324,6 +375,7 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         };
         let solo = simulate(&mk(1));
         let batched = simulate(&mk(4));
@@ -338,6 +390,83 @@ mod tests {
         assert!(
             batched.end_cycle < solo.end_cycle,
             "an overloaded queue drains faster with batching"
+        );
+    }
+
+    #[test]
+    fn swap_cuts_over_at_a_drained_boundary_and_reshapes_costs() {
+        use crate::spec::SwapSim;
+        // One tenant, 20-cycle jobs arriving sparsely; at cycle 1000 a
+        // swap to 5-cycle jobs is requested. Every post-cutover batch
+        // must run the replacement profile, in-flight work keeps its
+        // admission-time cost, and the outcome records the cutover.
+        let mk = |swaps: Vec<SwapSim>| SimSpec {
+            seed: 11,
+            scheduler: Scheduler::Fcfs,
+            replicas: 1,
+            max_batch: 1,
+            tenants: vec![tenant("a", vec![20], None, 1)],
+            arrival: ArrivalSim::OpenLoop {
+                mean_cycles: 60.0,
+                requests: 100,
+                burst: None,
+                diurnal: None,
+            },
+            swaps,
+        };
+        let plain = simulate(&mk(vec![]));
+        let swapped = simulate(&mk(vec![SwapSim {
+            tenant: 0,
+            at_cycle: 1000,
+            profiles: vec![vec![5]],
+        }]));
+        assert!(plain.swaps.is_empty());
+        assert_eq!(swapped.swaps.len(), 1, "the swap must land");
+        let cut = swapped.swaps[0];
+        assert_eq!(cut.tenant, 0);
+        assert_eq!(cut.requested, 1000);
+        assert!(cut.cutover >= 1000, "cutover cannot precede the request");
+        assert_eq!(swapped.completions.len(), 100);
+        // Busy time shrinks: post-cutover requests cost 5, not 20.
+        assert!(
+            swapped.busy_cycles[0] < plain.busy_cycles[0],
+            "replacement profile must be cheaper: {} vs {}",
+            swapped.busy_cycles[0],
+            plain.busy_cycles[0]
+        );
+        assert_eq!(swapped.events, plain.events + 1, "one swap-due event");
+    }
+
+    #[test]
+    fn swap_waits_for_the_tenants_batches_to_drain() {
+        use crate::spec::SwapSim;
+        // Saturating arrivals: the single tenant always has a batch in
+        // flight when the swap lands, so the cutover must wait for a
+        // completion boundary — strictly after the request cycle.
+        let spec = SimSpec {
+            seed: 3,
+            scheduler: Scheduler::Fcfs,
+            replicas: 1,
+            max_batch: 1,
+            tenants: vec![tenant("a", vec![50], None, 1)],
+            arrival: ArrivalSim::OpenLoop {
+                mean_cycles: 10.0,
+                requests: 200,
+                burst: None,
+                diurnal: None,
+            },
+            swaps: vec![SwapSim {
+                tenant: 0,
+                at_cycle: 999,
+                profiles: vec![vec![10]],
+            }],
+        };
+        let out = simulate(&spec);
+        assert_eq!(out.swaps.len(), 1);
+        assert!(
+            out.swaps[0].cutover > 999,
+            "a busy tenant defers the cutover, got {}",
+            out.swaps[0].cutover
         );
     }
 
@@ -358,6 +487,7 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         };
         let plain = simulate(&mk(false));
         let preemptive = simulate(&mk(true));

@@ -46,11 +46,11 @@ pub mod spec;
 pub use arrivals::{open_loop_trace, Arrival};
 pub use kernel::simulate;
 pub use reference::simulate_stepped;
-pub use report::{NpuReport, ServeFailure, ServeReport, TenantReport, SCHEMA};
+pub use report::{NpuReport, ServeFailure, ServeReport, SwapReport, TenantReport, SCHEMA};
 pub use rng::Rng;
 pub use spec::{
     build, ArrivalSim, BurstSim, Completion, DiurnalSim, Scheduler, ServeSetup, SimOutcome,
-    SimSpec, TenantSeal, TenantSim,
+    SimSpec, SwapOutcome, SwapSeal, SwapSim, TenantSeal, TenantSim,
 };
 
 use seda::scenario::Scenario;

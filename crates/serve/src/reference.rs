@@ -36,10 +36,12 @@ pub fn simulate_stepped(spec: &SimSpec) -> SimOutcome {
     assert!(spec.max_batch > 0, "need a positive batch limit");
     assert!(!spec.tenants.is_empty(), "need at least one tenant");
     let total = spec.arrival.requests();
-    let mut state = SchedState::new(spec.tenants.len());
+    let mut state = SchedState::new(spec);
     let mut metrics = Metrics::new(spec.tenants.len(), spec.replicas as usize);
     let mut npus: Vec<Option<Running>> = (0..spec.replicas).map(|_| None).collect();
     let mut completed = 0u64;
+    let mut swap_pending = vec![false; spec.swaps.len()];
+    let mut swap_done = vec![false; spec.swaps.len()];
 
     // Arrival delivery: a sorted trace with a cursor for open loop, an
     // unsorted pending list scanned each cycle for closed loop.
@@ -134,6 +136,33 @@ pub fn simulate_stepped(spec: &SimSpec) -> SimOutcome {
             );
         }
 
+        // Swap phase: requests due this cycle become pending in
+        // declaration order, then every pending swap whose tenant has
+        // no batch in flight cuts over before dispatch — identical to
+        // the event kernel's rank-2 events plus pre-dispatch cutover.
+        for (i, s) in spec.swaps.iter().enumerate() {
+            if s.at_cycle == now && !swap_pending[i] {
+                active = true;
+                metrics.event();
+                swap_pending[i] = true;
+            }
+        }
+        if active {
+            for (i, s) in spec.swaps.iter().enumerate() {
+                if !swap_pending[i] || swap_done[i] {
+                    continue;
+                }
+                let in_flight = npus.iter().flatten().any(|r| r.batch.tenant == s.tenant)
+                    || state.preempted.iter().any(|b| b.tenant == s.tenant);
+                if in_flight {
+                    continue;
+                }
+                state.swap_profiles(s.tenant, s.profiles.clone());
+                metrics.swap(s.tenant, s.at_cycle, now);
+                swap_done[i] = true;
+            }
+        }
+
         // Phase C + sampling, only on active cycles.
         if active {
             for slot in &mut npus {
@@ -186,10 +215,61 @@ mod tests {
                 burst: None,
                 diurnal: None,
             },
+            swaps: vec![],
         };
         let fast = simulate(&spec);
         let slow = simulate_stepped(&spec);
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reference_matches_kernel_under_hot_swaps() {
+        use crate::spec::SwapSim;
+        // Two tenants, preemptive EDF, and both tenants swapped mid-run
+        // (one while saturated, one while idle) — the full swap phase
+        // must agree bit-for-bit between the kernels.
+        let spec = SimSpec {
+            seed: 31,
+            scheduler: Scheduler::Edf { preempt: true },
+            replicas: 2,
+            max_batch: 2,
+            tenants: vec![
+                TenantSim {
+                    name: "a".to_owned(),
+                    profiles: vec![vec![15, 10], vec![6, 4]],
+                    sla_cycles: Some(120),
+                    weight: 2,
+                },
+                TenantSim {
+                    name: "b".to_owned(),
+                    profiles: vec![vec![25], vec![11]],
+                    sla_cycles: None,
+                    weight: 1,
+                },
+            ],
+            arrival: ArrivalSim::OpenLoop {
+                mean_cycles: 12.0,
+                requests: 400,
+                burst: None,
+                diurnal: None,
+            },
+            swaps: vec![
+                SwapSim {
+                    tenant: 0,
+                    at_cycle: 700,
+                    profiles: vec![vec![8, 8], vec![3, 3]],
+                },
+                SwapSim {
+                    tenant: 1,
+                    at_cycle: 1900,
+                    profiles: vec![vec![40], vec![18]],
+                },
+            ],
+        };
+        let fast = simulate(&spec);
+        let slow = simulate_stepped(&spec);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.swaps.len(), 2, "both swaps must land");
     }
 
     #[test]
@@ -218,6 +298,7 @@ mod tests {
                 think_cycles: 20.0,
                 requests: 400,
             },
+            swaps: vec![],
         };
         let fast = simulate(&spec);
         let slow = simulate_stepped(&spec);

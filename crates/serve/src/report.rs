@@ -41,6 +41,25 @@ pub struct TenantReport {
     pub sla_violations: u64,
 }
 
+/// One scheduled hot model-swap, as the report tells it.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// The swapped tenant's name.
+    pub tenant: String,
+    /// The replacement image's fresh key fingerprint.
+    pub key_id: u64,
+    /// Protection blocks the provisioning stream carried.
+    pub blocks: u64,
+    /// When the swap was requested, in simulated milliseconds.
+    pub requested_ms: f64,
+    /// When the cutover landed, in simulated milliseconds (equals
+    /// `requested_ms` when the tenant was already drained).
+    pub cutover_ms: f64,
+    /// Whether the cutover landed before the run drained. An unapplied
+    /// swap reports `cutover_ms` of 0.
+    pub applied: bool,
+}
+
 /// One replica's utilization.
 #[derive(Debug, Clone, Copy)]
 pub struct NpuReport {
@@ -79,6 +98,10 @@ pub struct ServeReport {
     pub npus: Vec<NpuReport>,
     /// Per-tenant metrics, in lineup order.
     pub tenants: Vec<TenantReport>,
+    /// Hot model-swaps in declaration order; empty when the scenario
+    /// schedules none (and then absent from the snapshot, keeping
+    /// swap-free goldens byte-identical).
+    pub swaps: Vec<SwapReport>,
 }
 
 /// One violated serving expectation.
@@ -108,6 +131,45 @@ impl ServeReport {
     /// Summarizes a kernel outcome under its setup.
     pub fn new(setup: &ServeSetup, outcome: &SimOutcome) -> Self {
         let to_ms = |cycles: u64| setup.cycles_to_ms(cycles);
+        let swaps: Vec<SwapReport> = setup
+            .spec
+            .swaps
+            .iter()
+            .zip(&setup.swaps)
+            .map(|(sim, seal)| {
+                let landed = outcome
+                    .swaps
+                    .iter()
+                    .find(|o| o.tenant == sim.tenant && o.requested == sim.at_cycle);
+                SwapReport {
+                    tenant: setup.spec.tenants[sim.tenant].name.clone(),
+                    key_id: seal.key_id,
+                    blocks: seal.blocks,
+                    requested_ms: to_ms(sim.at_cycle),
+                    cutover_ms: landed.map_or(0.0, |o| to_ms(o.cutover)),
+                    applied: landed.is_some(),
+                }
+            })
+            .collect();
+        // A tenant whose swap landed reports the *replacement* key id:
+        // the old key/VN space is retired at cutover.
+        let live_key_id = |tenant: usize| {
+            setup
+                .spec
+                .swaps
+                .iter()
+                .zip(&setup.swaps)
+                .filter(|(sim, _)| {
+                    sim.tenant == tenant
+                        && outcome
+                            .swaps
+                            .iter()
+                            .any(|o| o.tenant == tenant && o.requested == sim.at_cycle)
+                })
+                .map(|(_, seal)| seal.key_id)
+                .next_back()
+                .unwrap_or_else(|| setup.seals.get(tenant).map_or(0, |s| s.key_id))
+        };
         let tenants = setup
             .spec
             .tenants
@@ -132,7 +194,7 @@ impl ServeReport {
                 };
                 TenantReport {
                     name: t.name.clone(),
-                    key_id: setup.seals.get(i).map_or(0, |s| s.key_id),
+                    key_id: live_key_id(i),
                     completed: latency.count,
                     mean_ms: latency.mean() * 1000.0 / setup.clock_hz,
                     p50_ms: quant_ms(0.50),
@@ -171,6 +233,7 @@ impl ServeReport {
             span_ms: to_ms(outcome.end_cycle),
             npus,
             tenants,
+            swaps,
         }
     }
 
@@ -267,7 +330,26 @@ impl ServeReport {
             let _ = writeln!(o, "      \"sla_violations\": {}", t.sla_violations);
             let _ = writeln!(o, "    }}{comma}");
         }
-        let _ = writeln!(o, "  ]");
+        if self.swaps.is_empty() {
+            let _ = writeln!(o, "  ]");
+        } else {
+            // The swaps section appears only when the scenario schedules
+            // swaps, so swap-free goldens stay byte-identical.
+            let _ = writeln!(o, "  ],");
+            let _ = writeln!(o, "  \"swaps\": [");
+            for (i, s) in self.swaps.iter().enumerate() {
+                let comma = if i + 1 < self.swaps.len() { "," } else { "" };
+                let _ = writeln!(o, "    {{");
+                let _ = writeln!(o, "      \"tenant\": \"{}\",", escape(&s.tenant));
+                let _ = writeln!(o, "      \"key_id\": \"{:016x}\",", s.key_id);
+                let _ = writeln!(o, "      \"blocks\": {},", s.blocks);
+                let _ = writeln!(o, "      \"requested_ms\": {:.6},", s.requested_ms);
+                let _ = writeln!(o, "      \"cutover_ms\": {:.6},", s.cutover_ms);
+                let _ = writeln!(o, "      \"applied\": {}", s.applied);
+                let _ = writeln!(o, "    }}{comma}");
+            }
+            let _ = writeln!(o, "  ]");
+        }
         let _ = write!(o, "}}");
         o
     }
@@ -307,6 +389,21 @@ impl ServeReport {
                 "{:<14} {:>9} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>9} {:>11}",
                 t.name, t.completed, t.mean_ms, t.p50_ms, t.p95_ms, t.p99_ms, sla, t.sla_violations
             );
+        }
+        for s in &self.swaps {
+            if s.applied {
+                let _ = writeln!(
+                    out,
+                    "swap {}: {} blocks streamed in, key {:016x}, requested {:.4} ms, cutover {:.4} ms",
+                    s.tenant, s.blocks, s.key_id, s.requested_ms, s.cutover_ms
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "swap {}: requested {:.4} ms, never cut over (run drained first)",
+                    s.tenant, s.requested_ms
+                );
+            }
         }
         out
     }
@@ -358,6 +455,7 @@ mod tests {
                 sla_ms: Some(0.4),
                 sla_violations: 1,
             }],
+            swaps: vec![],
         }
     }
 
@@ -369,6 +467,37 @@ mod tests {
         assert!(a.contains("\"schema\": \"seda-serve/v1\""), "{a}");
         assert!(a.contains("\"key_id\": \"00000000deadbeef\""), "{a}");
         assert!(a.contains("\"sla_ms\": 0.400000"), "{a}");
+        assert!(
+            !a.contains("\"swaps\""),
+            "swap-free reports must not grow a swaps section: {a}"
+        );
+    }
+
+    #[test]
+    fn snapshot_grows_a_swaps_section_only_when_swaps_exist() {
+        let mut r = sample_report();
+        r.swaps.push(SwapReport {
+            tenant: "alpha".to_owned(),
+            key_id: 0xFEED,
+            blocks: 96,
+            requested_ms: 0.5,
+            cutover_ms: 0.75,
+            applied: true,
+        });
+        let a = r.snapshot_json();
+        assert!(a.contains("\"swaps\": ["), "{a}");
+        assert!(a.contains("\"key_id\": \"000000000000feed\""), "{a}");
+        assert!(a.contains("\"cutover_ms\": 0.750000"), "{a}");
+        assert!(a.contains("\"applied\": true"), "{a}");
+        assert!(
+            a.ends_with("]\n}"),
+            "swaps must stay inside the object: {a}"
+        );
+        assert!(
+            r.render().contains("96 blocks streamed in"),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

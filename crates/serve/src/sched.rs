@@ -14,14 +14,20 @@
 //!    earlier deadline, *judged against the queue state before this
 //!    cycle's arrivals*.
 //! 2. **Arrival phase** — arrivals at `t` enqueue in issue-id order.
-//! 3. **Dispatch phase** — idle NPUs in index order each take the
+//! 3. **Swap phase** — swap requests due at `t` become pending in
+//!    declaration order; every pending swap whose tenant has no batch
+//!    in flight (running or preempted) cuts over *now*, installing the
+//!    replacement profiles before this cycle's dispatch.
+//! 4. **Dispatch phase** — idle NPUs in index order each take the
 //!    scheduler's best candidate (a preempted batch or a fresh batch of
 //!    up to `max_batch` queue-head requests from one tenant).
 //!
-//! Metrics are sampled only after *active* cycles (at least one arrival
-//! or layer-done event), which both kernels can detect identically.
+//! Metrics are sampled only after *active* cycles (at least one
+//! arrival, layer-done, or swap-due event), which both kernels can
+//! detect identically. The in-flight predicate the swap phase reads
+//! only changes on active cycles, so checking it there loses nothing.
 
-use crate::spec::{Completion, Scheduler, SimOutcome, SimSpec};
+use crate::spec::{Completion, Scheduler, SimOutcome, SimSpec, SwapOutcome};
 use seda_telemetry::AtomicHistogram;
 use std::collections::VecDeque;
 
@@ -81,16 +87,28 @@ pub struct SchedState {
     pub preempted: Vec<Batch>,
     /// Round-robin cursor: the tenant index to consider first.
     pub rr_cursor: usize,
+    /// The *active* per-tenant batch cost profiles — the spec's lineup
+    /// profiles until a hot swap cuts over, the replacement's after.
+    /// Batch formation reads these; batches already formed keep their
+    /// admission-time layers.
+    pub profiles: Vec<Vec<Vec<u64>>>,
 }
 
 impl SchedState {
-    /// Empty state for `tenants` tenants.
-    pub fn new(tenants: usize) -> Self {
+    /// Empty state for the spec's tenant lineup.
+    pub fn new(spec: &SimSpec) -> Self {
         Self {
-            queues: vec![VecDeque::new(); tenants],
+            queues: vec![VecDeque::new(); spec.tenants.len()],
             preempted: Vec::new(),
             rr_cursor: 0,
+            profiles: spec.tenants.iter().map(|t| t.profiles.clone()).collect(),
         }
+    }
+
+    /// Installs a tenant's replacement cost profiles at swap cutover.
+    /// In-flight batches are unaffected — they own their layers.
+    pub fn swap_profiles(&mut self, tenant: usize, profiles: Vec<Vec<u64>>) {
+        self.profiles[tenant] = profiles;
     }
 
     /// Enqueues one arrival on its tenant queue.
@@ -194,12 +212,13 @@ impl SchedState {
     }
 
     fn form_batch(&mut self, spec: &SimSpec, tenant: usize) -> Batch {
-        // A tenant can only batch as deep as it has cost profiles for.
+        // A tenant can only batch as deep as it has cost profiles for —
+        // judged against the *active* (possibly swapped-in) profiles.
         let b = (spec.max_batch as usize)
-            .min(spec.tenants[tenant].profiles.len())
+            .min(self.profiles[tenant].len())
             .min(self.queues[tenant].len());
         let reqs: Vec<QueuedReq> = self.queues[tenant].drain(..b).collect();
-        let layers = spec.tenants[tenant].batch_layers(b);
+        let layers = self.profiles[tenant][..b].concat();
         // FIFO queues and a per-tenant SLA make the head the minimum on
         // every key, but take the fold anyway — it is the contract.
         let deadline = reqs.iter().map(|r| r.deadline).min().unwrap_or(u64::MAX);
@@ -227,6 +246,7 @@ pub struct Metrics {
     busy: Vec<u64>,
     events: u64,
     end_cycle: u64,
+    swaps: Vec<SwapOutcome>,
 }
 
 impl Metrics {
@@ -240,7 +260,17 @@ impl Metrics {
             busy: vec![0; replicas],
             events: 0,
             end_cycle: 0,
+            swaps: Vec::new(),
         }
+    }
+
+    /// Records one applied hot swap at its cutover cycle.
+    pub fn swap(&mut self, tenant: usize, requested: u64, cutover: u64) {
+        self.swaps.push(SwapOutcome {
+            tenant,
+            requested,
+            cutover,
+        });
     }
 
     /// Counts one processed event (arrival or layer-done).
@@ -287,6 +317,7 @@ impl Metrics {
             busy_cycles: self.busy,
             end_cycle: self.end_cycle,
             events: self.events,
+            swaps: self.swaps,
         }
     }
 }

@@ -31,6 +31,13 @@ pub const STREAM_KEYS: u64 = 0x2_0000;
 pub const STREAM_KEY_IDS: u64 = 0x3_0000;
 /// RNG stream tag base for per-tenant sealed weight payloads.
 pub const STREAM_PAYLOADS: u64 = 0x4_0000;
+/// RNG stream tag base for per-swap provisioning keys (encryption,
+/// storage MAC, and transport MAC of the replacement image).
+pub const STREAM_SWAP_KEYS: u64 = 0x5_0000;
+/// RNG stream tag base for per-swap key fingerprints.
+pub const STREAM_SWAP_KEY_IDS: u64 = 0x6_0000;
+/// RNG stream tag base for per-swap replacement weight payloads.
+pub const STREAM_SWAP_PAYLOADS: u64 = 0x7_0000;
 
 /// Scheduling policy for the shared NPU queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +157,35 @@ impl TenantSim {
     }
 }
 
+/// One scheduled hot model-swap in kernel units: at `at_cycle` the
+/// tenant's replacement cost model becomes eligible, and the cutover
+/// lands at the first processed cycle where the tenant has no batch in
+/// flight (running or preempted) — batches formed before the cutover
+/// keep their admission-time layers, so no work is ever re-costed
+/// mid-batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapSim {
+    /// Tenant index into the lineup.
+    pub tenant: usize,
+    /// Cycle the swap request lands.
+    pub at_cycle: u64,
+    /// Replacement batch cost profiles (same shape as
+    /// [`TenantSim::profiles`]).
+    pub profiles: Vec<Vec<u64>>,
+}
+
+/// One applied swap as both kernels must report it — part of the
+/// bit-compared [`SimOutcome`] surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Cycle the swap was requested.
+    pub requested: u64,
+    /// Cycle the cutover actually landed.
+    pub cutover: u64,
+}
+
 /// The complete, self-contained input of one serving simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSpec {
@@ -165,6 +201,8 @@ pub struct SimSpec {
     pub tenants: Vec<TenantSim>,
     /// Arrival process.
     pub arrival: ArrivalSim,
+    /// Scheduled hot model-swaps, in declaration order.
+    pub swaps: Vec<SwapSim>,
 }
 
 impl SimSpec {
@@ -206,8 +244,10 @@ pub struct SimOutcome {
     pub busy_cycles: Vec<u64>,
     /// Cycle of the last completion (0 when nothing completed).
     pub end_cycle: u64,
-    /// Arrival plus layer-done events processed.
+    /// Arrival, layer-done, and swap-due events processed.
     pub events: u64,
+    /// Applied swaps in cutover order.
+    pub swaps: Vec<SwapOutcome>,
 }
 
 /// One tenant's sealed weights: an independent key/version-number space
@@ -226,6 +266,24 @@ pub struct TenantSeal {
     pub payloads: Vec<Vec<u8>>,
 }
 
+/// One swap's replacement image, provisioned through the `seda-stream`
+/// chunked encrypt-then-MAC pipeline rather than sealed at rest: the
+/// grounding step seals the replacement weights into an authenticated
+/// stream and unseals it frame-by-frame into the [`ProtectedImage`] —
+/// the same path a line-rate provisioning NIC would drive. Index-aligned
+/// with [`SimSpec::swaps`].
+#[derive(Debug, Clone)]
+pub struct SwapSeal {
+    /// Tenant index into the lineup.
+    pub tenant: usize,
+    /// Fresh key fingerprint the tenant reports after cutover.
+    pub key_id: u64,
+    /// The streamed-in replacement image (fresh key, next key epoch).
+    pub image: ProtectedImage,
+    /// Protection blocks the stream carried.
+    pub blocks: u64,
+}
+
 /// A scenario's serving block grounded into an executable simulation:
 /// the [`SimSpec`], the clock that converts its cycles back to
 /// milliseconds, and each tenant's sealed image.
@@ -241,6 +299,8 @@ pub struct ServeSetup {
     pub npu: String,
     /// Per-tenant sealed images, in lineup order.
     pub seals: Vec<TenantSeal>,
+    /// Streamed replacement images, index-aligned with `spec.swaps`.
+    pub swaps: Vec<SwapSeal>,
 }
 
 impl ServeSetup {
@@ -254,18 +314,11 @@ fn bad(reason: String) -> SedaError {
     SedaError::Scenario(ScenarioError::BadSpec { reason })
 }
 
-/// Region lengths for a tenant's sealed image: one region per model
-/// layer, each the layer's weight footprint clamped into [64, 4096] and
-/// rounded up to the 64-byte protection block.
+/// Region lengths for a tenant's sealed image — the shared
+/// [`seda_stream::model_lens`] geometry, so at-rest tenant seals and
+/// streamed swap images agree on layout.
 fn seal_lens(model: &seda_models::Model) -> Vec<usize> {
-    model
-        .layers()
-        .iter()
-        .map(|l| {
-            let bytes = l.filter_bytes().clamp(64, 4096);
-            (bytes.div_ceil(64) * 64) as usize
-        })
-        .collect()
+    seda_stream::model_lens(model)
 }
 
 fn seal_tenant(
@@ -299,6 +352,54 @@ fn seal_tenant(
         key_id,
         image,
         payloads,
+    })
+}
+
+/// Seals swap `index`'s replacement weights *through the provisioning
+/// stream*: the plaintext is sealed into a chunked encrypt-then-MAC
+/// stream under fresh keys at the next key epoch, then unsealed
+/// frame-by-frame into the installed [`ProtectedImage`] — the exact
+/// path a hot swap takes under serving traffic.
+fn seal_swap(
+    seed: u64,
+    index: usize,
+    tenant: usize,
+    model: &seda_models::Model,
+) -> Result<SwapSeal, SedaError> {
+    let mut key_rng = Rng::for_stream(seed, STREAM_SWAP_KEYS + index as u64);
+    let key_id = Rng::for_stream(seed, STREAM_SWAP_KEY_IDS + index as u64).next_u64();
+    let stream_spec = seda_stream::StreamSpec {
+        stream_id: key_id,
+        // Tenants seal at epoch 1; a swap provisions at the next epoch,
+        // so a replayed pre-swap stream is typed stale, not accepted.
+        key_epoch: 2,
+        config: ProtectConfig::matrix()[2],
+        lens: seal_lens(model),
+        enc_key: key_rng.block(),
+        mac_key: key_rng.block(),
+        transport_key: key_rng.block(),
+    };
+    let mut payload_rng = Rng::for_stream(seed, STREAM_SWAP_PAYLOADS + index as u64);
+    let payloads: Vec<Vec<u8>> = stream_spec
+        .lens
+        .iter()
+        .map(|&len| {
+            let mut data = vec![0u8; len];
+            for chunk in data.chunks_mut(8) {
+                let w = payload_rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            data
+        })
+        .collect();
+    let stream = seda_stream::seal(&stream_spec, &payloads)?;
+    let image = seda_stream::unseal(&stream_spec, stream.bytes())?;
+    seda_telemetry::counter_add("serve.swaps_streamed", 1);
+    Ok(SwapSeal {
+        tenant,
+        key_id,
+        image,
+        blocks: stream_spec.total_blocks(),
     })
 }
 
@@ -369,28 +470,33 @@ pub fn build(scenario: &Scenario) -> Result<ServeSetup, SedaError> {
         .map(|v| HashEngine::new(v.bytes_per_cycle, v.latency_cycles));
     let cycles_per_ms = npu.clock_hz / 1000.0;
     let cache = TraceCache::new();
-    let mut tenants = Vec::with_capacity(serving.tenants.len());
-    let mut seals = Vec::with_capacity(serving.tenants.len());
-    for (index, t) in serving.tenants.iter().enumerate() {
-        let model = t.workload.resolve()?;
-        let trace = cache.get_or_simulate(&npu, &model);
-        let mut scheme = t.scheme.instantiate()?;
-        let dram_cfg = match &scenario.dram {
-            Some(d) => d.apply(dram_config_for(&npu)),
-            None => dram_config_for(&npu),
-        };
+    let dram_cfg = match &scenario.dram {
+        Some(d) => d.apply(dram_config_for(&npu)),
+        None => dram_config_for(&npu),
+    };
+    let profiles_for = |model: &seda_models::Model,
+                        scheme_spec: &seda::scenario::SchemeSpec|
+     -> Result<Vec<Vec<u64>>, SedaError> {
+        let trace = cache.get_or_simulate(&npu, model);
+        let mut scheme = scheme_spec.instantiate()?;
         let runs = try_run_trace_with_dram(
             &trace,
             &npu,
             scheme.as_mut(),
             verifier.as_ref(),
             max_batch,
-            dram_cfg,
+            dram_cfg.clone(),
         )?;
-        let profiles: Vec<Vec<u64>> = runs
+        Ok(runs
             .iter()
             .map(|r| r.layers.iter().map(|l| l.cycles.max(1)).collect())
-            .collect();
+            .collect())
+    };
+    let mut tenants = Vec::with_capacity(serving.tenants.len());
+    let mut seals = Vec::with_capacity(serving.tenants.len());
+    for (index, t) in serving.tenants.iter().enumerate() {
+        let model = t.workload.resolve()?;
+        let profiles = profiles_for(&model, &t.scheme)?;
         let mut seal = seal_tenant(serving.seed, index, &model)?;
         seal.name.clone_from(&t.name);
         seals.push(seal);
@@ -404,6 +510,27 @@ pub fn build(scenario: &Scenario) -> Result<ServeSetup, SedaError> {
         });
         seda_telemetry::counter_add("serve.tenants_built", 1);
     }
+    let mut swaps = Vec::new();
+    let mut swap_seals = Vec::new();
+    for (index, s) in serving.swaps.as_deref().unwrap_or(&[]).iter().enumerate() {
+        let tenant = serving
+            .tenants
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(&s.tenant))
+            .ok_or_else(|| bad(format!("swap tenant {:?} not in lineup", s.tenant)))?;
+        let model = match &s.workload {
+            Some(w) => w.resolve()?,
+            None => serving.tenants[tenant].workload.resolve()?,
+        };
+        // The replacement runs under the tenant's own protection scheme.
+        let profiles = profiles_for(&model, &serving.tenants[tenant].scheme)?;
+        swap_seals.push(seal_swap(serving.seed, index, tenant, &model)?);
+        swaps.push(SwapSim {
+            tenant,
+            at_cycle: (s.at_ms * cycles_per_ms).round().max(1.0) as u64,
+            profiles,
+        });
+    }
     Ok(ServeSetup {
         scenario: scenario.name.clone(),
         spec: SimSpec {
@@ -413,10 +540,12 @@ pub fn build(scenario: &Scenario) -> Result<ServeSetup, SedaError> {
             max_batch,
             tenants,
             arrival: arrival_sim(serving, npu.clock_hz),
+            swaps,
         },
         clock_hz: npu.clock_hz,
         npu: npu.name.clone(),
         seals,
+        swaps: swap_seals,
     })
 }
 
@@ -463,5 +592,26 @@ mod tests {
         let a = seal_tenant(7, 0, &model).expect("seal a");
         let b = seal_tenant(7, 1, &model).expect("seal b");
         assert_ne!(a.payloads[0], b.payloads[0]);
+    }
+
+    #[test]
+    fn swap_seals_stream_in_under_fresh_keys() {
+        let model = zoo::lenet();
+        let tenant = seal_tenant(7, 0, &model).expect("tenant seal");
+        let swap = seal_swap(7, 0, 0, &model).expect("swap seal");
+        assert_ne!(
+            swap.key_id, tenant.key_id,
+            "the replacement must not reuse the tenant's key fingerprint"
+        );
+        // Same geometry, different keys: the streamed-in replacement is
+        // a full image in its own key space and verifies end to end.
+        assert_eq!(swap.image.total_len(), tenant.image.total_len());
+        assert_eq!(swap.blocks as usize, swap.image.total_len() / 64);
+        swap.image.read_model().expect("streamed image verifies");
+        assert_ne!(
+            swap.image.offchip_bytes(),
+            tenant.image.offchip_bytes(),
+            "fresh keys must change the ciphertext"
+        );
     }
 }

@@ -64,6 +64,7 @@ fn open_loop_window_counts_are_poisson_dispersed() {
             burst: None,
             diurnal: None,
         },
+        swaps: vec![],
     };
     let trace = seda_serve::open_loop_trace(&spec);
     let window = 1000u64; // expect ~40 arrivals per window
@@ -104,6 +105,7 @@ fn closed_loop_in_flight_never_exceeds_the_client_population() {
             think_cycles: 12.0,
             requests: 5_000,
         },
+        swaps: vec![],
     };
     let out = simulate(&spec);
     assert_eq!(out.completions.len(), 5_000);
@@ -144,6 +146,7 @@ fn demanding_spec(seed: u64) -> SimSpec {
             burst: None,
             diurnal: None,
         },
+        swaps: vec![],
     }
 }
 

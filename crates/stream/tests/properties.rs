@@ -1,0 +1,141 @@
+//! Adversarial and resumption properties of the sealed-model stream.
+//!
+//! Two satellite guarantees live here:
+//!
+//! * **Every-offset detection** — flipping one bit at *any* byte offset
+//!   of a sealed stream (header, frame metadata, ciphertext, or MAC)
+//!   yields a typed [`SedaError`], never a panic and never a silent
+//!   accept. Mirrors the adversary crate's every-offset bit-flip test.
+//! * **Torn-stream resumption** — a stream split at any byte (block
+//!   boundaries included) resumes cleanly from the last verified block,
+//!   and a truncated stream reports exactly how far verification got.
+
+use proptest::prelude::*;
+use seda::error::StreamViolation;
+use seda::SedaError;
+use seda_adversary::ProtectConfig;
+use seda_stream::{header_len, seal, unseal, StreamSpec, StreamUnsealer, FRAME_BYTES};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn small_spec() -> StreamSpec {
+    StreamSpec {
+        stream_id: 0x51D,
+        key_epoch: 1,
+        config: ProtectConfig::matrix()[2],
+        lens: vec![128, 64],
+        enc_key: [11; 16],
+        mac_key: [12; 16],
+        transport_key: [13; 16],
+    }
+}
+
+fn small_plains(spec: &StreamSpec) -> Vec<Vec<u8>> {
+    spec.lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            (0..len)
+                .map(|j| (j as u8).wrapping_mul(7) ^ (i as u8 + 1))
+                .collect()
+        })
+        .collect()
+}
+
+/// Satellite property: a single bit flip at every byte offset of a
+/// small sealed stream — header bytes included — must surface as a
+/// typed error from the unsealer. No blind spots, no panics.
+#[test]
+fn every_byte_offset_bitflip_is_detected_with_a_typed_error() {
+    let spec = small_spec();
+    let plains = small_plains(&spec);
+    let sealed = seal(&spec, &plains).expect("seal");
+    assert_eq!(sealed.len(), header_len(2) + 3 * FRAME_BYTES);
+    for offset in 0..sealed.len() {
+        let mut tampered = sealed.clone();
+        tampered.flip_bit(offset, (offset % 8) as u8);
+        let outcome = catch_unwind(AssertUnwindSafe(|| unseal(&spec, tampered.bytes())));
+        let result = outcome.unwrap_or_else(|_| panic!("unseal panicked at offset {offset}"));
+        let err = result.err().unwrap_or_else(|| {
+            panic!("bit flip at offset {offset} was silently accepted");
+        });
+        assert!(
+            matches!(err, SedaError::Tag(_) | SedaError::Stream(_)),
+            "offset {offset}: unexpected error class {err:?}"
+        );
+    }
+}
+
+/// Truncating at *exact frame boundaries* must report the verified
+/// count precisely — every fully delivered frame counts, nothing more.
+#[test]
+fn truncation_at_each_frame_boundary_reports_exact_progress() {
+    let spec = small_spec();
+    let sealed = seal(&spec, &small_plains(&spec)).expect("seal");
+    let frames = sealed.frame_count();
+    for keep in 0..frames {
+        let cut = sealed.header_len() + keep * FRAME_BYTES;
+        let err = unseal(&spec, &sealed.bytes()[..cut]).expect_err("truncated stream");
+        assert_eq!(
+            err,
+            SedaError::Stream(StreamViolation::Truncated {
+                verified: keep as u64,
+                expected: frames as u64,
+            }),
+            "cut after {keep} frames"
+        );
+    }
+}
+
+proptest! {
+    /// A stream torn at any byte offset resumes cleanly: pushing the
+    /// two halves separately verifies the same image as one shot.
+    #[test]
+    fn torn_stream_resumes_from_the_last_verified_block(tear in 0usize..305) {
+        let spec = small_spec();
+        let plains = small_plains(&spec);
+        let sealed = seal(&spec, &plains).expect("seal");
+        prop_assert_eq!(sealed.len(), 304);
+        let (head, tail) = sealed.bytes().split_at(tear);
+        let mut u = StreamUnsealer::new(spec.clone()).expect("unsealer");
+        u.push(head).expect("head verifies");
+        // Progress so far is exactly the fully delivered frames.
+        let delivered = tear.saturating_sub(sealed.header_len()) / FRAME_BYTES;
+        prop_assert_eq!(u.verified_blocks(), delivered as u64);
+        u.push(tail).expect("tail resumes");
+        prop_assert!(u.is_complete());
+        let resumed = u.finish().expect("finish");
+        let one_shot = unseal(&spec, sealed.bytes()).expect("one-shot");
+        prop_assert_eq!(resumed.offchip_bytes(), one_shot.offchip_bytes());
+        prop_assert_eq!(resumed.model_root(), one_shot.model_root());
+    }
+
+    /// Arbitrary truncation (not just frame boundaries) is always a
+    /// typed `Truncated` carrying the floor of fully verified frames.
+    #[test]
+    fn arbitrary_truncation_is_typed(cut in 0usize..304) {
+        let spec = small_spec();
+        let sealed = seal(&spec, &small_plains(&spec)).expect("seal");
+        prop_assume!(cut < sealed.len());
+        let err = unseal(&spec, &sealed.bytes()[..cut]).expect_err("incomplete stream");
+        let verified = cut.saturating_sub(sealed.header_len()) / FRAME_BYTES;
+        prop_assert_eq!(err, SedaError::Stream(StreamViolation::Truncated {
+            verified: verified as u64,
+            expected: sealed.frame_count() as u64,
+        }));
+    }
+
+    /// Feeding the stream in arbitrary chunk sizes never changes the
+    /// outcome — the unsealer's buffering is size-agnostic.
+    #[test]
+    fn chunk_size_does_not_affect_the_unseal(chunk in 1usize..97) {
+        let spec = small_spec();
+        let sealed = seal(&spec, &small_plains(&spec)).expect("seal");
+        let mut u = StreamUnsealer::new(spec.clone()).expect("unsealer");
+        for piece in sealed.bytes().chunks(chunk) {
+            u.push(piece).expect("chunked push");
+        }
+        let chunked = u.finish().expect("finish");
+        let one_shot = unseal(&spec, sealed.bytes()).expect("one-shot");
+        prop_assert_eq!(chunked.offchip_bytes(), one_shot.offchip_bytes());
+    }
+}

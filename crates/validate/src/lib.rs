@@ -4,7 +4,7 @@
 //! analytical and a cycle-accurate compute model, a streamed and a
 //! per-segment B-AES pad path, scheme-level traffic models and the
 //! functional crypto path — and this crate cross-checks them with seeded
-//! randomized oracles instead of hand-picked shapes. Nine families:
+//! randomized oracles instead of hand-picked shapes. Ten families:
 //!
 //! * [`gemm`] — `exact_gemm` vs `gemm_cycles` and MAC totals over random
 //!   shapes for both dataflows, including fold/remainder edges.
@@ -44,6 +44,12 @@
 //!   arrivals, batching, preemption): completion times, queue-depth
 //!   traces, latency histograms, busy cycles, and event counts must be
 //!   bit-identical.
+//! * [`stream`] — `seda-stream`'s sealed provisioning path: streamed
+//!   unsealing bit-identical to at-rest sealing over random geometries
+//!   and protection configs, chunk-size invariance, and every tamper
+//!   class (bit flip, MAC corruption, reorder, truncation, cross-stream
+//!   splice, stale-epoch replay) rejected with a typed error under
+//!   `catch_unwind`.
 //!
 //! Every family is a pure function of a `(seed, cases)` pair, so a CI
 //! failure reproduces locally with the seeded CLI:
@@ -69,11 +75,12 @@ pub mod resilience;
 pub mod rng;
 pub mod schemes;
 pub mod serving;
+pub mod stream;
 
 use rng::Rng;
 use std::fmt;
 
-/// The nine oracle/invariant families of the harness.
+/// The ten oracle/invariant families of the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Cycle-accurate vs analytical systolic-array model.
@@ -94,11 +101,13 @@ pub enum Family {
     Resilience,
     /// Event-driven vs time-stepped serving kernels, bit for bit.
     Serving,
+    /// Streamed vs at-rest model sealing, plus stream tamper rejection.
+    Stream,
 }
 
 impl Family {
     /// All families in canonical order.
-    pub fn all() -> [Family; 9] {
+    pub fn all() -> [Family; 10] {
         [
             Family::Gemm,
             Family::Otp,
@@ -109,6 +118,7 @@ impl Family {
             Family::Adversary,
             Family::Resilience,
             Family::Serving,
+            Family::Stream,
         ]
     }
 
@@ -124,11 +134,12 @@ impl Family {
             Family::Adversary => "adversary",
             Family::Resilience => "resilience",
             Family::Serving => "serving",
+            Family::Stream => "stream",
         }
     }
 
     /// Parses a CLI name (`gemm`, `otp`, `schemes`, `dram`, `dram-batch`,
-    /// `pipeline`, `adversary`, `resilience`, `serving`).
+    /// `pipeline`, `adversary`, `resilience`, `serving`, `stream`).
     pub fn parse(s: &str) -> Option<Family> {
         Family::all().into_iter().find(|f| f.name() == s)
     }
@@ -148,6 +159,7 @@ impl Family {
             Family::Resilience => 4,
             // Each case brute-force steps a full serving run.
             Family::Serving => 24,
+            Family::Stream => 24,
         }
     }
 }
@@ -254,6 +266,7 @@ fn checker(family: Family) -> fn(&mut Rng) -> Result<(), String> {
         Family::Adversary => adversary::check_case,
         Family::Resilience => resilience::check_case,
         Family::Serving => serving::check_case,
+        Family::Stream => stream::check_case,
     }
 }
 

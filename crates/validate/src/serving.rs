@@ -17,14 +17,14 @@
 use crate::ensure;
 use crate::rng::Rng;
 use seda_serve::{simulate, simulate_stepped, ArrivalSim, BurstSim, DiurnalSim};
-use seda_serve::{Scheduler, SimSpec, TenantSim};
+use seda_serve::{Scheduler, SimSpec, SwapSim, TenantSim};
 
-/// One random tenant with a small, strictly positive cost model.
-fn random_tenant(rng: &mut Rng, index: usize) -> TenantSim {
-    // Batch depths up to 3; the cold first inference is the priciest.
+/// A random small batch cost model: depths up to 3, the cold first
+/// inference the priciest, every duration strictly positive.
+fn random_profiles(rng: &mut Rng) -> Vec<Vec<u64>> {
     let depth = rng.range(1, 3) as usize;
     let layer_count = rng.range(1, 4) as usize;
-    let profiles: Vec<Vec<u64>> = (0..depth)
+    (0..depth)
         .map(|d| {
             (0..layer_count)
                 .map(|_| {
@@ -37,7 +37,12 @@ fn random_tenant(rng: &mut Rng, index: usize) -> TenantSim {
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// One random tenant with a small, strictly positive cost model.
+fn random_tenant(rng: &mut Rng, index: usize) -> TenantSim {
+    let profiles = random_profiles(rng);
     TenantSim {
         name: format!("t{index}"),
         profiles,
@@ -77,6 +82,20 @@ fn random_spec(rng: &mut Rng) -> SimSpec {
             requests: rng.range(50, 400),
         }
     };
+    // A third of the cases schedule hot model-swaps mid-run, so the
+    // oracle also pins the swap phase: due marking, the drained-tenant
+    // cutover predicate, and replacement-profile batch formation.
+    let swaps = if rng.coin(1, 3) {
+        (0..rng.range(1, 2))
+            .map(|_| SwapSim {
+                tenant: rng.below(tenant_count as u64) as usize,
+                at_cycle: rng.range(1, 3000),
+                profiles: random_profiles(rng),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     SimSpec {
         seed: rng.next_u64(),
         scheduler,
@@ -84,6 +103,7 @@ fn random_spec(rng: &mut Rng) -> SimSpec {
         max_batch: rng.range(1, 3) as u32,
         tenants,
         arrival,
+        swaps,
     }
 }
 

@@ -68,7 +68,7 @@ diff -q "$tmp/clean.json" "$tmp/resumed.json" >/dev/null \
 # Serving scenarios: run each through the serving simulator and require
 # a clean re-run to reproduce the seda-serve/v1 snapshot byte-for-byte —
 # the serving kernel must be a pure function of (scenario, seed).
-for name in serve_mix serve_closed_loop; do
+for name in serve_mix serve_closed_loop serve_swap; do
   echo "==> serve $name (snapshot reproducibility)"
   run_cli serve "$name" --json "$tmp/$name.serve.json" \
     || fail "serve $name" "scenarios/$name.json"

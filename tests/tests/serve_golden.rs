@@ -1,6 +1,6 @@
 //! Serving-scenario golden suite.
 //!
-//! The two serving scenarios in the zoo get pinned `seda-serve/v1`
+//! The three serving scenarios in the zoo get pinned `seda-serve/v1`
 //! snapshot fixtures, compared **byte-for-byte**: the serving simulator
 //! is a pure function of `(scenario, seed)` — no wall clock, no OS
 //! randomness, no thread-count sensitivity — so any diff means the
@@ -43,26 +43,47 @@ fn serve_closed_loop_matches_the_pinned_snapshot() {
 }
 
 #[test]
+fn serve_swap_matches_the_pinned_snapshot() {
+    // The hot-swap scenario: the swapped tenant's replacement image must
+    // have streamed in (an applied swap under a fresh key id) and the
+    // whole report — cutover timing included — must be byte-stable.
+    let snapshot = snapshot_of("serve_swap");
+    assert!(
+        snapshot.contains("\"swaps\""),
+        "serve_swap must report its swap section:\n{snapshot}"
+    );
+    assert!(
+        snapshot.contains("\"applied\": true"),
+        "the scheduled swap must land before drain:\n{snapshot}"
+    );
+    check_golden("serve_swap.golden.json", &snapshot);
+}
+
+#[test]
 fn serving_snapshots_are_reproducible_within_a_process() {
     // Re-grounding and re-simulating in the same process (shared trace
     // cache, warm telemetry) must not perturb a single byte.
     assert_eq!(snapshot_of("serve_mix"), snapshot_of("serve_mix"));
+    assert_eq!(snapshot_of("serve_swap"), snapshot_of("serve_swap"));
 }
 
 #[test]
 fn kernel_outcome_is_independent_of_host_parallelism() {
     // The kernel never spawns threads, but the surrounding harness does
     // (cargo test runs suites concurrently); simulating the same spec
-    // from racing threads must still be bit-identical.
-    let s = scenario::load("serve_mix").expect("serving scenario loads");
-    let setup = seda_serve::build(&s).expect("grounds");
-    let baseline = seda_serve::simulate(&setup.spec);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..4)
-            .map(|_| scope.spawn(|| seda_serve::simulate(&setup.spec)))
-            .collect();
-        for h in handles {
-            assert_eq!(h.join().expect("no panic"), baseline);
-        }
-    });
+    // from racing threads must still be bit-identical — including the
+    // swap phase, whose cutover ordering must not depend on the host.
+    for name in ["serve_mix", "serve_swap"] {
+        let s = scenario::load(name).expect("serving scenario loads");
+        let setup = seda_serve::build(&s).expect("grounds");
+        let baseline = seda_serve::simulate(&setup.spec);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| seda_serve::simulate(&setup.spec)))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), baseline);
+            }
+        });
+    }
 }
